@@ -1,0 +1,54 @@
+//! Ablation A4 — fork/join overhead.
+//!
+//! The paper's design outlines parallel regions into functions and
+//! calls the runtime per region; this bench measures the cost of that
+//! design: an empty `parallel` region through the romp pool versus
+//! spawning fresh OS threads with `std::thread::scope` (what a naive
+//! implementation without a persistent pool would pay), plus a tiny
+//! 1k-iteration `parallel for` to show the crossover at small grains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bench_forkjoin(c: &mut Criterion) {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("forkjoin");
+    g.sample_size(20);
+
+    let mut teams = vec![1usize, 2, hw.max(2)];
+    teams.sort_unstable();
+    teams.dedup();
+    for t in teams {
+        g.bench_with_input(BenchmarkId::new("romp_empty_region", t), &t, |b, &t| {
+            // Warm the pool so we measure reuse, not spawning.
+            fork(ForkSpec::with_num_threads(t), |_| {});
+            b.iter(|| {
+                fork(ForkSpec::with_num_threads(t), |_| {});
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("std_scope_empty", t), &t, |b, &t| {
+            b.iter(|| {
+                std::thread::scope(|s| {
+                    for _ in 0..t.saturating_sub(1) {
+                        s.spawn(|| {});
+                    }
+                });
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("romp_tiny_for_1k", t), &t, |b, &t| {
+            let acc = AtomicU64::new(0);
+            b.iter(|| {
+                par_for(0..1000).num_threads(t).run(|i| {
+                    acc.fetch_add(i as u64, Ordering::Relaxed);
+                });
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_forkjoin);
+criterion_main!(benches);

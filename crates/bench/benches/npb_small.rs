@@ -1,0 +1,74 @@
+//! Criterion companion to the `table1` binary: the four Table-1
+//! workloads at class S (small enough for statistical repetition),
+//! Reference vs Romp configuration — the per-kernel comparison the
+//! paper's Table 1 makes at class C.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_npb::{cg, ep, is, mandelbrot, Class};
+
+fn bench_npb_small(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let class = Class::S;
+    let mut g = c.benchmark_group("npb_class_S");
+    g.sample_size(10);
+
+    let setup = cg::setup(class);
+    g.bench_function(BenchmarkId::new("cg", "reference"), |b| {
+        b.iter(|| {
+            let r = cg::reference::run_with(&setup, threads);
+            assert!(r.verified);
+        })
+    });
+    g.bench_function(BenchmarkId::new("cg", "romp"), |b| {
+        b.iter(|| {
+            let r = cg::romp::run_with(&setup, threads);
+            assert!(r.verified);
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("ep", "reference"), |b| {
+        b.iter(|| {
+            let r = ep::reference::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+    g.bench_function(BenchmarkId::new("ep", "romp"), |b| {
+        b.iter(|| {
+            let r = ep::romp::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("is", "reference"), |b| {
+        b.iter(|| {
+            let r = is::reference::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+    g.bench_function(BenchmarkId::new("is", "romp"), |b| {
+        b.iter(|| {
+            let r = is::romp::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+
+    g.bench_function(BenchmarkId::new("mandelbrot", "reference"), |b| {
+        b.iter(|| {
+            let r = mandelbrot::reference::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+    g.bench_function(BenchmarkId::new("mandelbrot", "romp"), |b| {
+        b.iter(|| {
+            let r = mandelbrot::romp::run(class, threads);
+            assert!(r.verified);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_npb_small);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Ablation A3 — reduction strategies for the `reduction` clause.
+//!
+//! Three lowerings of the same dot product:
+//! * **partials** — per-thread private accumulation, one lock-combine
+//!   per thread at the end (what romp's clause generates);
+//! * **atomic** — `fetch_add`-per-iteration on a shared atomic (the
+//!   naive translation the clause exists to avoid);
+//! * **critical** — a critical section per iteration (the worst case).
+//!
+//! The expected shape: partials ≫ atomic ≫ critical as iteration counts
+//! grow — the reason OpenMP has a reduction clause at all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const N: usize = 100_000;
+
+fn data() -> Vec<f64> {
+    (0..N).map(|i| (i as f64 * 0.001).sin()).collect()
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let v = data();
+    let mut g = c.benchmark_group("reduction_dot");
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::from_parameter("partials"), &v, |b, v| {
+        b.iter(|| {
+            par_for(0..N)
+                .num_threads(threads)
+                .reduce(SumOp, 0.0f64, |i, acc| *acc += v[i] * v[i])
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::from_parameter("atomic"), &v, |b, v| {
+        b.iter(|| {
+            // f64 sum via CAS-free integer milli-units to keep the
+            // comparison about synchronization, not CAS loops.
+            let acc = AtomicU64::new(0);
+            par_for(0..N).num_threads(threads).run(|i| {
+                let q = (v[i] * v[i] * 1e6) as u64;
+                acc.fetch_add(q, Ordering::Relaxed);
+            });
+            acc.into_inner() as f64 / 1e6
+        })
+    });
+
+    g.bench_with_input(BenchmarkId::from_parameter("critical"), &v, |b, v| {
+        b.iter(|| {
+            let acc = std::sync::Mutex::new(0.0f64);
+            par_for(0..N).num_threads(threads).run(|i| {
+                romp_core::critical(|| {
+                    *acc.lock().unwrap() += v[i] * v[i];
+                });
+            });
+            acc.into_inner().unwrap()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_reductions);
+criterion_main!(benches);

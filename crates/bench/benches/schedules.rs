@@ -1,0 +1,40 @@
+//! Ablation A1 — the `schedule` clause under load imbalance.
+//!
+//! The paper implements OpenMP's `schedule` clause; Mandelbrot is its
+//! imbalanced workload. This bench renders Mandelbrot class S under
+//! every schedule kind: `dynamic`/`guided` should beat plain `static`
+//! whenever more than one core is available, because interior rows cost
+//! many times more than edge rows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_core::Schedule;
+use romp_npb::mandelbrot;
+use romp_npb::verify::Variant;
+use romp_npb::Class;
+
+fn bench_schedules(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut g = c.benchmark_group("mandelbrot_schedule");
+    g.sample_size(10);
+    for (label, sched) in [
+        ("static", Schedule::static_block()),
+        ("static_8", Schedule::static_chunk(8)),
+        ("dynamic_1", Schedule::dynamic()),
+        ("dynamic_4", Schedule::dynamic_chunk(4)),
+        ("guided", Schedule::guided()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sched, |b, &s| {
+            b.iter(|| {
+                let r = mandelbrot::run_with_schedule(Class::S, threads, s, Variant::Romp);
+                assert!(r.verified);
+                r.checksum
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

@@ -1,0 +1,111 @@
+//! Regenerate the paper's **speedup** results: "Results, including
+//! total runtime and speedup, were compared to the reference
+//! implementation, with speedup calculated relative to single-thread
+//! execution."
+//!
+//! ```text
+//! speedup [--class S|W|A|B|C] [--max-threads N] [--kernels cg,ep,is,mandelbrot]
+//! ```
+//!
+//! Sweeps thread counts 1, 2, 4, … up to `--max-threads` (default: the
+//! hardware concurrency) and prints runtime and speedup per kernel. On
+//! machines with few cores the curve saturates at the core count — the
+//! *shape* to check is monotone scaling up to the hardware limit, with
+//! EP closest to linear (no sharing), CG and IS sublinear
+//! (memory-bound), Mandelbrot near-linear under dynamic scheduling.
+
+use romp_bench::{default_threads, render_table, write_csv, Args};
+use romp_npb::{cg, ep, is, mandelbrot, Class, KernelResult};
+
+fn sweep(kernel: &str, class: Class, counts: &[usize]) -> Vec<KernelResult> {
+    match kernel {
+        "cg" => {
+            let setup = cg::setup(class);
+            counts
+                .iter()
+                .map(|&t| cg::romp::run_with(&setup, t))
+                .collect()
+        }
+        "ep" => counts.iter().map(|&t| ep::romp::run(class, t)).collect(),
+        "is" => counts.iter().map(|&t| is::romp::run(class, t)).collect(),
+        "mandelbrot" => counts
+            .iter()
+            .map(|&t| mandelbrot::romp::run(class, t))
+            .collect(),
+        other => panic!("unknown kernel `{other}`"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let class: Class = args
+        .value_of("class")
+        .unwrap_or("W")
+        .parse()
+        .expect("valid NPB class");
+    let max_threads: usize = args
+        .value_of("max-threads")
+        .map(|t| t.parse().expect("integer"))
+        .unwrap_or_else(default_threads);
+    let kernels: Vec<String> = args
+        .value_of("kernels")
+        .unwrap_or("cg,ep,is,mandelbrot")
+        .split(',')
+        .map(|s| s.trim().to_ascii_lowercase())
+        .collect();
+
+    let mut counts = vec![1usize];
+    while counts.last().unwrap() * 2 <= max_threads {
+        counts.push(counts.last().unwrap() * 2);
+    }
+    if *counts.last().unwrap() != max_threads {
+        counts.push(max_threads);
+    }
+
+    println!(
+        "Speedup sweep: class {class}, thread counts {counts:?} \
+         (hardware concurrency here: {})\n",
+        default_threads()
+    );
+
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    for kernel in &kernels {
+        eprintln!("[speedup] {kernel}…");
+        let results = sweep(kernel, class, &counts);
+        let t1 = results[0].time_s;
+        let header = ["Threads", "Time (s)", "Speedup", "Efficiency", "Verified"];
+        let rows: Vec<Vec<String>> = results
+            .iter()
+            .map(|r| {
+                let s = t1 / r.time_s;
+                csv_rows.push(vec![
+                    kernel.clone(),
+                    r.threads.to_string(),
+                    format!("{:.4}", r.time_s),
+                    format!("{:.3}", s),
+                ]);
+                vec![
+                    r.threads.to_string(),
+                    format!("{:.4}", r.time_s),
+                    format!("{:.2}x", s),
+                    format!("{:.0}%", 100.0 * s / r.threads as f64),
+                    if r.verified { "yes" } else { "NO" }.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &format!("{} (class {class}) — speedup vs 1 thread", kernel.to_uppercase()),
+                &header,
+                &rows
+            )
+        );
+        if results.iter().any(|r| !r.verified) {
+            eprintln!("[speedup] WARNING: verification failed for {kernel}");
+        }
+    }
+    if let Ok(p) = write_csv("speedup", &["kernel", "threads", "time_s", "speedup"], &csv_rows) {
+        println!("(csv: {})", p.display());
+    }
+}

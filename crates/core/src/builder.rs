@@ -1,0 +1,350 @@
+//! Typed builder API for parallel regions and worksharing loops.
+//!
+//! This is the code shape the directive front ends (macros and the
+//! `//#omp` translator) desugar into; it is also pleasant to use
+//! directly. Everything is a thin, zero-allocation wrapper over
+//! [`romp_runtime::fork`] and [`ThreadCtx`]'s worksharing methods.
+
+use romp_runtime::reduction::RedVar;
+use romp_runtime::{fork, ForkSpec, ReduceOp, Schedule, ThreadCtx};
+use std::ops::Range;
+
+/// Builder for a bare `parallel` region.
+///
+/// ```
+/// use romp_core::builder::parallel;
+///
+/// let mut counts = vec![0usize; 4];
+/// let counts_ref = std::sync::Mutex::new(&mut counts);
+/// parallel().num_threads(4).run(|ctx| {
+///     let tn = ctx.thread_num();
+///     counts_ref.lock().unwrap()[tn] += 1;
+/// });
+/// assert_eq!(counts, vec![1, 1, 1, 1]);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Parallel {
+    spec: ForkSpec,
+}
+
+/// Start building a `parallel` region.
+pub fn parallel() -> Parallel {
+    Parallel::default()
+}
+
+impl Parallel {
+    /// The `num_threads` clause.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.spec.num_threads = Some(n);
+        self
+    }
+
+    /// The `if` clause: `false` serializes the region.
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.spec.if_clause = Some(cond);
+        self
+    }
+
+    /// The underlying fork spec (for interop with [`romp_runtime::fork`]).
+    pub fn spec(&self) -> ForkSpec {
+        self.spec
+    }
+
+    /// Execute the region: `body` runs once on every team thread.
+    pub fn run<F>(self, body: F)
+    where
+        F: for<'s> Fn(&ThreadCtx<'s>) + Sync,
+    {
+        fork(self.spec, body);
+    }
+}
+
+/// Builder for a combined `parallel for`.
+#[derive(Debug, Clone)]
+pub struct ParFor {
+    range: Range<usize>,
+    sched: Schedule,
+    spec: ForkSpec,
+}
+
+/// Start building a `parallel for` over `range`.
+pub fn par_for(range: Range<usize>) -> ParFor {
+    ParFor {
+        range,
+        sched: Schedule::default(),
+        spec: ForkSpec::default(),
+    }
+}
+
+impl ParFor {
+    /// The `schedule` clause.
+    pub fn schedule(mut self, sched: Schedule) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// The `num_threads` clause.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.spec.num_threads = Some(n);
+        self
+    }
+
+    /// The `if` clause.
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.spec.if_clause = Some(cond);
+        self
+    }
+
+    /// Run `body(i)` for every `i` in the range, distributed over the
+    /// team.
+    pub fn run<F>(self, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let ParFor { range, sched, spec } = self;
+        fork(spec, |ctx| {
+            // nowait: the region-end implicit barrier is the loop barrier.
+            ctx.ws_for(range.clone(), sched, true, &body);
+        });
+    }
+
+    /// Run `body(chunk)` for whole chunks — lets hot kernels iterate
+    /// contiguous slices without per-index dispatch.
+    pub fn run_chunks<F>(self, body: F)
+    where
+        F: Fn(Range<usize>) + Sync,
+    {
+        let ParFor { range, sched, spec } = self;
+        fork(spec, |ctx| {
+            ctx.ws_for_chunks(range.clone(), sched, true, &body);
+        });
+    }
+
+    /// The `reduction` clause: every thread folds into a private
+    /// accumulator seeded with the operator identity; partials and `init`
+    /// are combined at the end.
+    pub fn reduce<T, Op, F>(self, op: Op, init: T, body: F) -> T
+    where
+        T: Clone + Send,
+        Op: ReduceOp<T>,
+        F: Fn(usize, &mut T) + Sync,
+    {
+        let ParFor { range, sched, spec } = self;
+        let red = RedVar::new(init, op);
+        fork(spec, |ctx| {
+            let mut local = op.identity();
+            ctx.ws_for(range.clone(), sched, true, |i| body(i, &mut local));
+            red.contribute(local);
+        });
+        red.into_inner()
+    }
+
+    /// Chunked variant of [`reduce`](Self::reduce).
+    pub fn reduce_chunks<T, Op, F>(self, op: Op, init: T, body: F) -> T
+    where
+        T: Clone + Send,
+        Op: ReduceOp<T>,
+        F: Fn(Range<usize>, &mut T) + Sync,
+    {
+        let ParFor { range, sched, spec } = self;
+        let red = RedVar::new(init, op);
+        fork(spec, |ctx| {
+            let mut local = op.identity();
+            ctx.ws_for_chunks(range.clone(), sched, true, |r| body(r, &mut local));
+            red.contribute(local);
+        });
+        red.into_inner()
+    }
+}
+
+/// Builder for a `parallel for collapse(2)` over a rectangular space:
+/// the two loops are fused into one iteration space so the schedule
+/// balances across both.
+#[derive(Debug, Clone)]
+pub struct ParFor2 {
+    outer: Range<usize>,
+    inner: Range<usize>,
+    sched: Schedule,
+    spec: ForkSpec,
+}
+
+/// Start building a collapsed 2-D `parallel for`.
+pub fn par_for_2d(outer: Range<usize>, inner: Range<usize>) -> ParFor2 {
+    ParFor2 {
+        outer,
+        inner,
+        sched: Schedule::default(),
+        spec: ForkSpec::default(),
+    }
+}
+
+impl ParFor2 {
+    /// The `schedule` clause.
+    pub fn schedule(mut self, sched: Schedule) -> Self {
+        self.sched = sched;
+        self
+    }
+
+    /// The `num_threads` clause.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.spec.num_threads = Some(n);
+        self
+    }
+
+    /// Run `body(i, j)` over the collapsed space.
+    pub fn run<F>(self, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let ParFor2 {
+            outer,
+            inner,
+            sched,
+            spec,
+        } = self;
+        let iw = inner.end.saturating_sub(inner.start);
+        let trip = outer.end.saturating_sub(outer.start) * iw;
+        let (ob, ib) = (outer.start, inner.start);
+        fork(spec, |ctx| {
+            ctx.ws_for(0..trip, sched, true, |k| {
+                body(ob + k / iw.max(1), ib + k % iw.max(1));
+            });
+        });
+    }
+
+    /// Collapsed reduction.
+    pub fn reduce<T, Op, F>(self, op: Op, init: T, body: F) -> T
+    where
+        T: Clone + Send,
+        Op: ReduceOp<T>,
+        F: Fn(usize, usize, &mut T) + Sync,
+    {
+        let ParFor2 {
+            outer,
+            inner,
+            sched,
+            spec,
+        } = self;
+        let iw = inner.end.saturating_sub(inner.start);
+        let trip = outer.end.saturating_sub(outer.start) * iw;
+        let (ob, ib) = (outer.start, inner.start);
+        let red = RedVar::new(init, op);
+        fork(spec, |ctx| {
+            let mut local = op.identity();
+            ctx.ws_for(0..trip, sched, true, |k| {
+                body(ob + k / iw.max(1), ib + k % iw.max(1), &mut local);
+            });
+            red.contribute(local);
+        });
+        red.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use romp_runtime::{MaxOp, SumOp};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_for_covers_all_indices_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        par_for(0..1000)
+            .num_threads(4)
+            .schedule(Schedule::dynamic_chunk(7))
+            .run(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_reduce_matches_serial() {
+        let data: Vec<f64> = (0..10_000).map(|i| (i as f64).sin()).collect();
+        let serial: f64 = data.iter().sum();
+        for sched in [
+            Schedule::static_block(),
+            Schedule::static_chunk(13),
+            Schedule::dynamic_chunk(64),
+            Schedule::guided(),
+        ] {
+            let parallel = par_for(0..data.len())
+                .num_threads(4)
+                .schedule(sched)
+                .reduce(SumOp, 0.0, |i, acc| *acc += data[i]);
+            assert!(
+                (parallel - serial).abs() < 1e-9,
+                "sched {sched}: {parallel} vs {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_includes_init() {
+        let s = par_for(0..10)
+            .num_threads(2)
+            .reduce(SumOp, 100i64, |i, acc| *acc += i as i64);
+        assert_eq!(s, 100 + 45);
+    }
+
+    #[test]
+    fn reduce_max() {
+        let data: Vec<i64> = (0..1000).map(|i| (i * 7919) % 1000).collect();
+        let m = par_for(0..data.len())
+            .num_threads(4)
+            .reduce(MaxOp, i64::MIN, |i, acc| *acc = (*acc).max(data[i]));
+        assert_eq!(m, *data.iter().max().unwrap());
+    }
+
+    #[test]
+    fn run_chunks_sees_contiguous_ranges() {
+        let total = AtomicUsize::new(0);
+        par_for(0..777)
+            .num_threads(3)
+            .schedule(Schedule::static_chunk(50))
+            .run_chunks(|r| {
+                assert!(r.start < r.end && r.end <= 777);
+                assert!(r.end - r.start <= 50);
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+        assert_eq!(total.load(Ordering::Relaxed), 777);
+    }
+
+    #[test]
+    fn par_for_2d_covers_rectangle() {
+        let hits: Vec<AtomicUsize> = (0..20 * 30).map(|_| AtomicUsize::new(0)).collect();
+        par_for_2d(0..20, 0..30).num_threads(4).run(|i, j| {
+            hits[i * 30 + j].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_for_2d_reduce() {
+        let s = par_for_2d(1..4, 1..5)
+            .num_threads(3)
+            .reduce(SumOp, 0usize, |i, j, acc| *acc += i * j);
+        // (1+2+3) * (1+2+3+4) = 60
+        assert_eq!(s, 60);
+    }
+
+    #[test]
+    fn empty_range_is_fine() {
+        par_for(5..5).num_threads(4).run(|_| panic!("no iterations"));
+        let s = par_for(5..5)
+            .num_threads(4)
+            .reduce(SumOp, 7i32, |_, _| panic!("no iterations"));
+        assert_eq!(s, 7);
+    }
+
+    #[test]
+    fn if_clause_serializes_but_computes() {
+        let s = par_for(0..100)
+            .if_clause(false)
+            .reduce(SumOp, 0usize, |i, acc| {
+                assert_eq!(romp_runtime::omp_get_num_threads(), 1);
+                *acc += i;
+            });
+        assert_eq!(s, 4950);
+    }
+}

@@ -1,0 +1,499 @@
+//! OpenMP-style directive macros.
+//!
+//! The clause syntax deliberately mirrors OpenMP pragma text, the way the
+//! paper's comment directives mirror `#pragma omp` lines in C. The
+//! correspondence:
+//!
+//! | OpenMP | romp |
+//! |---|---|
+//! | `#pragma omp parallel num_threads(4)` + block | `omp_parallel!(num_threads(4), \|ctx\| { … })` |
+//! | `#pragma omp parallel for schedule(dynamic,4) reduction(+:s)` | `omp_parallel_for!(schedule(dynamic,4), reduction(+ : s = 0.0), for i in 0..n { … })` |
+//! | `#pragma omp for schedule(guided) nowait` | `omp_for!(ctx, schedule(guided), nowait, for i in 0..n { … })` |
+//! | `#pragma omp single` | `omp_single!(ctx, { … })` |
+//! | `#pragma omp master` | `omp_master!(ctx, { … })` |
+//! | `#pragma omp critical [(name)]` | `omp_critical!([name,] { … })` |
+//! | `#pragma omp barrier` | `omp_barrier!(ctx)` |
+//! | `#pragma omp sections` | `omp_sections!(ctx, { … } { … })` |
+//! | `#pragma omp task` / `taskwait` | `omp_task!(ctx, { … })` / `omp_taskwait!(ctx)` |
+//!
+//! ## Data environment
+//!
+//! * `shared(x, y)` — documentation only: Rust closures already capture
+//!   by reference, which *is* `shared`.
+//! * `private(x)` — declares a fresh, uninitialized per-thread `x`
+//!   shadowing the outer one (assign before use, as in OpenMP).
+//! * `firstprivate(x)` — per-thread `x` initialized by `Clone` from the
+//!   outer value.
+//! * `reduction(op : var …)` — see below.
+//!
+//! ## Reduction semantics
+//!
+//! `omp_parallel_for!` takes `reduction(op : var = init, …)` and
+//! **returns** the combined values as a tuple (private copies start at
+//! the operator identity; `init` is folded exactly once, matching the
+//! spec's treatment of the original variable):
+//!
+//! ```
+//! use romp_core::prelude::*;
+//! let (sum,) = omp_parallel_for!(
+//!     reduction(+ : sum = 0u64),
+//!     for i in 0..1000 { sum += i as u64; }
+//! );
+//! assert_eq!(sum, 499_500);
+//! ```
+//!
+//! `omp_for!` (inside a region) reduces an existing thread-local binding
+//! in place; **every thread's incoming value is folded**, so initialize
+//! it to the operator identity for standard OpenMP behaviour:
+//!
+//! ```
+//! use romp_core::prelude::*;
+//! omp_parallel!(num_threads(4), |ctx| {
+//!     let mut sum = 0u64; // identity of `+` on every thread
+//!     omp_for!(ctx, schedule(static), reduction(+ : sum),
+//!         for i in 0..1000 { sum += i as u64; });
+//!     assert_eq!(sum, 499_500); // combined value visible on all threads
+//! });
+//! ```
+//!
+//! ## Loop headers
+//!
+//! Three forms are accepted: `for i in lo..hi { … }` where `lo`/`hi` are
+//! single tokens or parenthesized expressions, `for i in (range_expr)
+//! { … }`, and `for i in (range_expr).step_by(s) { … }`.
+
+/// `parallel` construct. Clauses: `num_threads(e)`, `if(e)`,
+/// `default(shared|none)`, `shared(..)`, `private(..)`,
+/// `firstprivate(..)`, `proc_bind(kind)`. Body: `|ctx| { … }`.
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let hits = AtomicUsize::new(0);
+/// let base = 10usize;
+/// omp_parallel!(num_threads(3), firstprivate(base), |ctx| {
+///     // `base` is a per-thread clone here.
+///     hits.fetch_add(base + ctx.thread_num(), Ordering::Relaxed);
+/// });
+/// assert_eq!(hits.load(Ordering::Relaxed), 30 + 0 + 1 + 2);
+/// ```
+#[macro_export]
+macro_rules! omp_parallel {
+    ($($t:tt)*) => {
+        $crate::__omp_parallel!(@ {$crate::runtime::ForkSpec::new()} [] [] ; $($t)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_parallel {
+    // --- clauses ---
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; num_threads($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec.num_threads($e)} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; if($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec.if_clause($e)} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; default(shared), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; default(none), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; shared($($s:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; proc_bind($k:ident), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)* $($v)*] [$($pv)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; private($($v:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)* $($v)*] ; $($rest)*)
+    };
+    // --- terminal: the region body ---
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; |$ctx:ident| $body:block) => {{
+        let __romp_spec = $spec;
+        $crate::runtime::fork(__romp_spec, |__romp_ctx: &$crate::runtime::ThreadCtx<'_>| {
+            $(
+                #[allow(unused_mut)]
+                let mut $fp = ::std::clone::Clone::clone(&$fp);
+            )*
+            $(
+                #[allow(unused_mut, unused_assignments)]
+                let mut $pv;
+            )*
+            let $ctx = __romp_ctx;
+            $body
+        });
+    }};
+}
+
+/// Worksharing `for` inside an existing region. Clauses: `schedule(..)`,
+/// `nowait`, `reduction(op : var, …)`.
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+///
+/// let total = AtomicU64::new(0);
+/// omp_parallel!(num_threads(4), |ctx| {
+///     omp_for!(ctx, schedule(dynamic, 16), for i in 0..100 {
+///         total.fetch_add(i as u64, Ordering::Relaxed);
+///     });
+/// });
+/// assert_eq!(total.load(Ordering::Relaxed), 4950);
+/// ```
+#[macro_export]
+macro_rules! omp_for {
+    ($ctx:ident, $($t:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} {false} [] ; $($t)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_for {
+    // --- clauses ---
+    (@ $ctx:ident {$sched:expr} {$nw:expr} [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$crate::__omp_sched!($($s)*)} {$nw} [$($red)*] ; $($rest)*)
+    };
+    (@ $ctx:ident {$sched:expr} {$nw:expr} [$($red:tt)*] ; nowait, $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$sched} {true} [$($red)*] ; $($rest)*)
+    };
+    (@ $ctx:ident {$sched:expr} {$nw:expr} [] ; reduction($op:tt : $($var:ident),+), $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$sched} {$nw} [$op $($var)+] ; $($rest)*)
+    };
+    // --- terminal without reduction ---
+    (@ $ctx:ident {$sched:expr} {$nw:expr} [] ; $($loop:tt)*) => {
+        $crate::__omp_loop_body!($ctx, $sched, $nw, $($loop)*)
+    };
+    // --- terminal with reduction: nowait the loop (the reduction itself
+    //     synchronizes), then combine each variable team-wide ---
+    (@ $ctx:ident {$sched:expr} {$nw:expr} [$op:tt $($var:ident)+] ; $($loop:tt)*) => {{
+        $crate::__omp_loop_body!($ctx, $sched, true, $($loop)*);
+        $( $var = $ctx.reduce_value($crate::__red_op!($op), $var); )+
+    }};
+}
+
+/// Emit the `ws_for` call for one of the three accepted loop headers.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_loop_body {
+    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in ($range:expr).step_by($s:expr) $body:block) => {{
+        let __romp_r = $range;
+        let __romp_step: usize = $s;
+        let __romp_lo: usize = __romp_r.start;
+        let __romp_hi: usize = __romp_r.end;
+        let __romp_trip = if __romp_hi > __romp_lo {
+            (__romp_hi - __romp_lo).div_ceil(__romp_step)
+        } else {
+            0
+        };
+        $ctx.ws_for(0..__romp_trip, $sched, $nw, |__romp_k| {
+            let $i = __romp_lo + __romp_k * __romp_step;
+            $body
+        })
+    }};
+    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in ($range:expr) $body:block) => {
+        $ctx.ws_for($range, $sched, $nw, |$i| $body)
+    };
+    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in $lo:tt .. $hi:tt $body:block) => {
+        $ctx.ws_for(($lo)..($hi), $sched, $nw, |$i| $body)
+    };
+}
+
+/// Combined `parallel for`. Clauses: `num_threads(e)`, `if(e)`,
+/// `schedule(..)`, `default(..)`, `shared(..)`, `firstprivate(..)`,
+/// `reduction(op : var = init, …)`.
+///
+/// With a `reduction` clause the macro **returns the combined values as
+/// a tuple** (one element per variable, in clause order):
+///
+/// ```
+/// use romp_core::prelude::*;
+/// let v = [3.0f64, -1.0, 7.5, 2.0];
+/// let (sum, hi) = {
+///     let (sum,) = omp_parallel_for!(reduction(+ : sum = 0.0),
+///         for i in 0..4 { sum += v[i]; });
+///     let (hi,) = omp_parallel_for!(reduction(max : hi = f64::NEG_INFINITY),
+///         for i in 0..4 { hi = hi.max(v[i]); });
+///     (sum, hi)
+/// };
+/// assert_eq!(sum, 11.5);
+/// assert_eq!(hi, 7.5);
+/// ```
+#[macro_export]
+macro_rules! omp_parallel_for {
+    ($($t:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$crate::runtime::ForkSpec::new()} {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} [] [] ; $($t)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_parallel_for {
+    // --- clauses ---
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; num_threads($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec.num_threads($e)} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; if($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec.if_clause($e)} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$crate::__omp_sched!($($s)*)} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; default($k:ident), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; shared($($s:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)* $($v)*] [$($red)*] ; $($rest)*)
+    };
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [] ; reduction($op:tt : $($var:ident = $init:expr),+), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$op $(($var $init))+] ; $($rest)*)
+    };
+    // --- terminal without reduction ---
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [] ; $($loop:tt)*) => {{
+        let __romp_spec = $spec;
+        $crate::runtime::fork(__romp_spec, |__romp_ctx: &$crate::runtime::ThreadCtx<'_>| {
+            $(
+                #[allow(unused_mut)]
+                let mut $fp = ::std::clone::Clone::clone(&$fp);
+            )*
+            $crate::__omp_loop_body!(__romp_ctx, $sched, true, $($loop)*);
+        });
+    }};
+    // --- terminal with reduction: returns the combined tuple ---
+    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$op:tt $(($var:ident $init:expr))+] ; $($loop:tt)*) => {{
+        let __romp_spec = $spec;
+        let __romp_out = ::std::sync::Mutex::new(::std::option::Option::None);
+        $crate::runtime::fork(__romp_spec, |__romp_ctx: &$crate::runtime::ThreadCtx<'_>| {
+            $(
+                #[allow(unused_mut)]
+                let mut $fp = ::std::clone::Clone::clone(&$fp);
+            )*
+            $(
+                let mut $var = if __romp_ctx.is_master() {
+                    $init
+                } else {
+                    $crate::runtime::ReduceOp::identity(&$crate::__red_op!($op))
+                };
+            )+
+            $crate::__omp_loop_body!(__romp_ctx, $sched, true, $($loop)*);
+            $( $var = __romp_ctx.reduce_value($crate::__red_op!($op), $var); )+
+            if __romp_ctx.is_master() {
+                *__romp_out.lock().unwrap() = ::std::option::Option::Some(($($var),+ ,));
+            }
+        });
+        __romp_out
+            .into_inner()
+            .unwrap()
+            .expect("parallel-for reduction produced a value")
+    }};
+}
+
+/// Map `schedule(..)` clause tokens to a [`Schedule`](crate::Schedule)
+/// value.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_sched {
+    (static) => {
+        $crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }
+    };
+    (static, $c:expr) => {
+        $crate::runtime::Schedule::Static {
+            chunk: ::std::option::Option::Some(($c) as u64),
+        }
+    };
+    (dynamic) => {
+        $crate::runtime::Schedule::Dynamic { chunk: 1 }
+    };
+    (dynamic, $c:expr) => {
+        $crate::runtime::Schedule::Dynamic { chunk: ($c) as u64 }
+    };
+    (guided) => {
+        $crate::runtime::Schedule::Guided { chunk: 1 }
+    };
+    (guided, $c:expr) => {
+        $crate::runtime::Schedule::Guided { chunk: ($c) as u64 }
+    };
+    (runtime) => {
+        $crate::runtime::Schedule::Runtime
+    };
+    (auto) => {
+        $crate::runtime::Schedule::Auto
+    };
+}
+
+/// Map a reduction operator token to its [`ReduceOp`](crate::ReduceOp)
+/// implementation.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __red_op {
+    (+) => {
+        $crate::runtime::SumOp
+    };
+    (*) => {
+        $crate::runtime::ProdOp
+    };
+    (min) => {
+        $crate::runtime::MinOp
+    };
+    (max) => {
+        $crate::runtime::MaxOp
+    };
+    (&) => {
+        $crate::runtime::BitAndOp
+    };
+    (|) => {
+        $crate::runtime::BitOrOp
+    };
+    (^) => {
+        $crate::runtime::BitXorOp
+    };
+    (&&) => {
+        $crate::runtime::LogAndOp
+    };
+    (||) => {
+        $crate::runtime::LogOrOp
+    };
+}
+
+/// `barrier` directive.
+#[macro_export]
+macro_rules! omp_barrier {
+    ($ctx:ident) => {
+        $ctx.barrier()
+    };
+}
+
+/// `single` construct: one thread runs the block; implied barrier unless
+/// `nowait`. Evaluates to `Option<R>` (`Some` on the executing thread).
+#[macro_export]
+macro_rules! omp_single {
+    ($ctx:ident, nowait, $body:block) => {
+        $ctx.single(true, || $body)
+    };
+    ($ctx:ident, $body:block) => {
+        $ctx.single(false, || $body)
+    };
+}
+
+/// `master` construct: thread 0 runs the block, no barrier. Evaluates to
+/// `Option<R>`.
+#[macro_export]
+macro_rules! omp_master {
+    ($ctx:ident, $body:block) => {
+        $ctx.master(|| $body)
+    };
+}
+
+/// `critical` construct, optionally named:
+/// `omp_critical!({ … })` or `omp_critical!(tag, { … })`.
+#[macro_export]
+macro_rules! omp_critical {
+    ($name:ident, $body:block) => {
+        $crate::runtime::critical_named(stringify!($name), || $body)
+    };
+    ($body:block) => {
+        $crate::runtime::critical(|| $body)
+    };
+}
+
+/// `sections` construct: each block runs exactly once, distributed over
+/// the team. `omp_sections!(ctx, { a } { b } { c })`; add `nowait,` after
+/// the ctx to skip the end barrier.
+#[macro_export]
+macro_rules! omp_sections {
+    ($ctx:ident, nowait, $($sec:block)+) => {{
+        let __romp_n = $crate::__omp_count!($($sec)+);
+        $ctx.sections(__romp_n, true, |__romp_i| {
+            $crate::__omp_sections_dispatch!(__romp_i, $($sec)+)
+        })
+    }};
+    ($ctx:ident, $($sec:block)+) => {{
+        let __romp_n = $crate::__omp_count!($($sec)+);
+        $ctx.sections(__romp_n, false, |__romp_i| {
+            $crate::__omp_sections_dispatch!(__romp_i, $($sec)+)
+        })
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_count {
+    () => { 0usize };
+    ($head:block $($rest:block)*) => { 1usize + $crate::__omp_count!($($rest)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_sections_dispatch {
+    ($i:expr,) => {
+        unreachable!("section index out of range")
+    };
+    ($i:expr, $first:block $($rest:block)*) => {
+        if $i == 0 {
+            $first
+        } else {
+            $crate::__omp_sections_dispatch!($i - 1, $($rest)*)
+        }
+    };
+}
+
+/// `task` construct: defer the block for execution by any team thread.
+/// Captures by move (OpenMP tasks default to `firstprivate` capture).
+/// `omp_task!(ctx, if(cond), { … })` runs undeferred when `cond` is
+/// false.
+#[macro_export]
+macro_rules! omp_task {
+    ($ctx:ident, if($e:expr), $body:block) => {
+        $ctx.task_if($e, move || $body)
+    };
+    ($ctx:ident, $body:block) => {
+        $ctx.task(move || $body)
+    };
+}
+
+/// `taskwait` directive.
+#[macro_export]
+macro_rules! omp_taskwait {
+    ($ctx:ident) => {
+        $ctx.taskwait()
+    };
+}
+
+/// `taskgroup` construct.
+#[macro_export]
+macro_rules! omp_taskgroup {
+    ($ctx:ident, $body:block) => {
+        $ctx.taskgroup(|| $body)
+    };
+}
+
+/// `taskloop` construct: the encountering thread carves the range into
+/// tasks executed by the whole team, with an implicit taskgroup.
+/// `omp_taskloop!(ctx, [grainsize(g),] for i in (range) { … })`.
+/// The body captures by move (task semantics).
+#[macro_export]
+macro_rules! omp_taskloop {
+    ($ctx:ident, grainsize($g:expr), for $i:ident in ($range:expr) $body:block) => {
+        $ctx.taskloop($range, $g, move |$i| $body)
+    };
+    ($ctx:ident, for $i:ident in ($range:expr) $body:block) => {
+        $ctx.taskloop($range, 0, move |$i| $body)
+    };
+}
+
+/// `ordered` region inside an `ws_for_ordered` loop body.
+#[macro_export]
+macro_rules! omp_ordered {
+    ($ord:ident, $body:block) => {
+        $ord.section(|| $body)
+    };
+}

@@ -1,0 +1,171 @@
+//! Column-major, 1-based arrays: Fortran's memory model.
+//!
+//! Passing a matrix between Rust and "Fortran" means agreeing on layout:
+//! Fortran stores `A(i,j)` with `i` fastest (column-major) and indexes
+//! from 1. [`FMatrix`] enforces both, and exposes the flat storage for
+//! by-reference passing through the [`crate::registry`] bridge.
+
+use std::fmt;
+
+/// A dense `DOUBLE PRECISION` matrix in Fortran layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FMatrix {
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+}
+
+impl FMatrix {
+    /// `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        FMatrix {
+            data: vec![0.0; rows * cols],
+            rows,
+            cols,
+        }
+    }
+
+    /// Build from a row-major Rust closure (`f(i, j)` with 1-based
+    /// `i`, `j`), stored column-major.
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut m = FMatrix::zeros(rows, cols);
+        for j in 1..=cols {
+            for i in 1..=rows {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    fn offset(&self, i: usize, j: usize) -> usize {
+        assert!(
+            (1..=self.rows).contains(&i) && (1..=self.cols).contains(&j),
+            "Fortran index ({i},{j}) out of bounds for {}x{} array (1-based)",
+            self.rows,
+            self.cols
+        );
+        // Column-major: i varies fastest.
+        (j - 1) * self.rows + (i - 1)
+    }
+
+    /// `A(i,j)`, 1-based.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[self.offset(i, j)]
+    }
+
+    /// `A(i,j) = v`, 1-based.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        let o = self.offset(i, j);
+        self.data[o] = v;
+    }
+
+    /// The flat column-major storage (what a Fortran callee receives).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Writable flat storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Column `j` (1-based) as a contiguous slice — columns are
+    /// contiguous in Fortran layout, rows are not.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!((1..=self.cols).contains(&j), "column {j} out of bounds");
+        &self.data[(j - 1) * self.rows..j * self.rows]
+    }
+
+    /// Writable column.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!((1..=self.cols).contains(&j), "column {j} out of bounds");
+        let r = self.rows;
+        &mut self.data[(j - 1) * r..j * r]
+    }
+}
+
+impl fmt::Display for FMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 1..=self.rows {
+            for j in 1..=self.cols {
+                write!(f, "{:>12.5}", self.get(i, j))?;
+                if j < self.cols {
+                    write!(f, " ")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_major_layout() {
+        // A = [1 3; 2 4] stored as [1, 2, 3, 4].
+        let mut a = FMatrix::zeros(2, 2);
+        a.set(1, 1, 1.0);
+        a.set(2, 1, 2.0);
+        a.set(1, 2, 3.0);
+        a.set(2, 2, 4.0);
+        assert_eq!(a.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn one_based_indexing() {
+        let a = FMatrix::from_fn(3, 4, |i, j| (10 * i + j) as f64);
+        assert_eq!(a.get(1, 1), 11.0);
+        assert_eq!(a.get(3, 4), 34.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn zero_index_rejected() {
+        FMatrix::zeros(2, 2).get(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn overflow_index_rejected() {
+        FMatrix::zeros(2, 2).get(1, 3);
+    }
+
+    #[test]
+    fn columns_are_contiguous() {
+        let a = FMatrix::from_fn(3, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(a.col(1), &[11.0, 12.0, 13.0]);
+        assert_eq!(a.col(2), &[21.0, 22.0, 23.0]);
+    }
+
+    #[test]
+    fn col_mut_writes_through() {
+        let mut a = FMatrix::zeros(2, 2);
+        a.col_mut(2).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(a.get(1, 2), 5.0);
+        assert_eq!(a.get(2, 2), 6.0);
+    }
+
+    #[test]
+    fn display_renders_row_major_view() {
+        let a = FMatrix::from_fn(2, 2, |i, j| (i * 10 + j) as f64);
+        let s = a.to_string();
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.contains("11") && first_line.contains("12"));
+    }
+}

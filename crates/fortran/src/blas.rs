@@ -1,0 +1,202 @@
+//! "Fortran" level-1/2 BLAS kernels, registered in the global symbol
+//! table under their mangled names.
+//!
+//! These are the inner kernels the reference NPB CG translation calls
+//! through the interop bridge — the same role the Fortran reference
+//! code's inner loops play when invoked from Zig in the paper.
+//!
+//! Calling conventions follow the BLAS reference signatures, shorn of
+//! increments (`incx = incy = 1` throughout, which is all NPB needs):
+//!
+//! | symbol | signature |
+//! |---|---|
+//! | `daxpy_` | `(n, a, x[], y[]) : y += a*x` |
+//! | `ddot_`  | `(n, x[], y[], out) : out = xᵀy` |
+//! | `dnrm2_` | `(n, x[], out) : out = ‖x‖₂` |
+//! | `dscal_` | `(n, a, x[]) : x *= a` |
+//! | `dcopy_` | `(n, x[], y[]) : y = x` |
+//! | `dgemv_` | `(m, n, a[m×n] col-major, x[], y[]) : y = A·x` |
+
+use crate::registry::Registry;
+
+/// Register every kernel into `r`.
+pub fn register_all(r: &Registry) {
+    r.register("DAXPY", |args| {
+        let (head, tail) = args.split_at_mut(3);
+        let n = head[0].as_i64() as usize;
+        let a = head[1].as_f64();
+        let x = head[2].as_f64_slice();
+        // Marshalling cost parity with a real FFI boundary: the callee
+        // sees raw slices only.
+        let y = tail[0].as_f64_slice_mut();
+        for i in 0..n {
+            y[i] += a * x[i];
+        }
+    });
+
+    r.register("DDOT", |args| {
+        let (head, tail) = args.split_at_mut(3);
+        let n = head[0].as_i64() as usize;
+        let x = head[1].as_f64_slice();
+        let y = head[2].as_f64_slice();
+        let mut acc = 0.0;
+        for (xi, yi) in x.iter().zip(y).take(n) {
+            acc += xi * yi;
+        }
+        tail[0].set_f64(acc);
+    });
+
+    r.register("DNRM2", |args| {
+        let (head, tail) = args.split_at_mut(2);
+        let n = head[0].as_i64() as usize;
+        let x = head[1].as_f64_slice();
+        let mut acc = 0.0;
+        for xi in x.iter().take(n) {
+            acc += xi * xi;
+        }
+        tail[0].set_f64(acc.sqrt());
+    });
+
+    r.register("DSCAL", |args| {
+        let (head, tail) = args.split_at_mut(2);
+        let n = head[0].as_i64() as usize;
+        let a = head[1].as_f64();
+        let x = tail[0].as_f64_slice_mut();
+        for v in x.iter_mut().take(n) {
+            *v *= a;
+        }
+    });
+
+    r.register("DCOPY", |args| {
+        let (head, tail) = args.split_at_mut(2);
+        let n = head[0].as_i64() as usize;
+        let x = head[1].as_f64_slice();
+        let y = tail[0].as_f64_slice_mut();
+        y[..n].copy_from_slice(&x[..n]);
+    });
+
+    r.register("DGEMV", |args| {
+        let (head, tail) = args.split_at_mut(4);
+        let m = head[0].as_i64() as usize;
+        let n = head[1].as_i64() as usize;
+        let a = head[2].as_f64_slice(); // column-major m×n
+        let x = head[3].as_f64_slice();
+        let y = tail[0].as_f64_slice_mut();
+        y[..m].fill(0.0);
+        for j in 0..n {
+            let xj = x[j];
+            let col = &a[j * m..(j + 1) * m];
+            for i in 0..m {
+                y[i] += col[i] * xj;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::{global_registry, ArgRef, ArgVal};
+    use crate::FMatrix;
+
+    #[test]
+    fn daxpy() {
+        let n = ArgVal::I64(4);
+        let a = ArgVal::F64(3.0);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let mut y = vec![1.0; 4];
+        global_registry()
+            .call(
+                "daxpy_",
+                &mut [
+                    n.by_ref(),
+                    a.by_ref(),
+                    ArgRef::F64Slice(&x),
+                    ArgRef::F64SliceMut(&mut y),
+                ],
+            )
+            .unwrap();
+        assert_eq!(y, vec![4.0, 7.0, 10.0, 13.0]);
+    }
+
+    #[test]
+    fn ddot_and_dnrm2_agree() {
+        let x = vec![3.0, 4.0];
+        let n = ArgVal::I64(2);
+        let mut dot = ArgVal::F64(0.0);
+        global_registry()
+            .call(
+                "ddot_",
+                &mut [
+                    n.by_ref(),
+                    ArgRef::F64Slice(&x),
+                    ArgRef::F64Slice(&x),
+                    dot.by_ref_mut(),
+                ],
+            )
+            .unwrap();
+        let mut nrm = ArgVal::F64(0.0);
+        global_registry()
+            .call(
+                "dnrm2_",
+                &mut [n.by_ref(), ArgRef::F64Slice(&x), nrm.by_ref_mut()],
+            )
+            .unwrap();
+        assert_eq!(dot, ArgVal::F64(25.0));
+        assert_eq!(nrm, ArgVal::F64(5.0));
+    }
+
+    #[test]
+    fn dscal_scales_prefix_only() {
+        let n = ArgVal::I64(2);
+        let a = ArgVal::F64(10.0);
+        let mut x = vec![1.0, 2.0, 3.0];
+        global_registry()
+            .call(
+                "dscal_",
+                &mut [n.by_ref(), a.by_ref(), ArgRef::F64SliceMut(&mut x)],
+            )
+            .unwrap();
+        assert_eq!(x, vec![10.0, 20.0, 3.0]);
+    }
+
+    #[test]
+    fn dcopy_copies() {
+        let n = ArgVal::I64(3);
+        let x = vec![7.0, 8.0, 9.0];
+        let mut y = vec![0.0; 3];
+        global_registry()
+            .call(
+                "dcopy_",
+                &mut [n.by_ref(), ArgRef::F64Slice(&x), ArgRef::F64SliceMut(&mut y)],
+            )
+            .unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn dgemv_matches_hand_computation() {
+        // A = [1 2; 3 4] (math notation), x = [5, 6] -> A·x = [17, 39].
+        let mut a = FMatrix::zeros(2, 2);
+        a.set(1, 1, 1.0);
+        a.set(1, 2, 2.0);
+        a.set(2, 1, 3.0);
+        a.set(2, 2, 4.0);
+        let x = vec![5.0, 6.0];
+        let mut y = vec![0.0; 2];
+        let m = ArgVal::I64(2);
+        let n = ArgVal::I64(2);
+        global_registry()
+            .call(
+                "dgemv_",
+                &mut [
+                    m.by_ref(),
+                    n.by_ref(),
+                    ArgRef::F64Slice(a.as_slice()),
+                    ArgRef::F64Slice(&x),
+                    ArgRef::F64SliceMut(&mut y),
+                ],
+            )
+            .unwrap();
+        assert_eq!(y, vec![17.0, 39.0]);
+    }
+}

@@ -1,0 +1,65 @@
+//! # romp-fortran — Fortran interoperability, simulated
+//!
+//! The paper establishes Zig↔Fortran interoperability by declaring
+//! Fortran procedures "as C linkage functions using pointer arguments,
+//! and appending underscores to function names to comply with the
+//! Fortran compiler's name mangling scheme". This crate reproduces that
+//! *mechanism* inside one process:
+//!
+//! * [`mangle`] — the classic f77 name-mangling rule
+//!   (lowercase + trailing `_`);
+//! * [`ArgRef`]/[`ArgVal`] — all arguments strictly by reference, the
+//!   Fortran calling convention (even scalars);
+//! * [`FMatrix`] — column-major, 1-based 2-D arrays, Fortran's memory
+//!   layout;
+//! * [`Registry`] — a symbol table of "Fortran" procedures, callable
+//!   only through their mangled names, exactly like a linker would
+//!   resolve them.
+//!
+//! The reference translations of the NPB CG and EP kernels (whose
+//! originals are Fortran) call their inner kernels through this bridge,
+//! so the per-call marshalling discipline the paper's interop layer pays
+//! is present in our "Reference" measurements too.
+//!
+//! ```
+//! use romp_fortran::{global_registry, mangle, ArgRef, ArgVal};
+//!
+//! // Register a "Fortran" DAXPY: y := a*x + y  (all args by reference).
+//! global_registry().register("DEMO_DAXPY", |args| {
+//!     let (head, tail) = args.split_at_mut(3);
+//!     let n = head[0].as_i64();
+//!     let a = head[1].as_f64();
+//!     let x = head[2].as_f64_slice().to_vec();
+//!     let y = tail[0].as_f64_slice_mut();
+//!     for i in 0..n as usize {
+//!         y[i] += a * x[i];
+//!     }
+//! });
+//!
+//! let x = vec![1.0, 2.0, 3.0];
+//! let mut y = vec![10.0, 10.0, 10.0];
+//! assert_eq!(mangle("DEMO_DAXPY"), "demo_daxpy_");
+//! let n = ArgVal::I64(3);
+//! let a = ArgVal::F64(2.0);
+//! global_registry()
+//!     .call(
+//!         "demo_daxpy_",
+//!         &mut [
+//!             n.by_ref(),
+//!             a.by_ref(),
+//!             ArgRef::F64Slice(&x),
+//!             ArgRef::F64SliceMut(&mut y),
+//!         ],
+//!     )
+//!     .unwrap();
+//! assert_eq!(y, vec![12.0, 14.0, 16.0]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod blas;
+pub mod registry;
+
+pub use array::FMatrix;
+pub use registry::{global_registry, mangle, ArgRef, ArgVal, CallError, Registry};

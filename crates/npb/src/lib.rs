@@ -1,0 +1,38 @@
+//! # romp-npb — NAS Parallel Benchmarks for romp
+//!
+//! Rust implementations of the NPB kernels the paper evaluates — CG
+//! (Conjugate Gradient), EP (Embarrassingly Parallel), IS (Integer
+//! Sort) — plus its Mandelbrot set benchmark, in the paper's two
+//! configurations each:
+//!
+//! * **`reference`** — a direct translation of the NPB reference code
+//!   structure. CG and EP (Fortran originals) are invoked through the
+//!   [`romp_fortran`] interop bridge exactly the way the paper calls
+//!   Fortran from Zig: C-linkage-style procedures, by-reference
+//!   arguments, trailing-underscore mangled names. IS and Mandelbrot
+//!   (C originals) are direct translations.
+//! * **`romp`** — the same algorithms written against the romp directive
+//!   layer (`omp_parallel!`/`omp_for!`/reductions), the way the paper's
+//!   Zig ports use its OpenMP support.
+//!
+//! Both configurations share the runtime underneath (as both the
+//! reference codes and the Zig ports share libomp in the paper), verify
+//! against the **official NPB verification values**, and agree bitwise
+//! on their random streams with the NPB `randlc` generator.
+//!
+//! Problem classes S, W, A, B and C are supported; the paper measures
+//! class C on 128 cores, the test suite uses S/W (seconds on a laptop),
+//! and the benchmark harness defaults to A.
+
+#![warn(missing_docs)]
+
+pub mod cg;
+pub mod classes;
+pub mod ep;
+pub mod is;
+pub mod mandelbrot;
+pub mod rng;
+pub mod verify;
+
+pub use classes::Class;
+pub use verify::KernelResult;

@@ -1,0 +1,209 @@
+//! The Mandelbrot set benchmark from the paper's Table 1.
+//!
+//! Escape-time iteration over the rectangle `[-2, 0.5] × [-1.25, 1.25]`
+//! (the classic framing). Work per pixel varies wildly — points inside
+//! the set burn the full iteration budget — which makes this the
+//! paper's showcase for the `schedule` clause: rows near the set's
+//! interior are much more expensive than rows near the edge, so
+//! `schedule(dynamic)` beats `schedule(static)` (ablation A1).
+//!
+//! The checksum (total iteration count over all pixels) is exactly
+//! reproducible across thread counts and schedules, so verification is
+//! equality with a once-computed expected value.
+
+use crate::classes::Class;
+use crate::verify::{KernelResult, Variant};
+use romp_core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Viewport of the classic Mandelbrot framing.
+pub const X_MIN: f64 = -2.0;
+/// See [`X_MIN`].
+pub const X_MAX: f64 = 0.5;
+/// See [`X_MIN`].
+pub const Y_MIN: f64 = -1.25;
+/// See [`X_MIN`].
+pub const Y_MAX: f64 = 1.25;
+
+/// Escape-time iterations for one point, up to `max_iter`.
+#[inline]
+pub fn escape_time(cx: f64, cy: f64, max_iter: u32) -> u32 {
+    let mut zx = 0.0f64;
+    let mut zy = 0.0f64;
+    let mut i = 0;
+    while i < max_iter {
+        let zx2 = zx * zx;
+        let zy2 = zy * zy;
+        if zx2 + zy2 > 4.0 {
+            break;
+        }
+        zy = 2.0 * zx * zy + cy;
+        zx = zx2 - zy2 + cx;
+        i += 1;
+    }
+    i
+}
+
+/// Iteration count for one row of the grid.
+pub fn row_work(row: usize, width: usize, height: usize, max_iter: u32) -> u64 {
+    let cy = Y_MIN + (Y_MAX - Y_MIN) * (row as f64 + 0.5) / height as f64;
+    let mut total = 0u64;
+    for col in 0..width {
+        let cx = X_MIN + (X_MAX - X_MIN) * (col as f64 + 0.5) / width as f64;
+        total += escape_time(cx, cy, max_iter) as u64;
+    }
+    total
+}
+
+/// Serial render; returns `(checksum, seconds)`.
+pub fn run_serial(class: Class) -> (u64, f64) {
+    let (w, h, it) = class.mandelbrot_size();
+    romp_runtime::wtime::timed(|| (0..h).map(|r| row_work(r, w, h, it)).sum())
+}
+
+/// Expected checksum for verification, memoized per class. The C
+/// reference verifies against a stored value; ours is computed once
+/// (in parallel — the sum of per-row integers is order-independent, so
+/// the value is exact).
+pub fn expected_checksum(class: Class) -> u64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<Class, u64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&v) = cache.lock().unwrap().get(&class) {
+        return v;
+    }
+    let (w, h, it) = class.mandelbrot_size();
+    let total = AtomicU64::new(0);
+    par_for(0..h).schedule(Schedule::dynamic_chunk(1)).run(|r| {
+        total.fetch_add(row_work(r, w, h, it), Ordering::Relaxed);
+    });
+    let v = total.into_inner();
+    cache.lock().unwrap().insert(class, v);
+    v
+}
+
+fn result(class: Class, variant: Variant, threads: usize, secs: f64, checksum: u64) -> KernelResult {
+    KernelResult {
+        name: "Mandelbrot",
+        class,
+        variant,
+        threads,
+        time_s: secs,
+        // "Operations" = pixel iterations actually executed.
+        mops: checksum as f64 / secs / 1e6,
+        verified: checksum == expected_checksum(class),
+        checksum: checksum as f64,
+    }
+}
+
+/// Render with an explicit schedule, thread count and variant tag —
+/// shared by both configurations and by the A1 schedule ablation.
+pub fn run_with_schedule(
+    class: Class,
+    threads: usize,
+    sched: Schedule,
+    variant: Variant,
+) -> KernelResult {
+    let (w, h, it) = class.mandelbrot_size();
+    let total = AtomicU64::new(0);
+    let (_, secs) = romp_runtime::wtime::timed(|| {
+        par_for(0..h)
+            .num_threads(threads)
+            .schedule(sched)
+            .run(|row| {
+                total.fetch_add(row_work(row, w, h, it), Ordering::Relaxed);
+            });
+    });
+    result(class, variant, threads, secs, total.into_inner())
+}
+
+/// The romp directive-layer implementation: `parallel for` over rows in
+/// pragma-text form, `schedule(dynamic, 4)` against the load imbalance.
+pub mod romp {
+    use super::*;
+
+    /// Render with `threads` threads.
+    pub fn run(class: Class, threads: usize) -> KernelResult {
+        let (w, h, it) = class.mandelbrot_size();
+        let total = AtomicU64::new(0);
+        let total_ref = &total;
+        let (_, secs) = romp_runtime::wtime::timed(|| {
+            omp_parallel_for!(
+                num_threads(threads),
+                schedule(dynamic, 4),
+                for row in 0..(h) {
+                    total_ref.fetch_add(row_work(row, w, h, it), Ordering::Relaxed);
+                }
+            );
+        });
+        result(class, Variant::Romp, threads, secs, total.into_inner())
+    }
+}
+
+/// The reference implementation: direct translation of the C+OpenMP
+/// original — same row decomposition, `schedule(dynamic)`.
+pub mod reference {
+    use super::*;
+
+    /// Render with `threads` threads.
+    pub fn run(class: Class, threads: usize) -> KernelResult {
+        run_with_schedule(
+            class,
+            threads,
+            Schedule::dynamic_chunk(4),
+            Variant::Reference,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_time_known_points() {
+        // Origin is in the set: full budget.
+        assert_eq!(escape_time(0.0, 0.0, 500), 500);
+        // Far outside: escapes immediately.
+        assert!(escape_time(2.0, 2.0, 500) <= 1);
+        // Near the boundary, somewhere in between.
+        let t = escape_time(-0.75, 0.3, 500);
+        assert!(t > 5 && t < 500, "t={t}");
+    }
+
+    #[test]
+    fn parallel_checksum_equals_serial() {
+        let (serial, _) = run_serial(Class::S);
+        for sched in [
+            Schedule::static_block(),
+            Schedule::dynamic_chunk(4),
+            Schedule::guided(),
+        ] {
+            let r = run_with_schedule(Class::S, 4, sched, Variant::Romp);
+            assert_eq!(r.checksum as u64, serial, "schedule {sched}");
+            assert!(r.verified);
+        }
+    }
+
+    #[test]
+    fn reference_and_romp_agree() {
+        let a = reference::run(Class::S, 2);
+        let b = romp::run(Class::S, 2);
+        assert_eq!(a.checksum, b.checksum);
+        assert!(a.verified && b.verified);
+    }
+
+    #[test]
+    fn rows_have_imbalanced_work() {
+        // The benchmark premise: interior rows cost far more than edge
+        // rows. Check a 4x spread exists at class S.
+        let (w, h, it) = Class::S.mandelbrot_size();
+        let edge = row_work(0, w, h, it);
+        let middle = row_work(h / 2, w, h, it);
+        assert!(
+            middle > 4 * edge,
+            "expected strong imbalance: edge={edge} middle={middle}"
+        );
+    }
+}

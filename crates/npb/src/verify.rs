@@ -1,0 +1,109 @@
+//! Common result and verification types for the benchmark kernels.
+
+use crate::classes::Class;
+use std::fmt;
+
+/// Which implementation path produced a result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Direct translation of the NPB reference code (CG/EP routed
+    /// through the Fortran-interop bridge).
+    Reference,
+    /// The romp directive-layer implementation.
+    Romp,
+    /// Single-threaded run (for speedup baselines).
+    Serial,
+}
+
+impl fmt::Display for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Variant::Reference => "Reference",
+            Variant::Romp => "Romp+OpenMP",
+            Variant::Serial => "Serial",
+        })
+    }
+}
+
+/// Outcome of one kernel run: timing plus verification, the row format
+/// the NPB report prints.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Kernel name ("CG", "EP", "IS", "Mandelbrot").
+    pub name: &'static str,
+    /// Problem class.
+    pub class: Class,
+    /// Implementation path.
+    pub variant: Variant,
+    /// Threads used.
+    pub threads: usize,
+    /// Wall-clock seconds of the timed section (NPB timing rules: setup
+    /// and the untimed warm-up iteration excluded).
+    pub time_s: f64,
+    /// Millions of operations per second, per the kernel's official
+    /// MOP/s formula.
+    pub mops: f64,
+    /// Did the official verification test pass?
+    pub verified: bool,
+    /// Kernel-specific figure of merit (ζ for CG, sx for EP, …), for
+    /// cross-variant agreement checks.
+    pub checksum: f64,
+}
+
+impl fmt::Display for KernelResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} class {} {:<12} {:>3} threads  {:>9.3}s  {:>10.2} MOP/s  {}",
+            self.name,
+            self.class,
+            self.variant.to_string(),
+            self.threads,
+            self.time_s,
+            self.mops,
+            if self.verified {
+                "VERIFICATION SUCCESSFUL"
+            } else {
+                "VERIFICATION FAILED"
+            }
+        )
+    }
+}
+
+/// Relative-error check used by the NPB verifications.
+pub fn close(actual: f64, reference: f64, epsilon: f64) -> bool {
+    if reference == 0.0 {
+        actual.abs() <= epsilon
+    } else {
+        ((actual - reference) / reference).abs() <= epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_is_relative() {
+        assert!(close(1.0000000001, 1.0, 1e-8));
+        assert!(!close(1.1, 1.0, 1e-8));
+        assert!(close(1e10 + 1.0, 1e10, 1e-8));
+        assert!(close(0.0, 0.0, 1e-8));
+    }
+
+    #[test]
+    fn display_contains_verdict() {
+        let r = KernelResult {
+            name: "EP",
+            class: Class::S,
+            variant: Variant::Romp,
+            threads: 4,
+            time_s: 1.5,
+            mops: 11.2,
+            verified: true,
+            checksum: -3247.83,
+        };
+        let s = r.to_string();
+        assert!(s.contains("EP") && s.contains("SUCCESSFUL") && s.contains("4 threads"));
+    }
+}

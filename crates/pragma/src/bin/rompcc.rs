@@ -1,0 +1,93 @@
+//! `rompcc` — the romp source-to-source OpenMP preprocessor.
+//!
+//! ```text
+//! rompcc input.rs [-o output.rs] [--emit=stages] [--check]
+//! ```
+//!
+//! * default: translate `//#omp` directives and write the result to
+//!   `-o` (or stdout);
+//! * `--emit=stages`: print every stage of the Figure-1 pipeline
+//!   (scan → lex → parse → extract → generate);
+//! * `--check`: parse and validate only; exit nonzero on diagnostics.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut emit_stages = false;
+    let mut check_only = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" => match it.next() {
+                Some(path) => output = Some(path),
+                None => {
+                    eprintln!("rompcc: -o requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--emit=stages" => emit_stages = true,
+            "--check" => check_only = true,
+            "-h" | "--help" => {
+                println!("usage: rompcc input.rs [-o output.rs] [--emit=stages] [--check]");
+                return ExitCode::SUCCESS;
+            }
+            path if !path.starts_with('-') => {
+                if input.is_some() {
+                    eprintln!("rompcc: multiple input files given");
+                    return ExitCode::from(2);
+                }
+                input = Some(path.to_string());
+            }
+            other => {
+                eprintln!("rompcc: unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("usage: rompcc input.rs [-o output.rs] [--emit=stages] [--check]");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(&input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rompcc: cannot read `{input}`: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if emit_stages {
+        print!("{}", romp_pragma::pipeline_stages(&src));
+        return ExitCode::SUCCESS;
+    }
+
+    match romp_pragma::translate(&src) {
+        Ok(code) => {
+            if check_only {
+                let n = romp_pragma::find_directives(&src).len();
+                eprintln!("rompcc: ok — {n} directive(s) translated");
+                return ExitCode::SUCCESS;
+            }
+            match output {
+                Some(path) => {
+                    if let Err(e) = std::fs::write(&path, code) {
+                        eprintln!("rompcc: cannot write `{path}`: {e}");
+                        return ExitCode::from(1);
+                    }
+                }
+                None => print!("{code}"),
+            }
+            ExitCode::SUCCESS
+        }
+        Err(diags) => {
+            for d in &diags {
+                eprintln!("{input}: {d}");
+            }
+            eprintln!("rompcc: {} error(s)", diags.len());
+            ExitCode::from(1)
+        }
+    }
+}

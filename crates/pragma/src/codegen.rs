@@ -1,0 +1,774 @@
+//! Outlining and code generation: rewrite directive-annotated source
+//! into calls to the `romp-core` directive layer.
+//!
+//! This mirrors what the paper's compiler pass does after parsing: the
+//! annotated block is extracted ("outlined") into a closure and the
+//! surrounding code is replaced with a runtime invocation — here
+//! expressed through the `romp_core` macros, which expand to exactly
+//! the `fork`/worksharing calls the Zig implementation inserts directly.
+
+use crate::diag::{line_col, Diag};
+use crate::directive::{Clause, Directive, DirectiveKind, RedOp, ScheduleKind};
+use crate::source::{
+    find_directives, match_brace, next_construct, skip_trivia, FoundDirective, NextConstruct,
+    SENTINEL,
+};
+
+/// Translate a whole source file. On success returns the transformed
+/// source; on failure, every diagnostic found.
+pub fn translate(src: &str) -> Result<String, Vec<Diag>> {
+    let mut cx = Cx {
+        src,
+        diags: Vec::new(),
+    };
+    let out = transform_range(&mut cx, 0, src.len(), None, 0);
+    if cx.diags.is_empty() {
+        Ok(out)
+    } else {
+        Err(cx.diags)
+    }
+}
+
+struct Cx<'a> {
+    src: &'a str,
+    diags: Vec<Diag>,
+}
+
+impl Cx<'_> {
+    fn diag(&mut self, offset: usize, message: impl Into<String>) {
+        let (line, col) = line_col(self.src, offset);
+        self.diags.push(Diag::new(line, col, message));
+    }
+}
+
+/// Transform `src[start..end]`, rewriting every directive. `ctx` is the
+/// in-scope team context variable, if we are lexically inside a
+/// `parallel` region.
+fn transform_range(
+    cx: &mut Cx<'_>,
+    start: usize,
+    end: usize,
+    ctx: Option<&str>,
+    depth: usize,
+) -> String {
+    let mut out = String::with_capacity(end - start);
+    let mut cursor = start;
+    let found: Vec<FoundDirective> = find_directives(&cx.src[start..end])
+        .into_iter()
+        .map(|mut d| {
+            d.start += start;
+            d.end += start;
+            d
+        })
+        .collect();
+    for fd in found {
+        if fd.start < cursor {
+            continue; // inside a construct we already transformed
+        }
+        out.push_str(&cx.src[cursor..fd.start]);
+        let directive = match crate::directive::parse(&fd.text) {
+            Ok(d) => d,
+            Err(e) => {
+                cx.diag(fd.start + SENTINEL.len() + e.offset, e.message);
+                cursor = fd.end;
+                continue;
+            }
+        };
+        cursor = emit_directive(cx, &mut out, &directive, &fd, ctx, depth, end);
+    }
+    out.push_str(&cx.src[cursor.min(end)..end]);
+    out
+}
+
+/// Emit the replacement for one directive; returns the new cursor.
+fn emit_directive(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    ctx: Option<&str>,
+    depth: usize,
+    limit: usize,
+) -> usize {
+    let needs_ctx = matches!(
+        d.kind,
+        DirectiveKind::For
+            | DirectiveKind::Single
+            | DirectiveKind::Master
+            | DirectiveKind::Barrier
+            | DirectiveKind::Sections
+            | DirectiveKind::Task
+            | DirectiveKind::Taskwait
+    );
+    if needs_ctx && ctx.is_none() {
+        cx.diag(
+            fd.start,
+            format!(
+                "`{}` must be lexically nested inside a `parallel` region \
+                 (the translator does not support orphaned constructs)",
+                d.kind.name()
+            ),
+        );
+        return fd.end;
+    }
+    match d.kind {
+        DirectiveKind::Barrier => {
+            out.push_str(&format!("romp_core::omp_barrier!({});", ctx.unwrap()));
+            fd.end
+        }
+        DirectiveKind::Taskwait => {
+            out.push_str(&format!("romp_core::omp_taskwait!({});", ctx.unwrap()));
+            fd.end
+        }
+        DirectiveKind::Section => {
+            cx.diag(fd.start, "`section` outside of a `sections` block");
+            fd.end
+        }
+        _ => {
+            let construct = match next_construct(cx.src, fd.end) {
+                Ok(c) => c,
+                Err(e) => {
+                    cx.diag(e.offset.min(limit), e.message);
+                    return fd.end;
+                }
+            };
+            match d.kind {
+                DirectiveKind::Parallel => emit_parallel(cx, out, d, fd, &construct, depth),
+                DirectiveKind::For => {
+                    emit_for(cx, out, d, fd, &construct, ctx.unwrap(), depth, false)
+                }
+                DirectiveKind::ParallelFor => emit_parallel_for(cx, out, d, fd, &construct, depth),
+                DirectiveKind::Single => {
+                    emit_wrapped(cx, out, d, fd, &construct, ctx, depth, "omp_single")
+                }
+                DirectiveKind::Master => {
+                    emit_wrapped(cx, out, d, fd, &construct, ctx, depth, "omp_master")
+                }
+                DirectiveKind::Task => emit_task(cx, out, d, fd, &construct, ctx.unwrap(), depth),
+                DirectiveKind::Critical | DirectiveKind::Atomic => {
+                    emit_critical(cx, out, d, fd, &construct, ctx, depth)
+                }
+                DirectiveKind::Sections => {
+                    emit_sections(cx, out, d, fd, &construct, ctx.unwrap(), depth)
+                }
+                DirectiveKind::Barrier | DirectiveKind::Taskwait | DirectiveKind::Section => {
+                    unreachable!("handled above")
+                }
+            }
+        }
+    }
+}
+
+fn block_span(c: &NextConstruct) -> (usize, usize) {
+    match c {
+        NextConstruct::Block { open, close } => (*open, *close),
+        NextConstruct::ForLoop { open, close, .. } => (*open, *close),
+    }
+}
+
+fn expect_block(
+    cx: &mut Cx<'_>,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    what: &str,
+) -> Option<(usize, usize)> {
+    match c {
+        NextConstruct::Block { open, close } => Some((*open, *close)),
+        NextConstruct::ForLoop { for_kw, .. } => {
+            cx.diag(*for_kw, format!("`{what}` expects a `{{ … }}` block"));
+            let _ = fd;
+            None
+        }
+    }
+}
+
+fn expect_loop<'c>(
+    cx: &mut Cx<'_>,
+    c: &'c NextConstruct,
+    at: usize,
+    what: &str,
+) -> Option<(&'c str, &'c str, usize, usize)> {
+    match c {
+        NextConstruct::ForLoop {
+            pat,
+            iter,
+            open,
+            close,
+            ..
+        } => Some((pat, iter, *open, *close)),
+        NextConstruct::Block { .. } => {
+            cx.diag(at, format!("`{what}` expects a `for` loop"));
+            None
+        }
+    }
+}
+
+/// Render the loop header for the macro layer: `(range)` or
+/// `(range).step_by(s)`.
+fn macro_iter(iter: &str) -> String {
+    if let Some(idx) = iter.rfind(".step_by(") {
+        let base = iter[..idx].trim();
+        let tail = &iter[idx + ".step_by(".len()..];
+        if let Some(close) = tail.rfind(')') {
+            let step = &tail[..close];
+            let base = base.trim_start_matches('(').trim_end_matches(')');
+            return format!("({base}).step_by({step})");
+        }
+    }
+    format!("({iter})")
+}
+
+/// Collect private/firstprivate declarations to inject at the top of an
+/// outlined block (for constructs whose macro has no such clause).
+fn privatization_prelude(d: &Directive) -> String {
+    let mut s = String::new();
+    for c in &d.clauses {
+        match c {
+            Clause::Private(vars) => {
+                for v in vars {
+                    s.push_str(&format!(
+                        "#[allow(unused_mut, unused_assignments)] let mut {v};\n"
+                    ));
+                }
+            }
+            Clause::Firstprivate(vars) => {
+                for v in vars {
+                    s.push_str(&format!(
+                        "#[allow(unused_mut)] let mut {v} = ::std::clone::Clone::clone(&{v});\n"
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    s
+}
+
+fn schedule_clause_text(d: &Directive) -> Option<String> {
+    d.clauses.iter().find_map(|c| match c {
+        Clause::Schedule(kind, chunk) => {
+            let k = match kind {
+                ScheduleKind::Static => "static",
+                ScheduleKind::Dynamic => "dynamic",
+                ScheduleKind::Guided => "guided",
+                ScheduleKind::Runtime => "runtime",
+                ScheduleKind::Auto => "auto",
+            };
+            Some(match chunk {
+                Some(c) => format!("schedule({k}, {c})"),
+                None => format!("schedule({k})"),
+            })
+        }
+        _ => None,
+    })
+}
+
+fn reductions(d: &Directive) -> Vec<(RedOp, Vec<String>)> {
+    d.clauses
+        .iter()
+        .filter_map(|c| match c {
+            Clause::Reduction(op, vars) => Some((*op, vars.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn emit_parallel(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    depth: usize,
+) -> usize {
+    let Some((open, close)) = expect_block(cx, fd, c, "parallel") else {
+        return block_span(c).1 + 1;
+    };
+    if !reductions(d).is_empty() {
+        cx.diag(
+            fd.start,
+            "`reduction` on a bare `parallel` is not supported by the translator; \
+             put it on the worksharing loop (or use `parallel for`)",
+        );
+        return close + 1;
+    }
+    let ctx_name = format!("__omp_ctx_{depth}");
+    let mut clause_txt = String::new();
+    for cl in &d.clauses {
+        match cl {
+            Clause::NumThreads(e) => clause_txt.push_str(&format!("num_threads({e}), ")),
+            Clause::If(e) => clause_txt.push_str(&format!("if({e}), ")),
+            Clause::Default(shared) => clause_txt.push_str(if *shared {
+                "default(shared), "
+            } else {
+                "default(none), "
+            }),
+            Clause::Shared(vars) => {
+                clause_txt.push_str(&format!("shared({}), ", vars.join(", ")))
+            }
+            Clause::ProcBind(kind) => clause_txt.push_str(&format!("proc_bind({kind}), ")),
+            // private/firstprivate handled by the macro's own clauses.
+            Clause::Private(vars) => {
+                clause_txt.push_str(&format!("private({}), ", vars.join(", ")))
+            }
+            Clause::Firstprivate(vars) => {
+                clause_txt.push_str(&format!("firstprivate({}), ", vars.join(", ")))
+            }
+            _ => {}
+        }
+    }
+    let body = transform_range(cx, open + 1, close, Some(&ctx_name), depth + 1);
+    out.push_str(&format!(
+        "romp_core::omp_parallel!({clause_txt}|{ctx_name}| {{{body}}});"
+    ));
+    close + 1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_for(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: &str,
+    depth: usize,
+    _combined: bool,
+) -> usize {
+    let Some((pat, iter, open, close)) = expect_loop(cx, c, fd.end, "for") else {
+        return block_span(c).1 + 1;
+    };
+    let reds = reductions(d);
+    if reds.len() > 1 {
+        cx.diag(
+            fd.start,
+            "at most one reduction clause per worksharing loop is supported",
+        );
+        return close + 1;
+    }
+    let mut clause_txt = String::new();
+    if let Some(s) = schedule_clause_text(d) {
+        clause_txt.push_str(&format!("{s}, "));
+    }
+    if d.clauses.iter().any(|c| matches!(c, Clause::Nowait)) {
+        clause_txt.push_str("nowait, ");
+    }
+    if let Some((op, vars)) = reds.first() {
+        clause_txt.push_str(&format!("reduction({} : {}), ", op.token(), vars.join(", ")));
+    }
+    let prelude = privatization_prelude(d);
+    let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
+    out.push_str(&format!(
+        "romp_core::omp_for!({ctx}, {clause_txt}for {pat} in {} {{{prelude}{body}}});",
+        macro_iter(iter)
+    ));
+    close + 1
+}
+
+fn emit_parallel_for(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    depth: usize,
+) -> usize {
+    let Some((pat, iter, open, close)) = expect_loop(cx, c, fd.end, "parallel for") else {
+        return block_span(c).1 + 1;
+    };
+    let reds = reductions(d);
+    if reds.len() > 1 {
+        cx.diag(
+            fd.start,
+            "at most one reduction clause per combined `parallel for` is supported",
+        );
+        return close + 1;
+    }
+    let mut clause_txt = String::new();
+    for cl in &d.clauses {
+        match cl {
+            Clause::NumThreads(e) => clause_txt.push_str(&format!("num_threads({e}), ")),
+            Clause::If(e) => clause_txt.push_str(&format!("if({e}), ")),
+            Clause::Default(shared) => clause_txt.push_str(if *shared {
+                "default(shared), "
+            } else {
+                "default(none), "
+            }),
+            Clause::Shared(vars) => {
+                clause_txt.push_str(&format!("shared({}), ", vars.join(", ")))
+            }
+            Clause::Firstprivate(vars) => {
+                clause_txt.push_str(&format!("firstprivate({}), ", vars.join(", ")))
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = schedule_clause_text(d) {
+        clause_txt.push_str(&format!("{s}, "));
+    }
+    // `private` has no macro clause on parallel_for: inject declarations.
+    let mut prelude = String::new();
+    for cl in &d.clauses {
+        if let Clause::Private(vars) = cl {
+            for v in vars {
+                prelude.push_str(&format!(
+                    "#[allow(unused_mut, unused_assignments)] let mut {v};\n"
+                ));
+            }
+        }
+    }
+    let body = transform_range(cx, open + 1, close, None, depth + 1);
+    let header = format!("for {pat} in {}", macro_iter(iter));
+    match reds.first() {
+        None => {
+            out.push_str(&format!(
+                "romp_core::omp_parallel_for!({clause_txt}{header} {{{prelude}{body}}});"
+            ));
+        }
+        Some((op, vars)) => {
+            // The combined macro returns the reduced values; write them
+            // back to the original variables.
+            let red_clause = format!(
+                "reduction({} : {}), ",
+                op.token(),
+                vars.iter()
+                    .map(|v| format!("{v} = {v}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let temps: Vec<String> = (0..vars.len()).map(|i| format!("__omp_red_{i}")).collect();
+            let writeback: String = vars
+                .iter()
+                .zip(&temps)
+                .map(|(v, t)| format!("{v} = {t}; "))
+                .collect();
+            out.push_str(&format!(
+                "{{ let ({temps},) = romp_core::omp_parallel_for!({clause_txt}{red_clause}{header} \
+                 {{{prelude}{body}}}); {writeback}}}",
+                temps = temps.join(", ")
+            ));
+        }
+    }
+    close + 1
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_wrapped(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: Option<&str>,
+    depth: usize,
+    mac: &str,
+) -> usize {
+    let Some((open, close)) = expect_block(cx, fd, c, d.kind.name()) else {
+        return block_span(c).1 + 1;
+    };
+    let prelude = privatization_prelude(d);
+    let body = transform_range(cx, open + 1, close, ctx, depth + 1);
+    let nowait = d.clauses.iter().any(|c| matches!(c, Clause::Nowait));
+    let ctx = ctx.unwrap();
+    if nowait && mac == "omp_single" {
+        out.push_str(&format!(
+            "romp_core::{mac}!({ctx}, nowait, {{{prelude}{body}}});"
+        ));
+    } else {
+        out.push_str(&format!("romp_core::{mac}!({ctx}, {{{prelude}{body}}});"));
+    }
+    close + 1
+}
+
+fn emit_task(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: &str,
+    depth: usize,
+) -> usize {
+    let Some((open, close)) = expect_block(cx, fd, c, "task") else {
+        return block_span(c).1 + 1;
+    };
+    let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
+    let if_clause = d.clauses.iter().find_map(|cl| match cl {
+        Clause::If(e) => Some(e.clone()),
+        _ => None,
+    });
+    // firstprivate on a task: clone *before* the capture so the outer
+    // variable is not consumed by the move.
+    let mut pre = String::new();
+    for cl in &d.clauses {
+        if let Clause::Firstprivate(vars) = cl {
+            for v in vars {
+                pre.push_str(&format!("let {v} = ::std::clone::Clone::clone(&{v}); "));
+            }
+        }
+    }
+    let inner = match if_clause {
+        Some(e) => format!("romp_core::omp_task!({ctx}, if({e}), {{{body}}});"),
+        None => format!("romp_core::omp_task!({ctx}, {{{body}}});"),
+    };
+    if pre.is_empty() {
+        out.push_str(&inner);
+    } else {
+        out.push_str(&format!("{{ {pre}{inner} }}"));
+    }
+    close + 1
+}
+
+fn emit_critical(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: Option<&str>,
+    depth: usize,
+) -> usize {
+    let Some((open, close)) = expect_block(cx, fd, c, d.kind.name()) else {
+        return block_span(c).1 + 1;
+    };
+    let body = transform_range(cx, open + 1, close, ctx, depth + 1);
+    let name = d.clauses.iter().find_map(|cl| match cl {
+        Clause::CriticalName(n) => Some(n.clone()),
+        _ => None,
+    });
+    match name {
+        Some(n) => out.push_str(&format!("romp_core::omp_critical!({n}, {{{body}}});")),
+        None => out.push_str(&format!("romp_core::omp_critical!({{{body}}});")),
+    }
+    close + 1
+}
+
+fn emit_sections(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: &str,
+    depth: usize,
+) -> usize {
+    let Some((open, close)) = expect_block(cx, fd, c, "sections") else {
+        return block_span(c).1 + 1;
+    };
+    // Split the block content at top-level `//#omp section` markers.
+    let content_start = open + 1;
+    let mut boundaries = vec![];
+    for found in find_directives(&cx.src[content_start..close]) {
+        let abs = found.start + content_start;
+        // Only split at markers that are at the top brace level of this
+        // block: check by brace-matching from content_start.
+        if found.text.trim() == "section" && at_top_level(&cx.src[content_start..close], found.start)
+        {
+            boundaries.push((abs, found.end + content_start));
+        }
+    }
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut seg_start = content_start;
+    for (b_start, b_end) in &boundaries {
+        segments.push((seg_start, *b_start));
+        seg_start = *b_end;
+    }
+    segments.push((seg_start, close));
+    // Drop an empty leading segment (explicit `section` before the first
+    // block is optional in OpenMP).
+    let segments: Vec<(usize, usize)> = segments
+        .into_iter()
+        .filter(|&(s, e)| !cx.src[s..e].trim().is_empty())
+        .collect();
+    if segments.is_empty() {
+        cx.diag(fd.start, "`sections` block contains no sections");
+        return close + 1;
+    }
+    let nowait = d.clauses.iter().any(|cl| matches!(cl, Clause::Nowait));
+    let mut blocks = String::new();
+    for (s, e) in segments {
+        let body = transform_range(cx, s, e, Some(ctx), depth + 1);
+        blocks.push_str(&format!("{{{body}}} "));
+    }
+    if nowait {
+        out.push_str(&format!(
+            "romp_core::omp_sections!({ctx}, nowait, {blocks});"
+        ));
+    } else {
+        out.push_str(&format!("romp_core::omp_sections!({ctx}, {blocks});"));
+    }
+    close + 1
+}
+
+/// Is `offset` (relative to `fragment`) at brace depth 0 of the
+/// fragment?
+fn at_top_level(fragment: &str, offset: usize) -> bool {
+    // Count unbalanced braces before offset, string/comment aware, by
+    // matching any opens we encounter.
+    let mut i = skip_trivia(fragment, 0);
+    while i < offset.min(fragment.len()) {
+        if fragment[i..].starts_with('{') {
+            match match_brace(fragment, i) {
+                Ok(close) if close < offset => i = close + 1,
+                _ => return false, // offset is inside this brace pair
+            }
+        } else {
+            i += 1;
+        }
+        i = skip_trivia(fragment, i);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(src: &str) -> String {
+        translate(src).unwrap_or_else(|e| panic!("diags: {e:?}"))
+    }
+
+    #[test]
+    fn parallel_block_outlined() {
+        let out = t("//#omp parallel num_threads(4)\n{ work(); }\nafter();");
+        assert!(
+            out.contains("romp_core::omp_parallel!(num_threads(4), |__omp_ctx_0| { work(); });"),
+            "{out}"
+        );
+        assert!(out.contains("after();"));
+    }
+
+    #[test]
+    fn parallel_for_simple() {
+        let out = t("//#omp parallel for schedule(dynamic, 4)\nfor i in 0..n { a(i); }");
+        assert!(
+            out.contains(
+                "romp_core::omp_parallel_for!(schedule(dynamic, 4), for i in (0..n) { a(i); });"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn parallel_for_reduction_writes_back() {
+        let out = t("//#omp parallel for reduction(+:sum)\nfor i in 0..n { sum += x[i]; }");
+        assert!(out.contains("reduction(+ : sum = sum)"), "{out}");
+        assert!(out.contains("let (__omp_red_0,)"), "{out}");
+        assert!(out.contains("sum = __omp_red_0;"), "{out}");
+    }
+
+    #[test]
+    fn nested_for_gets_ctx() {
+        let out = t("//#omp parallel\n{\n//#omp for schedule(static)\nfor i in 0..10 { f(i); }\n}");
+        assert!(out.contains("|__omp_ctx_0|"), "{out}");
+        assert!(
+            out.contains("romp_core::omp_for!(__omp_ctx_0, schedule(static), for i in (0..10)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn barrier_and_taskwait_standalone() {
+        let out = t("//#omp parallel\n{\n//#omp barrier\n//#omp taskwait\n}");
+        assert!(out.contains("romp_core::omp_barrier!(__omp_ctx_0);"), "{out}");
+        assert!(out.contains("romp_core::omp_taskwait!(__omp_ctx_0);"), "{out}");
+    }
+
+    #[test]
+    fn orphaned_for_is_an_error() {
+        let e = translate("//#omp for\nfor i in 0..3 { f(i); }").unwrap_err();
+        assert!(e[0].message.contains("nested inside"), "{e:?}");
+    }
+
+    #[test]
+    fn critical_named_and_unnamed() {
+        let out = t("//#omp parallel\n{\n//#omp critical\n{ a(); }\n//#omp critical (tag)\n{ b(); }\n}");
+        assert!(out.contains("romp_core::omp_critical!({ a(); });"), "{out}");
+        assert!(out.contains("romp_core::omp_critical!(tag, { b(); });"), "{out}");
+    }
+
+    #[test]
+    fn single_master_wrapped() {
+        let out =
+            t("//#omp parallel\n{\n//#omp single nowait\n{ s(); }\n//#omp master\n{ m(); }\n}");
+        assert!(
+            out.contains("romp_core::omp_single!(__omp_ctx_0, nowait, { s(); });"),
+            "{out}"
+        );
+        assert!(
+            out.contains("romp_core::omp_master!(__omp_ctx_0, { m(); });"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn sections_split_on_markers() {
+        let out = t(
+            "//#omp parallel\n{\n//#omp sections\n{\n//#omp section\n{ a(); }\n//#omp section\n{ b(); }\n}\n}",
+        );
+        let flat: String = out.split_whitespace().collect::<Vec<_>>().join(" ");
+        assert!(
+            flat.contains("romp_core::omp_sections!(__omp_ctx_0, { { a(); } } { { b(); } } );"),
+            "{flat}"
+        );
+    }
+
+    #[test]
+    fn task_with_firstprivate_clones_before_move() {
+        let out = t("//#omp parallel\n{\n//#omp task firstprivate(v)\n{ use_it(v); }\n}");
+        assert!(
+            out.contains("let v = ::std::clone::Clone::clone(&v);"),
+            "{out}"
+        );
+        assert!(out.contains("romp_core::omp_task!(__omp_ctx_0,"), "{out}");
+    }
+
+    #[test]
+    fn atomic_lowers_to_critical() {
+        let out = t("//#omp parallel\n{\n//#omp atomic\n{ x += 1; }\n}");
+        assert!(out.contains("romp_core::omp_critical!({ x += 1; });"), "{out}");
+    }
+
+    #[test]
+    fn step_by_header_preserved() {
+        let out = t("//#omp parallel for\nfor i in (0..100).step_by(5) { f(i); }");
+        assert!(out.contains("for i in (0..100).step_by(5)"), "{out}");
+    }
+
+    #[test]
+    fn private_injected_into_body() {
+        let out = t("//#omp parallel for private(t)\nfor i in 0..5 { t = i; g(t); }");
+        assert!(out.contains("let mut t;"), "{out}");
+    }
+
+    #[test]
+    fn firstprivate_on_parallel_passes_through() {
+        let out = t("//#omp parallel firstprivate(base)\n{ h(base); }");
+        assert!(out.contains("firstprivate(base), |__omp_ctx_0|"), "{out}");
+    }
+
+    #[test]
+    fn source_without_directives_unchanged() {
+        let src = "fn main() {\n    println!(\"no directives here\");\n}\n";
+        assert_eq!(t(src), src);
+    }
+
+    #[test]
+    fn bad_directive_reports_position() {
+        let e = translate("fn f() {\n    //#omp paralel\n    { }\n}").unwrap_err();
+        assert_eq!(e[0].line, 2);
+        assert!(e[0].message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn multiple_errors_all_reported() {
+        let e = translate("//#omp bogus1\n{ }\n//#omp bogus2\n{ }").unwrap_err();
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn reduction_on_bare_parallel_rejected() {
+        let e = translate("//#omp parallel reduction(+:x)\n{ }").unwrap_err();
+        assert!(e[0].message.contains("not supported"), "{e:?}");
+    }
+}

@@ -1,0 +1,75 @@
+//! Diagnostics with source positions.
+
+use std::fmt;
+
+/// A translation diagnostic (error) with a 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diag {
+    /// Build a diagnostic.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        Diag {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error: {} at line {}, column {}", self.message, self.line, self.col)
+    }
+}
+
+/// Convert a byte offset in `src` to a `(line, col)` pair (1-based).
+pub fn line_col(src: &str, offset: usize) -> (usize, usize) {
+    let clamped = offset.min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in src.char_indices() {
+        if i >= clamped {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basics() {
+        let src = "abc\ndef\nghi";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 2), (1, 3));
+        assert_eq!(line_col(src, 4), (2, 1));
+        assert_eq!(line_col(src, 9), (3, 2));
+        // Past the end clamps.
+        assert_eq!(line_col(src, 1000), (3, 4));
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diag::new(3, 7, "unknown clause `foo`");
+        assert_eq!(
+            d.to_string(),
+            "error: unknown clause `foo` at line 3, column 7"
+        );
+    }
+}

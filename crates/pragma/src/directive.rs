@@ -1,0 +1,792 @@
+//! Lexer, AST and parser for the directive language.
+//!
+//! This is the left half of the paper's Figure 1 — "parsing of pragmas".
+//! Directive text (everything after the `//#omp` sentinel) is tokenized
+//! and parsed into a [`Directive`] with typed [`Clause`]s. The grammar
+//! is the OpenMP 5.2 subset the paper implements: `parallel`, the
+//! worksharing loop (`for`), their combination, plus the
+//! synchronization and tasking directives, with the data-environment,
+//! `schedule` and `reduction` clauses.
+
+use std::fmt;
+
+/// A directive kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// `parallel` — fork a team over the following block.
+    Parallel,
+    /// `for` — workshare the following loop over the current team.
+    For,
+    /// `parallel for` — combined construct.
+    ParallelFor,
+    /// `single`.
+    Single,
+    /// `master`.
+    Master,
+    /// `critical [(name)]`.
+    Critical,
+    /// `barrier` (stand-alone).
+    Barrier,
+    /// `sections` (block containing `section` markers).
+    Sections,
+    /// `section` (marker inside `sections`).
+    Section,
+    /// `task`.
+    Task,
+    /// `taskwait` (stand-alone).
+    Taskwait,
+    /// `atomic` — lowered to a critical section (documented choice).
+    Atomic,
+}
+
+impl DirectiveKind {
+    /// Does this directive attach to a following block/statement?
+    pub fn takes_block(self) -> bool {
+        !matches!(self, DirectiveKind::Barrier | DirectiveKind::Taskwait)
+    }
+
+    /// Directive name as written.
+    pub fn name(self) -> &'static str {
+        match self {
+            DirectiveKind::Parallel => "parallel",
+            DirectiveKind::For => "for",
+            DirectiveKind::ParallelFor => "parallel for",
+            DirectiveKind::Single => "single",
+            DirectiveKind::Master => "master",
+            DirectiveKind::Critical => "critical",
+            DirectiveKind::Barrier => "barrier",
+            DirectiveKind::Sections => "sections",
+            DirectiveKind::Section => "section",
+            DirectiveKind::Task => "task",
+            DirectiveKind::Taskwait => "taskwait",
+            DirectiveKind::Atomic => "atomic",
+        }
+    }
+}
+
+/// `schedule(...)` kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// `static`
+    Static,
+    /// `dynamic`
+    Dynamic,
+    /// `guided`
+    Guided,
+    /// `runtime`
+    Runtime,
+    /// `auto`
+    Auto,
+}
+
+/// Reduction operators of the directive grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedOp {
+    /// `+`
+    Add,
+    /// `*`
+    Mul,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `&&`
+    LogAnd,
+    /// `||`
+    LogOr,
+}
+
+impl RedOp {
+    /// The operator token as it appears in romp macro syntax.
+    pub fn token(self) -> &'static str {
+        match self {
+            RedOp::Add => "+",
+            RedOp::Mul => "*",
+            RedOp::Min => "min",
+            RedOp::Max => "max",
+            RedOp::BitAnd => "&",
+            RedOp::BitOr => "|",
+            RedOp::BitXor => "^",
+            RedOp::LogAnd => "&&",
+            RedOp::LogOr => "||",
+        }
+    }
+}
+
+/// A parsed clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Clause {
+    /// `num_threads(expr)`
+    NumThreads(String),
+    /// `if(expr)`
+    If(String),
+    /// `default(shared)` / `default(none)`
+    Default(bool),
+    /// `shared(a, b)`
+    Shared(Vec<String>),
+    /// `private(a, b)`
+    Private(Vec<String>),
+    /// `firstprivate(a, b)`
+    Firstprivate(Vec<String>),
+    /// `schedule(kind[, chunk])`
+    Schedule(ScheduleKind, Option<String>),
+    /// `reduction(op : a, b)`
+    Reduction(RedOp, Vec<String>),
+    /// `nowait`
+    Nowait,
+    /// `collapse(n)`
+    Collapse(u32),
+    /// `proc_bind(kind)` — accepted, advisory.
+    ProcBind(String),
+    /// `(name)` on `critical`.
+    CriticalName(String),
+}
+
+impl Clause {
+    fn name(&self) -> &'static str {
+        match self {
+            Clause::NumThreads(_) => "num_threads",
+            Clause::If(_) => "if",
+            Clause::Default(_) => "default",
+            Clause::Shared(_) => "shared",
+            Clause::Private(_) => "private",
+            Clause::Firstprivate(_) => "firstprivate",
+            Clause::Schedule(..) => "schedule",
+            Clause::Reduction(..) => "reduction",
+            Clause::Nowait => "nowait",
+            Clause::Collapse(_) => "collapse",
+            Clause::ProcBind(_) => "proc_bind",
+            Clause::CriticalName(_) => "(name)",
+        }
+    }
+}
+
+/// A fully parsed directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Directive {
+    /// The directive kind.
+    pub kind: DirectiveKind,
+    /// Its clauses, in source order.
+    pub clauses: Vec<Clause>,
+}
+
+/// A parse error within directive text (column-relative to the text).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset within the directive text.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+/// Directive-text token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(u64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// An operator symbol (`+ * & | ^ && ||`).
+    Op(RedOp),
+    /// Anything else inside a parenthesized expression, captured raw.
+    Raw(char),
+}
+
+/// Tokenize directive text. Expression arguments (inside parens) are
+/// handled by the parser via raw capture, so the lexer stays simple.
+pub fn lex(text: &str) -> Result<Vec<(usize, Token)>, ParseError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '(' => {
+                out.push((i, Token::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Token::RParen));
+                i += 1;
+            }
+            ',' => {
+                out.push((i, Token::Comma));
+                i += 1;
+            }
+            ':' => {
+                out.push((i, Token::Colon));
+                i += 1;
+            }
+            '+' => {
+                out.push((i, Token::Op(RedOp::Add)));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Token::Op(RedOp::Mul)));
+                i += 1;
+            }
+            '^' => {
+                out.push((i, Token::Op(RedOp::BitXor)));
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    out.push((i, Token::Op(RedOp::LogAnd)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Op(RedOp::BitAnd)));
+                    i += 1;
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    out.push((i, Token::Op(RedOp::LogOr)));
+                    i += 2;
+                } else {
+                    out.push((i, Token::Op(RedOp::BitOr)));
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let v: u64 = text[start..i].parse().map_err(|_| ParseError {
+                    offset: start,
+                    message: format!("invalid integer `{}`", &text[start..i]),
+                })?;
+                out.push((start, Token::Int(v)));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push((start, Token::Ident(text[start..i].to_string())));
+            }
+            other => {
+                out.push((i, Token::Raw(other)));
+                i += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    text: &'a str,
+    toks: Vec<(usize, Token)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.text.len())
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError {
+                offset: self.offset().saturating_sub(1),
+                message: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect(&mut self, tok: Token, what: &str) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(ParseError {
+                offset: self.offset().saturating_sub(1),
+                message: format!("expected {what}, found {other:?}"),
+            }),
+        }
+    }
+
+    /// Capture a balanced-parenthesis raw expression: everything up to
+    /// the matching `)` of an already-consumed `(`.
+    fn raw_until_rparen(&mut self) -> Result<String, ParseError> {
+        let start = self.offset();
+        let mut depth = 1usize;
+        let mut end = start;
+        while depth > 0 {
+            match self.toks.get(self.pos) {
+                Some((o, Token::LParen)) => {
+                    depth += 1;
+                    end = o + 1;
+                    self.pos += 1;
+                }
+                Some((o, Token::RParen)) => {
+                    depth -= 1;
+                    end = *o;
+                    self.pos += 1;
+                }
+                Some((o, t)) => {
+                    end = o + token_width(self.text, *o, t);
+                    self.pos += 1;
+                }
+                None => return Err(self.err("unterminated `(` in clause argument")),
+            }
+        }
+        Ok(self.text[start..end].trim().to_string())
+    }
+
+    fn ident_list_until_rparen(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut names = vec![self.expect_ident()?];
+        loop {
+            match self.bump() {
+                Some(Token::Comma) => names.push(self.expect_ident()?),
+                Some(Token::RParen) => break,
+                other => {
+                    return Err(ParseError {
+                        offset: self.offset().saturating_sub(1),
+                        message: format!("expected `,` or `)` in variable list, found {other:?}"),
+                    })
+                }
+            }
+        }
+        Ok(names)
+    }
+}
+
+fn token_width(text: &str, offset: usize, tok: &Token) -> usize {
+    match tok {
+        Token::Ident(s) => s.len(),
+        Token::Int(_) => text[offset..]
+            .bytes()
+            .take_while(|b| b.is_ascii_digit())
+            .count(),
+        Token::Op(RedOp::LogAnd) | Token::Op(RedOp::LogOr) => 2,
+        _ => 1,
+    }
+}
+
+/// Parse the text after the `//#omp` sentinel into a directive.
+pub fn parse(text: &str) -> Result<Directive, ParseError> {
+    let toks = lex(text)?;
+    let mut p = Parser {
+        text,
+        toks,
+        pos: 0,
+    };
+    let first = p.expect_ident().map_err(|_| ParseError {
+        offset: 0,
+        message: "expected a directive name after `//#omp`".to_string(),
+    })?;
+    let kind = match first.as_str() {
+        "parallel" => {
+            if matches!(p.peek(), Some(Token::Ident(s)) if s == "for") {
+                p.bump();
+                DirectiveKind::ParallelFor
+            } else {
+                DirectiveKind::Parallel
+            }
+        }
+        "for" => DirectiveKind::For,
+        "single" => DirectiveKind::Single,
+        "master" => DirectiveKind::Master,
+        "critical" => DirectiveKind::Critical,
+        "barrier" => DirectiveKind::Barrier,
+        "sections" => DirectiveKind::Sections,
+        "section" => DirectiveKind::Section,
+        "task" => DirectiveKind::Task,
+        "taskwait" => DirectiveKind::Taskwait,
+        "atomic" => DirectiveKind::Atomic,
+        other => {
+            return Err(ParseError {
+                offset: 0,
+                message: format!("unknown directive `{other}`"),
+            })
+        }
+    };
+    let mut clauses = Vec::new();
+    // `critical (name)`.
+    if kind == DirectiveKind::Critical {
+        if let Some(Token::LParen) = p.peek() {
+            p.bump();
+            let name = p.expect_ident()?;
+            p.expect(Token::RParen, "`)` after critical name")?;
+            clauses.push(Clause::CriticalName(name));
+        }
+    }
+    while let Some(tok) = p.peek() {
+        let clause = match tok {
+            Token::Comma => {
+                p.bump();
+                continue;
+            }
+            Token::Ident(name) => {
+                let name = name.clone();
+                p.bump();
+                parse_clause(&mut p, &name)?
+            }
+            other => {
+                return Err(p.err(format!("expected a clause, found {other:?}")));
+            }
+        };
+        clauses.push(clause);
+    }
+    let d = Directive { kind, clauses };
+    validate(&d)?;
+    Ok(d)
+}
+
+fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
+    match name {
+        "nowait" => Ok(Clause::Nowait),
+        "num_threads" => {
+            p.expect(Token::LParen, "`(` after num_threads")?;
+            Ok(Clause::NumThreads(p.raw_until_rparen()?))
+        }
+        "if" => {
+            p.expect(Token::LParen, "`(` after if")?;
+            Ok(Clause::If(p.raw_until_rparen()?))
+        }
+        "default" => {
+            p.expect(Token::LParen, "`(` after default")?;
+            let v = p.expect_ident()?;
+            p.expect(Token::RParen, "`)`")?;
+            match v.as_str() {
+                "shared" => Ok(Clause::Default(true)),
+                "none" => Ok(Clause::Default(false)),
+                other => Err(p.err(format!(
+                    "default takes `shared` or `none`, found `{other}`"
+                ))),
+            }
+        }
+        "shared" => {
+            p.expect(Token::LParen, "`(` after shared")?;
+            Ok(Clause::Shared(p.ident_list_until_rparen()?))
+        }
+        "private" => {
+            p.expect(Token::LParen, "`(` after private")?;
+            Ok(Clause::Private(p.ident_list_until_rparen()?))
+        }
+        "firstprivate" => {
+            p.expect(Token::LParen, "`(` after firstprivate")?;
+            Ok(Clause::Firstprivate(p.ident_list_until_rparen()?))
+        }
+        "proc_bind" => {
+            p.expect(Token::LParen, "`(` after proc_bind")?;
+            let v = p.expect_ident()?;
+            p.expect(Token::RParen, "`)`")?;
+            Ok(Clause::ProcBind(v))
+        }
+        "collapse" => {
+            p.expect(Token::LParen, "`(` after collapse")?;
+            let n = match p.bump() {
+                Some(Token::Int(n)) => n as u32,
+                _ => return Err(p.err("collapse takes an integer")),
+            };
+            p.expect(Token::RParen, "`)`")?;
+            Ok(Clause::Collapse(n))
+        }
+        "schedule" => {
+            p.expect(Token::LParen, "`(` after schedule")?;
+            let kind = match p.expect_ident()?.as_str() {
+                "static" => ScheduleKind::Static,
+                "dynamic" => ScheduleKind::Dynamic,
+                "guided" => ScheduleKind::Guided,
+                "runtime" => ScheduleKind::Runtime,
+                "auto" => ScheduleKind::Auto,
+                other => {
+                    return Err(p.err(format!("unknown schedule kind `{other}`")));
+                }
+            };
+            match p.bump() {
+                Some(Token::RParen) => Ok(Clause::Schedule(kind, None)),
+                Some(Token::Comma) => {
+                    let chunk = p.raw_until_rparen()?;
+                    if chunk.is_empty() {
+                        return Err(p.err("empty chunk expression in schedule clause"));
+                    }
+                    Ok(Clause::Schedule(kind, Some(chunk)))
+                }
+                other => Err(p.err(format!("expected `,` or `)` in schedule, found {other:?}"))),
+            }
+        }
+        "reduction" => {
+            p.expect(Token::LParen, "`(` after reduction")?;
+            let op = match p.bump() {
+                Some(Token::Op(op)) => op,
+                Some(Token::Ident(s)) if s == "min" => RedOp::Min,
+                Some(Token::Ident(s)) if s == "max" => RedOp::Max,
+                other => {
+                    return Err(p.err(format!(
+                        "expected a reduction operator (+ * min max & | ^ && ||), found {other:?}"
+                    )));
+                }
+            };
+            p.expect(Token::Colon, "`:` after reduction operator")?;
+            let vars = p.ident_list_until_rparen()?;
+            Ok(Clause::Reduction(op, vars))
+        }
+        other => Err(p.err(format!("unknown clause `{other}`"))),
+    }
+}
+
+/// Clause/directive compatibility (OpenMP 5.2 table, restricted to our
+/// subset).
+fn validate(d: &Directive) -> Result<(), ParseError> {
+    let allowed: &[&str] = match d.kind {
+        DirectiveKind::Parallel => &[
+            "num_threads",
+            "if",
+            "default",
+            "shared",
+            "private",
+            "firstprivate",
+            "proc_bind",
+            "reduction",
+        ],
+        DirectiveKind::For => &[
+            "schedule",
+            "private",
+            "firstprivate",
+            "reduction",
+            "nowait",
+            "collapse",
+        ],
+        DirectiveKind::ParallelFor => &[
+            "num_threads",
+            "if",
+            "default",
+            "shared",
+            "private",
+            "firstprivate",
+            "proc_bind",
+            "schedule",
+            "reduction",
+            "collapse",
+        ],
+        DirectiveKind::Single => &["private", "firstprivate", "nowait"],
+        DirectiveKind::Task => &["if", "default", "shared", "private", "firstprivate"],
+        DirectiveKind::Critical => &["(name)"],
+        DirectiveKind::Sections => &["private", "firstprivate", "reduction", "nowait"],
+        DirectiveKind::Master
+        | DirectiveKind::Barrier
+        | DirectiveKind::Taskwait
+        | DirectiveKind::Section
+        | DirectiveKind::Atomic => &[],
+    };
+    for c in &d.clauses {
+        if !allowed.contains(&c.name()) {
+            return Err(ParseError {
+                offset: 0,
+                message: format!(
+                    "clause `{}` is not valid on the `{}` directive",
+                    c.name(),
+                    d.kind.name()
+                ),
+            });
+        }
+    }
+    if d.kind == DirectiveKind::ParallelFor || d.kind == DirectiveKind::For {
+        if let Some(Clause::Collapse(n)) = d
+            .clauses
+            .iter()
+            .find(|c| matches!(c, Clause::Collapse(_)))
+        {
+            if *n > 1 {
+                return Err(ParseError {
+                    offset: 0,
+                    message: format!(
+                        "collapse({n}) is not supported by the translator (use \
+                         romp_core::par_for_2d for collapsed loops)"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_bare_directives() {
+        for (text, kind) in [
+            ("parallel", DirectiveKind::Parallel),
+            ("for", DirectiveKind::For),
+            ("parallel for", DirectiveKind::ParallelFor),
+            ("single", DirectiveKind::Single),
+            ("master", DirectiveKind::Master),
+            ("critical", DirectiveKind::Critical),
+            ("barrier", DirectiveKind::Barrier),
+            ("sections", DirectiveKind::Sections),
+            ("section", DirectiveKind::Section),
+            ("task", DirectiveKind::Task),
+            ("taskwait", DirectiveKind::Taskwait),
+            ("atomic", DirectiveKind::Atomic),
+        ] {
+            let d = parse(text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(d.kind, kind, "{text}");
+            assert!(d.clauses.is_empty() || kind == DirectiveKind::Critical);
+        }
+    }
+
+    #[test]
+    fn parses_full_clause_set() {
+        let d = parse(
+            "parallel for num_threads(2*n) if(n > 10) default(shared) shared(a, b) \
+             private(t) firstprivate(c) schedule(dynamic, 4*chunk) reduction(+ : sx, sy)",
+        )
+        .unwrap();
+        assert_eq!(d.kind, DirectiveKind::ParallelFor);
+        assert_eq!(d.clauses.len(), 8);
+        assert_eq!(d.clauses[0], Clause::NumThreads("2*n".into()));
+        assert_eq!(d.clauses[1], Clause::If("n > 10".into()));
+        assert_eq!(
+            d.clauses[6],
+            Clause::Schedule(ScheduleKind::Dynamic, Some("4*chunk".into()))
+        );
+        assert_eq!(
+            d.clauses[7],
+            Clause::Reduction(RedOp::Add, vec!["sx".into(), "sy".into()])
+        );
+    }
+
+    #[test]
+    fn parses_all_reduction_operators() {
+        for (txt, op) in [
+            ("+", RedOp::Add),
+            ("*", RedOp::Mul),
+            ("min", RedOp::Min),
+            ("max", RedOp::Max),
+            ("&", RedOp::BitAnd),
+            ("|", RedOp::BitOr),
+            ("^", RedOp::BitXor),
+            ("&&", RedOp::LogAnd),
+            ("||", RedOp::LogOr),
+        ] {
+            let d = parse(&format!("for reduction({txt} : x)")).unwrap();
+            assert_eq!(d.clauses[0], Clause::Reduction(op, vec!["x".into()]));
+        }
+    }
+
+    #[test]
+    fn critical_name() {
+        let d = parse("critical (queue_lock)").unwrap();
+        assert_eq!(d.clauses[0], Clause::CriticalName("queue_lock".into()));
+    }
+
+    #[test]
+    fn nested_parens_in_expressions() {
+        let d = parse("parallel num_threads(f(a, g(b)))").unwrap();
+        assert_eq!(d.clauses[0], Clause::NumThreads("f(a, g(b))".into()));
+    }
+
+    #[test]
+    fn schedule_kinds() {
+        for (t, k) in [
+            ("static", ScheduleKind::Static),
+            ("dynamic", ScheduleKind::Dynamic),
+            ("guided", ScheduleKind::Guided),
+            ("runtime", ScheduleKind::Runtime),
+            ("auto", ScheduleKind::Auto),
+        ] {
+            let d = parse(&format!("for schedule({t})")).unwrap();
+            assert_eq!(d.clauses[0], Clause::Schedule(k, None));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_directive() {
+        let e = parse("paralel for").unwrap_err();
+        assert!(e.message.contains("unknown directive `paralel`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_clause() {
+        let e = parse("parallel bogus(3)").unwrap_err();
+        assert!(e.message.contains("unknown clause `bogus`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_incompatible_clause() {
+        let e = parse("parallel nowait").unwrap_err();
+        assert!(e.message.contains("not valid on the `parallel`"), "{e}");
+        let e = parse("barrier if(x)").unwrap_err();
+        assert!(e.message.contains("not valid on the `barrier`"), "{e}");
+    }
+
+    #[test]
+    fn rejects_collapse_gt_one() {
+        let e = parse("parallel for collapse(2)").unwrap_err();
+        assert!(e.message.contains("collapse(2)"), "{e}");
+        assert!(parse("parallel for collapse(1)").is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_schedule() {
+        let e = parse("for schedule(fair)").unwrap_err();
+        assert!(e.message.contains("unknown schedule kind"), "{e}");
+    }
+
+    #[test]
+    fn rejects_bad_default() {
+        let e = parse("parallel default(private)").unwrap_err();
+        assert!(e.message.contains("default takes"), "{e}");
+    }
+
+    #[test]
+    fn comma_separated_clauses_allowed() {
+        let d = parse("parallel num_threads(4), if(true)").unwrap();
+        assert_eq!(d.clauses.len(), 2);
+    }
+}

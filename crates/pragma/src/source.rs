@@ -1,0 +1,504 @@
+//! Rust source scanning: locating directive comments and extracting the
+//! code blocks they annotate.
+//!
+//! This is the right half of the paper's Figure 1 — "extraction of code
+//! blocks". A lightweight Rust lexer walks the source tracking string /
+//! char / comment state, so `//#omp` sentinels inside string literals or
+//! ordinary comments are not mistaken for directives, and brace matching
+//! is reliable.
+
+/// A located directive comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FoundDirective {
+    /// Byte offset of the `//#omp` sentinel.
+    pub start: usize,
+    /// Byte offset one past the end of the comment line (excluding the
+    /// newline).
+    pub end: usize,
+    /// The directive text (after the sentinel, trimmed).
+    pub text: String,
+}
+
+/// The sentinel introducing a directive comment (the Zig implementation
+/// uses comment pragmas for the same reason: the host language has no
+/// native pragma syntax).
+pub const SENTINEL: &str = "//#omp";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LexState {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// A minimal Rust lexer yielding `(offset, char, state-before)` — just
+/// enough to know whether a position is "real code".
+struct Walker<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    state: LexState,
+}
+
+impl<'a> Walker<'a> {
+    fn new(src: &'a str) -> Self {
+        Walker {
+            src,
+            bytes: src.as_bytes(),
+            i: 0,
+            state: LexState::Normal,
+        }
+    }
+
+    /// Advance one step; returns `(offset, byte, state_before_advance)`.
+    fn step(&mut self) -> Option<(usize, u8, LexState)> {
+        if self.i >= self.bytes.len() {
+            return None;
+        }
+        let at = self.i;
+        let b = self.bytes[at];
+        let before = self.state;
+        match self.state {
+            LexState::Normal => {
+                match b {
+                    b'/' if self.bytes.get(at + 1) == Some(&b'/') => {
+                        self.state = LexState::LineComment;
+                        self.i += 1;
+                    }
+                    b'/' if self.bytes.get(at + 1) == Some(&b'*') => {
+                        self.state = LexState::BlockComment(1);
+                        self.i += 2;
+                        return Some((at, b, before));
+                    }
+                    b'"' => {
+                        self.state = LexState::Str;
+                        self.i += 1;
+                    }
+                    b'r' if self.raw_string_hashes(at).is_some() => {
+                        let hashes = self.raw_string_hashes(at).unwrap();
+                        self.state = LexState::RawStr(hashes);
+                        self.i += 1 + hashes as usize + 1; // r##"
+                        return Some((at, b, before));
+                    }
+                    b'\'' if self.looks_like_char_literal(at) => {
+                        self.state = LexState::Char;
+                        self.i += 1;
+                    }
+                    _ => self.i += 1,
+                }
+            }
+            LexState::LineComment => {
+                if b == b'\n' {
+                    self.state = LexState::Normal;
+                }
+                self.i += 1;
+            }
+            LexState::BlockComment(depth) => {
+                if b == b'*' && self.bytes.get(at + 1) == Some(&b'/') {
+                    self.i += 2;
+                    if depth == 1 {
+                        self.state = LexState::Normal;
+                    } else {
+                        self.state = LexState::BlockComment(depth - 1);
+                    }
+                    return Some((at, b, before));
+                } else if b == b'/' && self.bytes.get(at + 1) == Some(&b'*') {
+                    self.state = LexState::BlockComment(depth + 1);
+                    self.i += 2;
+                    return Some((at, b, before));
+                }
+                self.i += 1;
+            }
+            LexState::Str => {
+                match b {
+                    b'\\' => self.i += 2,
+                    b'"' => {
+                        self.state = LexState::Normal;
+                        self.i += 1;
+                    }
+                    _ => self.i += 1,
+                }
+            }
+            LexState::RawStr(hashes) => {
+                if b == b'"' && self.has_hashes(at + 1, hashes) {
+                    self.state = LexState::Normal;
+                    self.i += 1 + hashes as usize;
+                    return Some((at, b, before));
+                }
+                self.i += 1;
+            }
+            LexState::Char => {
+                match b {
+                    b'\\' => self.i += 2,
+                    b'\'' => {
+                        self.state = LexState::Normal;
+                        self.i += 1;
+                    }
+                    _ => self.i += 1,
+                }
+            }
+        }
+        Some((at, b, before))
+    }
+
+    /// At `r` — does a raw string start here (`r"`, `r#"`, …)? Returns
+    /// the number of hashes.
+    fn raw_string_hashes(&self, at: usize) -> Option<u32> {
+        // Avoid treating identifiers ending in `r` as raw strings: the
+        // previous byte must not be alphanumeric/underscore.
+        if at > 0 {
+            let prev = self.bytes[at - 1];
+            if prev.is_ascii_alphanumeric() || prev == b'_' {
+                return None;
+            }
+        }
+        let mut j = at + 1;
+        let mut hashes = 0u32;
+        while self.bytes.get(j) == Some(&b'#') {
+            hashes += 1;
+            j += 1;
+        }
+        (self.bytes.get(j) == Some(&b'"')).then_some(hashes)
+    }
+
+    fn has_hashes(&self, from: usize, hashes: u32) -> bool {
+        (0..hashes as usize).all(|k| self.bytes.get(from + k) == Some(&b'#'))
+    }
+
+    /// Distinguish a char literal from a lifetime (`'a`): a char literal
+    /// closes with `'` within a couple of characters or has an escape.
+    fn looks_like_char_literal(&self, at: usize) -> bool {
+        match self.bytes.get(at + 1) {
+            Some(b'\\') => true,
+            Some(_) => self.bytes.get(at + 2) == Some(&b'\''),
+            None => false,
+        }
+    }
+
+    fn src_line_end(&self, from: usize) -> usize {
+        self.src[from..]
+            .find('\n')
+            .map(|k| from + k)
+            .unwrap_or(self.src.len())
+    }
+}
+
+/// Find every `//#omp` directive comment in real code (not inside
+/// strings or other comments).
+pub fn find_directives(src: &str) -> Vec<FoundDirective> {
+    let mut out = Vec::new();
+    let mut w = Walker::new(src);
+    while let Some((at, b, state)) = w.step() {
+        if state == LexState::Normal && b == b'/' && src[at..].starts_with(SENTINEL) {
+            let end = w.src_line_end(at);
+            out.push(FoundDirective {
+                start: at,
+                end,
+                text: src[at + SENTINEL.len()..end].trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// The construct that follows a directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NextConstruct {
+    /// A braced block: `{ … }` with the span of the *contents*.
+    Block {
+        /// Offset of `{`.
+        open: usize,
+        /// Offset of the matching `}`.
+        close: usize,
+    },
+    /// A `for` loop: header span + body block span.
+    ForLoop {
+        /// Offset of the `for` keyword.
+        for_kw: usize,
+        /// Loop pattern (the induction variable).
+        pat: String,
+        /// The iterator expression text.
+        iter: String,
+        /// Offset of the body `{`.
+        open: usize,
+        /// Offset of the matching `}`.
+        close: usize,
+    },
+}
+
+/// Extraction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError {
+    /// Offset where extraction gave up.
+    pub offset: usize,
+    /// Why.
+    pub message: String,
+}
+
+/// Find the construct following byte offset `from` (after a directive
+/// line): either a `{ … }` block or a `for` loop.
+pub fn next_construct(src: &str, from: usize) -> Result<NextConstruct, ExtractError> {
+    let rest_start = skip_trivia(src, from);
+    if rest_start >= src.len() {
+        return Err(ExtractError {
+            offset: from,
+            message: "directive at end of file has no following block".into(),
+        });
+    }
+    if src[rest_start..].starts_with('{') {
+        let close = match_brace(src, rest_start)?;
+        return Ok(NextConstruct::Block {
+            open: rest_start,
+            close,
+        });
+    }
+    if src[rest_start..].starts_with("for")
+        && src[rest_start + 3..]
+            .chars()
+            .next()
+            .map(|c| c.is_whitespace())
+            .unwrap_or(false)
+    {
+        return extract_for(src, rest_start);
+    }
+    Err(ExtractError {
+        offset: rest_start,
+        message: "expected `{ … }` or a `for` loop after the directive".into(),
+    })
+}
+
+/// Skip whitespace and comments.
+pub fn skip_trivia(src: &str, mut i: usize) -> usize {
+    let bytes = src.as_bytes();
+    loop {
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        if src[i.min(src.len())..].starts_with("//") {
+            i = src[i..].find('\n').map(|k| i + k + 1).unwrap_or(src.len());
+            continue;
+        }
+        if src[i.min(src.len())..].starts_with("/*") {
+            let mut depth = 1;
+            let mut j = i + 2;
+            while depth > 0 && j < src.len() {
+                if src[j..].starts_with("/*") {
+                    depth += 1;
+                    j += 2;
+                } else if src[j..].starts_with("*/") {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        return i;
+    }
+}
+
+/// Given the offset of a `{` in real code, return the offset of its
+/// matching `}` (string/comment aware).
+pub fn match_brace(src: &str, open: usize) -> Result<usize, ExtractError> {
+    debug_assert_eq!(&src[open..open + 1], "{");
+    let mut w = Walker::new(&src[open..]);
+    let mut depth = 0i64;
+    while let Some((at, b, state)) = w.step() {
+        if state == LexState::Normal {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(open + at);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Err(ExtractError {
+        offset: open,
+        message: "unbalanced `{`".into(),
+    })
+}
+
+/// Parse `for <pat> in <iter> { … }` starting at the `for` keyword.
+fn extract_for(src: &str, for_kw: usize) -> Result<NextConstruct, ExtractError> {
+    let after_for = skip_trivia(src, for_kw + 3);
+    // Pattern: a single identifier (the canonical OpenMP loop form).
+    let pat_end = src[after_for..]
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map(|k| after_for + k)
+        .unwrap_or(src.len());
+    let pat = src[after_for..pat_end].to_string();
+    if pat.is_empty() || pat.chars().next().unwrap().is_numeric() {
+        return Err(ExtractError {
+            offset: after_for,
+            message: "worksharing loop variable must be a simple identifier".into(),
+        });
+    }
+    let in_kw = skip_trivia(src, pat_end);
+    if !src[in_kw..].starts_with("in")
+        || !src[in_kw + 2..]
+            .chars()
+            .next()
+            .map(|c| c.is_whitespace() || c == '(')
+            .unwrap_or(false)
+    {
+        return Err(ExtractError {
+            offset: in_kw,
+            message: "expected `in` in worksharing loop header".into(),
+        });
+    }
+    // Iterator expression: everything to the body `{` at paren depth 0.
+    // (Struct-literal-free headers are assumed, like the canonical loop
+    // forms OpenMP requires.)
+    let iter_start = skip_trivia(src, in_kw + 2);
+    let mut w = Walker::new(&src[iter_start..]);
+    let mut paren = 0i64;
+    let mut open = None;
+    while let Some((at, b, state)) = w.step() {
+        if state == LexState::Normal {
+            match b {
+                b'(' | b'[' => paren += 1,
+                b')' | b']' => paren -= 1,
+                b'{' if paren == 0 => {
+                    open = Some(iter_start + at);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    let open = open.ok_or(ExtractError {
+        offset: iter_start,
+        message: "worksharing loop has no body block".into(),
+    })?;
+    let close = match_brace(src, open)?;
+    Ok(NextConstruct::ForLoop {
+        for_kw,
+        pat,
+        iter: src[iter_start..open].trim().to_string(),
+        open,
+        close,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_directives_in_code() {
+        let src = "fn main() {\n    //#omp parallel for\n    for i in 0..10 { work(i); }\n}\n";
+        let d = find_directives(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].text, "parallel for");
+    }
+
+    #[test]
+    fn ignores_directives_in_strings_and_comments() {
+        let src = r#"
+fn main() {
+    let s = "//#omp parallel";
+    // a comment mentioning //#omp parallel
+    /* block comment //#omp for */
+    let r = r"//#omp single";
+    //#omp barrier
+}
+"#;
+        let d = find_directives(src);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].text, "barrier");
+    }
+
+    #[test]
+    fn brace_matching_skips_strings() {
+        let src = r#"{ let s = "}}}"; let c = '}'; { nested(); } }"#;
+        let close = match_brace(src, 0).unwrap();
+        assert_eq!(close, src.len() - 1);
+    }
+
+    #[test]
+    fn brace_matching_skips_comments() {
+        let src = "{ /* } */ // }\n }";
+        let close = match_brace(src, 0).unwrap();
+        assert_eq!(close, src.len() - 1);
+    }
+
+    #[test]
+    fn unbalanced_brace_reports() {
+        assert!(match_brace("{ {", 0).is_err());
+    }
+
+    #[test]
+    fn extracts_block_construct() {
+        let src = "  \n  { body(); }";
+        match next_construct(src, 0).unwrap() {
+            NextConstruct::Block { open, close } => {
+                assert_eq!(&src[open..=close], "{ body(); }");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extracts_for_construct() {
+        let src = "\n    for i in 0..(n + 1) {\n        a[i] = i;\n    }\nrest";
+        match next_construct(src, 0).unwrap() {
+            NextConstruct::ForLoop {
+                pat, iter, close, ..
+            } => {
+                assert_eq!(pat, "i");
+                assert_eq!(iter, "0..(n + 1)");
+                assert_eq!(&src[close..close + 1], "}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn extracts_step_by_loop() {
+        let src = "for j in (1..100).step_by(3) { f(j); }";
+        match next_construct(src, 0).unwrap() {
+            NextConstruct::ForLoop { pat, iter, .. } => {
+                assert_eq!(pat, "j");
+                assert_eq!(iter, "(1..100).step_by(3)");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_block_follower() {
+        let e = next_construct("let x = 5;", 0).unwrap_err();
+        assert!(e.message.contains("expected"), "{e:?}");
+    }
+
+    #[test]
+    fn rejects_destructuring_loop_pattern() {
+        let e = next_construct("for (a, b) in pairs { }", 0).unwrap_err();
+        assert!(e.message.contains("simple identifier"), "{e:?}");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_do_not_confuse() {
+        let src = "{ let c: char = '{'; fn f<'a>(x: &'a str) {} }";
+        let close = match_brace(src, 0).unwrap();
+        assert_eq!(close, src.len() - 1);
+    }
+
+    #[test]
+    fn multiple_directives_found_in_order() {
+        let src = "//#omp parallel\n{ }\n//#omp barrier\n//#omp taskwait\n";
+        let d = find_directives(src);
+        let texts: Vec<_> = d.iter().map(|x| x.text.as_str()).collect();
+        assert_eq!(texts, vec!["parallel", "barrier", "taskwait"]);
+    }
+}

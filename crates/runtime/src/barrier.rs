@@ -1,0 +1,259 @@
+//! Team barriers.
+//!
+//! Two algorithms, selectable via `ROMP_BARRIER` (ablation experiment A2):
+//!
+//! * **Central** — a sense-reversing counter barrier: each thread
+//!   decrements a shared counter; the last arrival flips the global sense
+//!   and wakes everyone. O(n) contention on one cache line, but minimal
+//!   memory and great at small team sizes.
+//! * **Dissemination** — ⌈log₂ n⌉ rounds; in round `r`, thread `t`
+//!   signals thread `(t + 2^r) mod n` and waits for its own signal.
+//!   No single hot line; scales better at large team sizes.
+//!
+//! Both spin for the wait policy's budget, then fall back to parking
+//! (central) or yielding (dissemination). Every wait loop watches an
+//! abort flag so that a panicking sibling unwinds the whole team instead
+//! of deadlocking it (see [`crate::pool`]).
+
+use crate::icv::WaitPolicy;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Barrier algorithm selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// Centralized sense-reversing counter barrier.
+    #[default]
+    Central,
+    /// Dissemination barrier (log-round pairwise signalling).
+    Dissemination,
+}
+
+/// Per-thread barrier bookkeeping, owned by the thread's context.
+#[derive(Debug, Clone)]
+pub struct BarrierLocal {
+    sense: bool,
+    epoch: u64,
+}
+
+impl Default for BarrierLocal {
+    fn default() -> Self {
+        BarrierLocal {
+            sense: true,
+            epoch: 0,
+        }
+    }
+}
+
+/// A reusable barrier for a fixed-size team.
+#[derive(Debug)]
+pub struct TeamBarrier {
+    kind: BarrierKind,
+    size: usize,
+    spin_budget: u32,
+    // Central state.
+    count: AtomicUsize,
+    sense: AtomicBool,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    // Dissemination state: flags[round][thread] counts completed episodes.
+    flags: Vec<Vec<AtomicU64>>,
+}
+
+impl TeamBarrier {
+    /// Build a barrier for `size` threads.
+    pub fn new(size: usize, kind: BarrierKind, policy: WaitPolicy) -> Self {
+        let rounds = if size <= 1 {
+            0
+        } else {
+            usize::BITS as usize - (size - 1).leading_zeros() as usize
+        };
+        let flags = match kind {
+            BarrierKind::Central => Vec::new(),
+            BarrierKind::Dissemination => (0..rounds)
+                .map(|_| (0..size).map(|_| AtomicU64::new(0)).collect())
+                .collect(),
+        };
+        TeamBarrier {
+            kind,
+            size,
+            spin_budget: policy.spin_budget(),
+            count: AtomicUsize::new(size),
+            sense: AtomicBool::new(true),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            flags,
+        }
+    }
+
+    /// Team size this barrier synchronizes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Wait at the barrier. Returns `true` when the episode completed and
+    /// `false` when `abort` was raised by a sibling (callers then unwind).
+    #[must_use]
+    pub fn wait(&self, thread_num: usize, local: &mut BarrierLocal, abort: &AtomicBool) -> bool {
+        crate::stats::bump(&crate::stats::stats().barriers);
+        if self.size <= 1 {
+            return !abort.load(Ordering::Relaxed);
+        }
+        match self.kind {
+            BarrierKind::Central => self.wait_central(local, abort),
+            BarrierKind::Dissemination => self.wait_dissemination(thread_num, local, abort),
+        }
+    }
+
+    fn wait_central(&self, local: &mut BarrierLocal, abort: &AtomicBool) -> bool {
+        let my_sense = local.sense;
+        local.sense = !local.sense;
+        if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last arrival: reset and release the episode.
+            self.count.store(self.size, Ordering::Relaxed);
+            let _guard = self.park_lock.lock();
+            self.sense.store(!my_sense, Ordering::Release);
+            drop(_guard);
+            self.park_cv.notify_all();
+            return !abort.load(Ordering::Relaxed);
+        }
+        // Spin phase.
+        let mut spins = 0u32;
+        while self.sense.load(Ordering::Acquire) == my_sense {
+            if abort.load(Ordering::Relaxed) {
+                return false;
+            }
+            spins += 1;
+            if spins >= self.spin_budget {
+                break;
+            }
+            std::hint::spin_loop();
+        }
+        // Park phase.
+        let mut guard = self.park_lock.lock();
+        while self.sense.load(Ordering::Acquire) == my_sense {
+            if abort.load(Ordering::Relaxed) {
+                return false;
+            }
+            // Timed wait so we re-check the abort flag even if the wakeup
+            // notification raced ahead of our park.
+            self.park_cv
+                .wait_for(&mut guard, Duration::from_millis(1));
+        }
+        !abort.load(Ordering::Relaxed)
+    }
+
+    fn wait_dissemination(
+        &self,
+        thread_num: usize,
+        local: &mut BarrierLocal,
+        abort: &AtomicBool,
+    ) -> bool {
+        local.epoch += 1;
+        let e = local.epoch;
+        let n = self.size;
+        for (r, round) in self.flags.iter().enumerate() {
+            let partner = (thread_num + (1 << r)) % n;
+            round[partner].fetch_add(1, Ordering::AcqRel);
+            let mine = &round[thread_num];
+            let mut spins = 0u32;
+            while mine.load(Ordering::Acquire) < e {
+                if abort.load(Ordering::Relaxed) {
+                    return false;
+                }
+                spins += 1;
+                if spins >= self.spin_budget {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        !abort.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::sync::Arc;
+
+    fn exercise(kind: BarrierKind, n: usize, episodes: u32) {
+        let barrier = Arc::new(TeamBarrier::new(n, kind, WaitPolicy::Hybrid));
+        let abort = Arc::new(AtomicBool::new(false));
+        let phase = Arc::new(AtomicU32::new(0));
+        let mut handles = vec![];
+        for t in 0..n {
+            let barrier = barrier.clone();
+            let abort = abort.clone();
+            let phase = phase.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = BarrierLocal::default();
+                for e in 0..episodes {
+                    // Everybody must observe the phase of the current
+                    // episode before anyone moves past the barrier.
+                    assert_eq!(phase.load(Ordering::SeqCst), e);
+                    assert!(barrier.wait(t, &mut local, &abort));
+                    if t == 0 {
+                        phase.store(e + 1, Ordering::SeqCst);
+                    }
+                    assert!(barrier.wait(t, &mut local, &abort));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn central_synchronizes_repeatedly() {
+        for n in [1, 2, 3, 4, 8] {
+            exercise(BarrierKind::Central, n, 20);
+        }
+    }
+
+    #[test]
+    fn dissemination_synchronizes_repeatedly() {
+        for n in [1, 2, 3, 4, 5, 8, 13] {
+            exercise(BarrierKind::Dissemination, n, 20);
+        }
+    }
+
+    #[test]
+    fn abort_unblocks_waiters() {
+        let barrier = Arc::new(TeamBarrier::new(2, BarrierKind::Central, WaitPolicy::Passive));
+        let abort = Arc::new(AtomicBool::new(false));
+        let b = barrier.clone();
+        let a = abort.clone();
+        let waiter = std::thread::spawn(move || {
+            let mut local = BarrierLocal::default();
+            // Partner never arrives; abort must release us with `false`.
+            b.wait(0, &mut local, &a)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        abort.store(true, Ordering::SeqCst);
+        assert!(!waiter.join().unwrap());
+    }
+
+    #[test]
+    fn single_thread_barrier_is_noop() {
+        let barrier = TeamBarrier::new(1, BarrierKind::Central, WaitPolicy::Active);
+        let abort = AtomicBool::new(false);
+        let mut local = BarrierLocal::default();
+        for _ in 0..100 {
+            assert!(barrier.wait(0, &mut local, &abort));
+        }
+    }
+
+    #[test]
+    fn dissemination_round_count() {
+        // 5 threads -> 3 rounds, 8 threads -> 3 rounds, 9 -> 4.
+        for (n, rounds) in [(2usize, 1usize), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4)] {
+            let b = TeamBarrier::new(n, BarrierKind::Dissemination, WaitPolicy::Hybrid);
+            assert_eq!(b.flags.len(), rounds, "n={n}");
+        }
+    }
+}

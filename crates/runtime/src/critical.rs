@@ -1,0 +1,102 @@
+//! Named `critical` sections.
+//!
+//! OpenMP's `critical [(name)]` maps every *name* to one process-global
+//! lock; all unnamed criticals share a single lock. The registry below
+//! interns names on first use and leaks the lock storage deliberately —
+//! the set of critical names in a program is static and tiny, exactly the
+//! assumption libomp makes.
+
+use crate::lock::OmpLock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+static UNNAMED: OmpLock = OmpLock::new();
+
+fn registry() -> &'static Mutex<HashMap<String, &'static OmpLock>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<String, &'static OmpLock>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Look up (interning on first use) the lock for a critical-section name.
+pub fn lock_for(name: &str) -> &'static OmpLock {
+    let mut map = registry().lock();
+    if let Some(l) = map.get(name) {
+        return l;
+    }
+    let leaked: &'static OmpLock = Box::leak(Box::new(OmpLock::new()));
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+/// Execute `f` inside the **unnamed** global critical section.
+pub fn critical<R>(f: impl FnOnce() -> R) -> R {
+    UNNAMED.with(f)
+}
+
+/// Execute `f` inside the critical section identified by `name`.
+pub fn critical_named<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    lock_for(name).with(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn same_name_same_lock() {
+        let a = lock_for("alpha") as *const OmpLock;
+        let b = lock_for("alpha") as *const OmpLock;
+        let c = lock_for("beta") as *const OmpLock;
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        let inside = Arc::new(AtomicUsize::new(0));
+        let max_seen = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let inside = inside.clone();
+            let max_seen = max_seen.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..2_000 {
+                    critical_named("mutex-test", || {
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        max_seen.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "two threads overlapped");
+    }
+
+    #[test]
+    fn different_names_do_not_exclude() {
+        // A thread holding "left" must not block a thread taking "right".
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let b2 = barrier.clone();
+        let h = std::thread::spawn(move || {
+            critical_named("left-xyzzy", || {
+                b2.wait(); // hold "left" until main has taken "right"
+                b2.wait();
+            });
+        });
+        barrier.wait();
+        critical_named("right-xyzzy", || {});
+        barrier.wait();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn unnamed_critical_returns_value() {
+        assert_eq!(critical(|| 7), 7);
+    }
+}

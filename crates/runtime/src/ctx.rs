@@ -1,0 +1,504 @@
+//! Per-thread context inside a parallel region.
+//!
+//! Every team thread's copy of the outlined region closure receives a
+//! [`ThreadCtx`]: the handle through which all constructs — barriers,
+//! worksharing loops, `single`, `sections`, tasks — are reached. It is
+//! the analogue of the `(global_tid, bound_tid)` pair libomp passes to
+//! outlined functions, fattened into an actual capability object.
+//!
+//! The `'scope` lifetime parameter plays the same role as
+//! `std::thread::Scope`'s: closures handed to [`ThreadCtx::task`] may
+//! borrow anything that outlives the region, because the region's
+//! implicit end barrier drains all tasks before `fork` returns.
+
+use crate::barrier::BarrierLocal;
+use crate::lock::os_thread_id;
+use crate::task::{current_children, current_groups, make_raw_task, TaskHooks, GROUP_STACK};
+use crate::team::Team;
+use std::cell::{Cell, RefCell};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Where am I in the region nest? One entry per enclosing parallel
+/// region on this OS thread.
+pub(crate) struct RegionInfo {
+    pub team: Arc<Team>,
+    pub thread_num: usize,
+}
+
+thread_local! {
+    pub(crate) static REGION_STACK: RefCell<Vec<RegionInfo>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `(level, active_level, ancestor chain)` seen by a `parallel` construct
+/// starting on the current thread. The chain lists
+/// `(thread_num, team_size)` from the initial implicit task down to the
+/// current position; its length is the nesting level of a region forked
+/// from here.
+pub(crate) fn forking_position() -> (usize, usize, Vec<(usize, usize)>) {
+    REGION_STACK.with(|s| {
+        let stack = s.borrow();
+        match stack.last() {
+            None => (0, 0, vec![(0, 1)]),
+            Some(top) => {
+                let mut chain = top.team.ancestors.clone();
+                chain.push((top.thread_num, top.team.size()));
+                (top.team.level, top.team.active_level, chain)
+            }
+        }
+    })
+}
+
+/// Read a field of the innermost region, with a default for the
+/// sequential part.
+pub(crate) fn with_current<R>(
+    f: impl FnOnce(&RegionInfo) -> R,
+    default: impl FnOnce() -> R,
+) -> R {
+    REGION_STACK.with(|s| {
+        let stack = s.borrow();
+        match stack.last() {
+            Some(top) => f(top),
+            None => default(),
+        }
+    })
+}
+
+/// Marker payload used to unwind sibling threads when one team member
+/// panics; the master rethrows the original payload, not this one.
+pub struct SiblingPanic;
+
+/// The per-thread handle to a parallel region.
+///
+/// Constructed by the runtime (one per team thread per region) and passed
+/// to the outlined region closure. All methods take `&self`; the mutable
+/// bookkeeping (construct generation, barrier sense, steal seed) is in
+/// `Cell`s so user code can call constructs from nested helper closures.
+pub struct ThreadCtx<'scope> {
+    team: Arc<Team>,
+    thread_num: usize,
+    ws_gen: Cell<u64>,
+    barrier_local: RefCell<BarrierLocal>,
+    /// Children of this thread's *implicit* task (targets of `taskwait`
+    /// outside any explicit task).
+    implicit_children: Arc<AtomicUsize>,
+    steal_seed: Cell<u64>,
+    /// Per-thread reduction-construct counter (see
+    /// [`reduce_value`](Self::reduce_value)).
+    red_gen: Cell<u64>,
+    /// Invariant over `'scope` (see module docs).
+    _scope: PhantomData<Cell<&'scope ()>>,
+}
+
+impl<'scope> ThreadCtx<'scope> {
+    pub(crate) fn new(team: Arc<Team>, thread_num: usize) -> Self {
+        ThreadCtx {
+            team,
+            thread_num,
+            ws_gen: Cell::new(0),
+            barrier_local: RefCell::new(BarrierLocal::default()),
+            implicit_children: Arc::new(AtomicUsize::new(0)),
+            steal_seed: Cell::new(os_thread_id() | 1),
+            red_gen: Cell::new(0),
+            _scope: PhantomData,
+        }
+    }
+
+    /// This thread's number within the team (`omp_get_thread_num`);
+    /// 0 is the master.
+    #[inline]
+    pub fn thread_num(&self) -> usize {
+        self.thread_num
+    }
+
+    /// Team size (`omp_get_num_threads`).
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.team.size()
+    }
+
+    /// Is this the master (thread 0)?
+    #[inline]
+    pub fn is_master(&self) -> bool {
+        self.thread_num == 0
+    }
+
+    /// Nesting level of the enclosing region (`omp_get_level`).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.team.level
+    }
+
+    pub(crate) fn team(&self) -> &Arc<Team> {
+        &self.team
+    }
+
+    /// Next worksharing-construct generation for this thread.
+    pub(crate) fn next_gen(&self) -> u64 {
+        let g = self.ws_gen.get();
+        self.ws_gen.set(g + 1);
+        g
+    }
+
+    fn panic_if_aborted(&self) {
+        if self.team.abort.load(Ordering::Relaxed) {
+            std::panic::panic_any(SiblingPanic);
+        }
+    }
+
+    /// Raw team barrier (no task draining). Panics with a sibling marker
+    /// if the team aborted.
+    pub(crate) fn team_barrier(&self) {
+        let ok = self.team.barrier.wait(
+            self.thread_num,
+            &mut self.barrier_local.borrow_mut(),
+            &self.team.abort,
+        );
+        if !ok {
+            std::panic::panic_any(SiblingPanic);
+        }
+    }
+
+    /// Explicit barrier (`#pragma omp barrier`): drains pending explicit
+    /// tasks, then synchronizes the team. No thread proceeds until all
+    /// threads have arrived *and* every deferred task has completed.
+    pub fn barrier(&self) {
+        loop {
+            self.drain_tasks();
+            self.team_barrier();
+            // After the episode, task counts are stable: creations
+            // happen-before the barrier, so all threads agree.
+            if self.team.tasks.pending() == 0 {
+                break;
+            }
+        }
+    }
+
+    /// The implicit barrier at the end of the region body; unlike
+    /// [`barrier`](Self::barrier) it does not panic on abort (the region
+    /// is ending anyway and the master rethrows the real payload).
+    pub(crate) fn end_of_region_barrier(&self) {
+        loop {
+            self.drain_tasks();
+            let ok = self.team.barrier.wait(
+                self.thread_num,
+                &mut self.barrier_local.borrow_mut(),
+                &self.team.abort,
+            );
+            if !ok {
+                return;
+            }
+            if self.team.tasks.pending() == 0 {
+                return;
+            }
+        }
+    }
+
+    /// Execute available tasks until none can be found.
+    pub(crate) fn drain_tasks(&self) {
+        let mut seed = self.steal_seed.get();
+        self.team.tasks.drain(self.thread_num, &mut seed);
+        self.steal_seed.set(seed);
+    }
+
+    // ------------------------------------------------------------------
+    // single / master / sections
+    // ------------------------------------------------------------------
+
+    /// `single` construct: exactly one team thread (the first to arrive)
+    /// runs `f`; the others skip it. Implies a barrier on exit unless
+    /// `nowait`. Returns `Some(result)` on the executing thread.
+    pub fn single<R>(&self, nowait: bool, f: impl FnOnce() -> R) -> Option<R> {
+        let gen = self.next_gen();
+        let slot = self.team.slot(gen);
+        let ok = slot.enter(gen, self.team.size(), &self.team.abort, |s| {
+            s.claimed.store(false, Ordering::Relaxed);
+        });
+        if !ok {
+            std::panic::panic_any(SiblingPanic);
+        }
+        let winner = slot
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        let out = if winner { Some(f()) } else { None };
+        slot.leave();
+        if !nowait {
+            self.barrier();
+        }
+        out
+    }
+
+    /// `single copyprivate(...)`: one thread computes a value, every
+    /// thread returns a copy of it. Always synchronizes (copyprivate
+    /// forbids `nowait`).
+    pub fn single_copy<T: Clone + Send + 'static>(&self, f: impl FnOnce() -> T) -> T {
+        let produced = self.single(true, f);
+        if let Some(v) = &produced {
+            *self.team.copy_cell.lock() = Some(Box::new(v.clone()));
+        }
+        self.barrier();
+        let was_producer = produced.is_some();
+        let out = match produced {
+            Some(v) => v,
+            None => self
+                .team
+                .copy_cell
+                .lock()
+                .as_ref()
+                .and_then(|b| b.downcast_ref::<T>())
+                .cloned()
+                .expect("copyprivate cell holds the produced value"),
+        };
+        // Second barrier so the producer can clear the cell only after
+        // everyone has read it.
+        self.barrier();
+        if was_producer {
+            *self.team.copy_cell.lock() = None;
+        }
+        out
+    }
+
+    /// `master` construct: thread 0 runs `f`, no implied barrier.
+    pub fn master<R>(&self, f: impl FnOnce() -> R) -> Option<R> {
+        if self.is_master() {
+            Some(f())
+        } else {
+            None
+        }
+    }
+
+    /// `sections` construct: `count` independent blocks distributed over
+    /// the team, each executed exactly once. `body(i)` is invoked for the
+    /// section indices this thread claims. Implies a barrier unless
+    /// `nowait`.
+    pub fn sections(&self, count: usize, nowait: bool, mut body: impl FnMut(usize)) {
+        let gen = self.next_gen();
+        let slot = self.team.slot(gen);
+        let ok = slot.enter(gen, self.team.size(), &self.team.abort, |s| {
+            s.next.store(0, Ordering::Relaxed);
+            s.end.store(count as u64, Ordering::Relaxed);
+        });
+        if !ok {
+            std::panic::panic_any(SiblingPanic);
+        }
+        loop {
+            let i = slot.next.fetch_add(1, Ordering::AcqRel);
+            if i >= count as u64 {
+                break;
+            }
+            crate::stats::bump(&crate::stats::stats().dispatched_chunks);
+            body(i as usize);
+        }
+        slot.leave();
+        if !nowait {
+            self.barrier();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // tasking
+    // ------------------------------------------------------------------
+
+    /// `task` construct: defer `f` for execution by any team thread.
+    /// The closure may borrow anything outliving the region (`'scope`).
+    pub fn task<F: FnOnce() + Send + 'scope>(&self, f: F) {
+        let hooks = TaskHooks {
+            parent_children: current_children(&self.implicit_children),
+            groups: current_groups(),
+        };
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: the region-end implicit barrier drains every deferred
+        // task before `fork` returns, and `'scope` data outlives `fork`.
+        let raw = unsafe { make_raw_task(boxed, hooks) };
+        unsafe { self.team.tasks.push(self.thread_num, raw) };
+    }
+
+    /// `task if(cond)`: deferred when `cond`, undeferred (run immediately
+    /// on this thread) otherwise.
+    pub fn task_if<F: FnOnce() + Send + 'scope>(&self, cond: bool, f: F) {
+        if cond {
+            self.task(f);
+        } else {
+            f();
+        }
+    }
+
+    /// `taskwait`: block until all children of the current task have
+    /// completed, helping to execute queued tasks meanwhile.
+    pub fn taskwait(&self) {
+        let children = current_children(&self.implicit_children);
+        let mut seed = self.steal_seed.get();
+        let mut idle_spins = 0u32;
+        while children.load(Ordering::Acquire) > 0 {
+            self.panic_if_aborted();
+            if let Some(t) = self.team.tasks.pop_or_steal(self.thread_num, &mut seed) {
+                self.team.tasks.execute(t);
+                idle_spins = 0;
+            } else {
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.steal_seed.set(seed);
+    }
+
+    /// `taskloop` construct: the encountering thread carves `range` into
+    /// tasks of `grainsize` iterations, executed by the whole team, and
+    /// waits for all of them (the implicit taskgroup of `taskloop`).
+    /// Pass `grainsize = 0` for the implementation default.
+    pub fn taskloop<F>(&self, range: std::ops::Range<usize>, grainsize: usize, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'scope,
+    {
+        let trip = range.end.saturating_sub(range.start);
+        if trip == 0 {
+            return;
+        }
+        let grain = if grainsize == 0 {
+            (trip / (8 * self.num_threads())).max(1)
+        } else {
+            grainsize
+        };
+        let body = std::sync::Arc::new(body);
+        self.taskgroup(|| {
+            let mut lo = range.start;
+            while lo < range.end {
+                let hi = (lo + grain).min(range.end);
+                let f = body.clone();
+                self.task(move || {
+                    for i in lo..hi {
+                        f(i);
+                    }
+                });
+                lo = hi;
+            }
+        });
+    }
+
+    /// `taskgroup`: run `f`, then wait for all tasks created inside it
+    /// (transitively, including by stolen children) to finish.
+    pub fn taskgroup<R>(&self, f: impl FnOnce() -> R) -> R {
+        let counter = Arc::new(AtomicUsize::new(0));
+        GROUP_STACK.with(|g| g.borrow_mut().push(counter.clone()));
+        struct PopGroup;
+        impl Drop for PopGroup {
+            fn drop(&mut self) {
+                GROUP_STACK.with(|g| {
+                    g.borrow_mut().pop();
+                });
+            }
+        }
+        let out = {
+            let _pop = PopGroup;
+            f()
+        };
+        let mut seed = self.steal_seed.get();
+        let mut idle_spins = 0u32;
+        while counter.load(Ordering::Acquire) > 0 {
+            self.panic_if_aborted();
+            if let Some(t) = self.team.tasks.pop_or_steal(self.thread_num, &mut seed) {
+                self.team.tasks.execute(t);
+                idle_spins = 0;
+            } else {
+                idle_spins += 1;
+                if idle_spins > 64 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+        self.steal_seed.set(seed);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // reductions
+    // ------------------------------------------------------------------
+
+    /// Contribute this thread's private partial to a shared reduction
+    /// variable and return the fully combined value (after the implied
+    /// barrier), i.e. the end-of-construct semantics of `reduction`.
+    pub fn reduce<T: Clone, Op: crate::reduction::ReduceOp<T>>(
+        &self,
+        var: &crate::reduction::RedVar<T, Op>,
+        partial: T,
+    ) -> T {
+        var.contribute(partial);
+        self.barrier();
+        let v = var.get();
+        // Keep threads from racing ahead and re-contributing to a reused
+        // variable before everyone has read it.
+        self.barrier();
+        v
+    }
+
+    /// Team-wide reduction without a pre-created shared variable: every
+    /// thread passes its private partial (and the same `op`), every
+    /// thread receives the combined value. This is what the macro layer's
+    /// `reduction` clause lowers to.
+    ///
+    /// All team threads must call this the same number of times in the
+    /// same order (it is a synchronizing construct, like a barrier).
+    ///
+    /// # Panics
+    ///
+    /// If threads disagree on `T` for the same reduction construct.
+    pub fn reduce_value<T, Op>(&self, op: Op, partial: T) -> T
+    where
+        T: Clone + Send + 'static,
+        Op: crate::reduction::ReduceOp<T>,
+    {
+        let gen = self.red_gen.get();
+        self.red_gen.set(gen + 1);
+        let cell = &self.team.reduce_cells[(gen % 2) as usize];
+        {
+            let mut c = cell.lock();
+            if c.gen != gen {
+                // First arrival of this generation: evict stale state
+                // from two constructs ago (everyone has long read it —
+                // the barriers below guarantee that).
+                c.gen = gen;
+                c.value = None;
+            }
+            match c.value.as_mut() {
+                None => c.value = Some(Box::new(partial)),
+                Some(acc) => {
+                    let acc = acc
+                        .downcast_mut::<T>()
+                        .expect("reduce_value: team threads disagree on the reduction type");
+                    *acc = op.combine(acc.clone(), partial);
+                }
+            }
+        }
+        // All contributions in…
+        self.barrier();
+        let out = cell
+            .lock()
+            .value
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<T>())
+            .cloned()
+            .expect("reduce_value: combined value present after barrier");
+        // …and all reads out before anyone can reach generation gen+2
+        // (which reuses this cell).
+        self.barrier();
+        out
+    }
+}
+
+impl std::fmt::Debug for ThreadCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("thread_num", &self.thread_num)
+            .field("num_threads", &self.team.size())
+            .field("level", &self.team.level)
+            .finish()
+    }
+}

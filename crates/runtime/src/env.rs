@@ -1,0 +1,301 @@
+//! `OMP_*` environment-variable parsing.
+//!
+//! The recognised set matches what the paper's runtime (LLVM libomp)
+//! honours for the constructs it implements, plus one romp extension:
+//!
+//! | Variable | ICV | Syntax |
+//! |---|---|---|
+//! | `OMP_NUM_THREADS` | `nthreads-var` | `n[,n2[,…]]` per nesting level |
+//! | `OMP_SCHEDULE` | `run-sched-var` | `kind[,chunk]` |
+//! | `OMP_DYNAMIC` | `dyn-var` | `true`/`false` |
+//! | `OMP_MAX_ACTIVE_LEVELS` | `max-active-levels-var` | integer |
+//! | `OMP_NESTED` (deprecated) | `max-active-levels-var` | `true` → ∞ |
+//! | `OMP_THREAD_LIMIT` | `thread-limit-var` | integer |
+//! | `OMP_WAIT_POLICY` | `wait-policy-var` | `active`/`passive` |
+//! | `OMP_PROC_BIND` | `bind-var` | `true/false/close/spread/master` |
+//! | `OMP_STACKSIZE` | `stacksize-var` | `n[B|K|M|G]` (default KiB) |
+//! | `ROMP_BARRIER` | barrier algorithm | `central`/`dissemination` |
+//!
+//! Malformed values are ignored (with the spec-sanctioned fallback to the
+//! default), never fatal: an HPC batch job must not die because of a typo
+//! in a site-wide profile. Every parser here is a pure function over the
+//! string so tests can cover it without touching the process environment.
+
+use crate::barrier::BarrierKind;
+use crate::icv::{Icvs, ProcBind, WaitPolicy};
+use crate::sched::Schedule;
+
+/// Parse `OMP_NUM_THREADS` syntax: a comma-separated positive-integer
+/// list.
+pub fn parse_num_threads(s: &str) -> Option<Vec<usize>> {
+    let vals: Option<Vec<usize>> = s
+        .split(',')
+        .map(|p| p.trim().parse::<usize>().ok().filter(|&n| n > 0))
+        .collect();
+    vals.filter(|v| !v.is_empty())
+}
+
+/// Parse an OpenMP boolean (`true`/`false`, case-insensitive, also `1`/`0`).
+pub fn parse_bool(s: &str) -> Option<bool> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "true" | "1" | "yes" | "on" => Some(true),
+        "false" | "0" | "no" | "off" => Some(false),
+        _ => None,
+    }
+}
+
+/// Parse `OMP_STACKSIZE`: `size[B|K|M|G]`, unsuffixed means KiB.
+pub fn parse_stacksize(s: &str) -> Option<usize> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    let (num, mult) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
+        b'B' => (&s[..s.len() - 1], 1usize),
+        b'K' => (&s[..s.len() - 1], 1024),
+        b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1024),
+    };
+    let n: usize = num.trim().parse().ok()?;
+    n.checked_mul(mult).filter(|&b| b > 0)
+}
+
+/// Parse `OMP_PROC_BIND`.
+pub fn parse_proc_bind(s: &str) -> Option<ProcBind> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "false" => Some(ProcBind::False),
+        "true" => Some(ProcBind::True),
+        "close" => Some(ProcBind::Close),
+        "spread" => Some(ProcBind::Spread),
+        "master" | "primary" => Some(ProcBind::Master),
+        _ => None,
+    }
+}
+
+/// Parse `OMP_WAIT_POLICY`.
+pub fn parse_wait_policy(s: &str) -> Option<WaitPolicy> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "active" => Some(WaitPolicy::Active),
+        "passive" => Some(WaitPolicy::Passive),
+        _ => None,
+    }
+}
+
+/// Parse `ROMP_BARRIER`.
+pub fn parse_barrier_kind(s: &str) -> Option<BarrierKind> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "central" | "centralized" => Some(BarrierKind::Central),
+        "dissemination" | "dissem" => Some(BarrierKind::Dissemination),
+        _ => None,
+    }
+}
+
+/// Build an ICV block from an abstract environment lookup. Pure — tests
+/// drive it with a closure over a map.
+pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
+    let mut icvs = Icvs::default();
+    if let Some(v) = get("OMP_NUM_THREADS").as_deref().and_then(parse_num_threads) {
+        icvs.nthreads = v;
+    }
+    if let Some(v) = get("OMP_DYNAMIC").as_deref().and_then(parse_bool) {
+        icvs.dynamic = v;
+    }
+    if let Some(v) = get("OMP_SCHEDULE").and_then(|s| Schedule::parse(&s).ok()) {
+        // `OMP_SCHEDULE=runtime` would be circular; keep the default then.
+        if v != Schedule::Runtime {
+            icvs.run_sched = v;
+        }
+    }
+    if let Some(v) = get("OMP_MAX_ACTIVE_LEVELS").and_then(|s| s.trim().parse::<usize>().ok()) {
+        icvs.max_active_levels = v;
+    } else if let Some(true) = get("OMP_NESTED").as_deref().and_then(parse_bool) {
+        icvs.max_active_levels = usize::MAX;
+    }
+    if let Some(v) = get("OMP_THREAD_LIMIT").and_then(|s| s.trim().parse::<usize>().ok()) {
+        if v > 0 {
+            icvs.thread_limit = v;
+        }
+    }
+    if let Some(v) = get("OMP_WAIT_POLICY").as_deref().and_then(parse_wait_policy) {
+        icvs.wait_policy = v;
+    }
+    if let Some(v) = get("OMP_PROC_BIND").as_deref().and_then(parse_proc_bind) {
+        icvs.proc_bind = v;
+    }
+    if let Some(v) = get("OMP_STACKSIZE").as_deref().and_then(parse_stacksize) {
+        icvs.stacksize = Some(v);
+    }
+    if let Some(v) = get("ROMP_BARRIER").as_deref().and_then(parse_barrier_kind) {
+        icvs.barrier_kind = v;
+    }
+    icvs
+}
+
+/// Build the ICV block from the real process environment.
+pub fn icvs_from_env() -> Icvs {
+    icvs_from_lookup(|k| std::env::var(k).ok())
+}
+
+/// Render the effective ICVs in the style of libomp's
+/// `OMP_DISPLAY_ENV=TRUE` banner.
+pub fn display_env(icvs: &Icvs) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT BEGIN");
+    let _ = writeln!(out, "  _ROMP_VERSION = '{}'", env!("CARGO_PKG_VERSION"));
+    let nthreads = if icvs.nthreads.is_empty() {
+        format!("{}", crate::icv::hardware_threads())
+    } else {
+        icvs.nthreads
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(out, "  OMP_NUM_THREADS = '{nthreads}'");
+    let _ = writeln!(out, "  OMP_SCHEDULE = '{}'", icvs.run_sched);
+    let _ = writeln!(out, "  OMP_DYNAMIC = '{}'", icvs.dynamic);
+    let _ = writeln!(out, "  OMP_MAX_ACTIVE_LEVELS = '{}'", icvs.max_active_levels);
+    let _ = writeln!(out, "  OMP_THREAD_LIMIT = '{}'", icvs.thread_limit);
+    let _ = writeln!(
+        out,
+        "  OMP_WAIT_POLICY = '{}'",
+        match icvs.wait_policy {
+            crate::icv::WaitPolicy::Active => "ACTIVE",
+            crate::icv::WaitPolicy::Passive => "PASSIVE",
+            crate::icv::WaitPolicy::Hybrid => "HYBRID (default)",
+        }
+    );
+    let _ = writeln!(out, "  OMP_PROC_BIND = '{:?}'", icvs.proc_bind);
+    let _ = writeln!(
+        out,
+        "  OMP_STACKSIZE = '{}'",
+        icvs.stacksize
+            .map(|b| format!("{b}B"))
+            .unwrap_or_else(|| "default".into())
+    );
+    let _ = writeln!(out, "  ROMP_BARRIER = '{:?}'", icvs.barrier_kind);
+    let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT END");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env(pairs: &[(&str, &str)]) -> Icvs {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        icvs_from_lookup(|k| map.get(k).cloned())
+    }
+
+    #[test]
+    fn num_threads_single_and_list() {
+        assert_eq!(parse_num_threads("8"), Some(vec![8]));
+        assert_eq!(parse_num_threads(" 4 , 2 "), Some(vec![4, 2]));
+        assert_eq!(parse_num_threads("0"), None);
+        assert_eq!(parse_num_threads("four"), None);
+        assert_eq!(parse_num_threads(""), None);
+        assert_eq!(parse_num_threads("4,,2"), None);
+    }
+
+    #[test]
+    fn bools() {
+        for t in ["true", "TRUE", "1", "yes", "on"] {
+            assert_eq!(parse_bool(t), Some(true));
+        }
+        for f in ["false", "False", "0", "no", "off"] {
+            assert_eq!(parse_bool(f), Some(false));
+        }
+        assert_eq!(parse_bool("maybe"), None);
+    }
+
+    #[test]
+    fn stacksize_suffixes() {
+        assert_eq!(parse_stacksize("512"), Some(512 * 1024)); // default KiB
+        assert_eq!(parse_stacksize("512B"), Some(512));
+        assert_eq!(parse_stacksize("4K"), Some(4096));
+        assert_eq!(parse_stacksize("2M"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_stacksize("1g"), Some(1024 * 1024 * 1024));
+        assert_eq!(parse_stacksize("0"), None);
+        assert_eq!(parse_stacksize("lots"), None);
+    }
+
+    #[test]
+    fn full_block_from_lookup() {
+        let icvs = env(&[
+            ("OMP_NUM_THREADS", "4,2"),
+            ("OMP_DYNAMIC", "true"),
+            ("OMP_SCHEDULE", "guided,7"),
+            ("OMP_MAX_ACTIVE_LEVELS", "3"),
+            ("OMP_THREAD_LIMIT", "32"),
+            ("OMP_WAIT_POLICY", "passive"),
+            ("OMP_PROC_BIND", "spread"),
+            ("OMP_STACKSIZE", "8M"),
+            ("ROMP_BARRIER", "dissemination"),
+        ]);
+        assert_eq!(icvs.nthreads, vec![4, 2]);
+        assert!(icvs.dynamic);
+        assert_eq!(icvs.run_sched, Schedule::Guided { chunk: 7 });
+        assert_eq!(icvs.max_active_levels, 3);
+        assert_eq!(icvs.thread_limit, 32);
+        assert_eq!(icvs.wait_policy, WaitPolicy::Passive);
+        assert_eq!(icvs.proc_bind, ProcBind::Spread);
+        assert_eq!(icvs.stacksize, Some(8 * 1024 * 1024));
+        assert_eq!(icvs.barrier_kind, BarrierKind::Dissemination);
+    }
+
+    #[test]
+    fn malformed_values_fall_back_to_defaults() {
+        let icvs = env(&[
+            ("OMP_NUM_THREADS", "banana"),
+            ("OMP_SCHEDULE", "fair,none"),
+            ("OMP_THREAD_LIMIT", "-3"),
+            ("OMP_WAIT_POLICY", "later"),
+        ]);
+        let def = Icvs::default();
+        assert_eq!(icvs.nthreads, def.nthreads);
+        assert_eq!(icvs.run_sched, def.run_sched);
+        assert_eq!(icvs.thread_limit, def.thread_limit);
+        assert_eq!(icvs.wait_policy, def.wait_policy);
+    }
+
+    #[test]
+    fn omp_nested_true_unlocks_nesting() {
+        let icvs = env(&[("OMP_NESTED", "true")]);
+        assert_eq!(icvs.max_active_levels, usize::MAX);
+        // Explicit MAX_ACTIVE_LEVELS wins over OMP_NESTED.
+        let icvs = env(&[("OMP_NESTED", "true"), ("OMP_MAX_ACTIVE_LEVELS", "2")]);
+        assert_eq!(icvs.max_active_levels, 2);
+    }
+
+    #[test]
+    fn display_env_renders_all_icvs() {
+        let banner = display_env(&Icvs::default());
+        for key in [
+            "OMP_NUM_THREADS",
+            "OMP_SCHEDULE",
+            "OMP_DYNAMIC",
+            "OMP_MAX_ACTIVE_LEVELS",
+            "OMP_THREAD_LIMIT",
+            "OMP_WAIT_POLICY",
+            "OMP_PROC_BIND",
+            "OMP_STACKSIZE",
+            "ROMP_BARRIER",
+        ] {
+            assert!(banner.contains(key), "missing {key} in:\n{banner}");
+        }
+        let custom = display_env(&env(&[("OMP_NUM_THREADS", "4,2")]));
+        assert!(custom.contains("'4,2'"), "{custom}");
+    }
+
+    #[test]
+    fn schedule_runtime_is_rejected_as_circular() {
+        let icvs = env(&[("OMP_SCHEDULE", "runtime")]);
+        assert_eq!(icvs.run_sched, Icvs::default().run_sched);
+    }
+}

@@ -1,0 +1,522 @@
+//! Worksharing-loop driver: the `for` directive.
+//!
+//! This is the analogue of the runtime calls the paper's compiler pass
+//! inserts for its worksharing-loop directive ("we add a runtime library
+//! routine call to calculate the loop bounds"): static schedules are
+//! computed thread-locally ([`StaticChunks`]), dynamic/guided schedules
+//! go through the team's shared dispatch slot.
+//!
+//! All loops are internally normalized to `0..trip`; the public entry
+//! points map normalized indices back to the user's iteration space
+//! (including strided `i64` loops, which the pragma translator emits for
+//! `for i in (a..b).step_by(s)`-shaped sources).
+
+use crate::ctx::{SiblingPanic, ThreadCtx};
+use crate::sched::{guided_grab, Schedule, StaticChunks};
+use crate::team::{KIND_DYNAMIC, KIND_GUIDED};
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+/// Handle passed to the body of an `ordered` loop; see
+/// [`ThreadCtx::ws_for_ordered`].
+pub struct Ordered<'a> {
+    slot: &'a crate::team::WsSlot,
+    current: Cell<u64>,
+    ran: Cell<bool>,
+    abort: &'a std::sync::atomic::AtomicBool,
+}
+
+impl Ordered<'_> {
+    /// Execute `f` as the iteration's `ordered` region: iterations run
+    /// their ordered regions in iteration order. Call at most once per
+    /// iteration.
+    pub fn section<R>(&self, f: impl FnOnce() -> R) -> R {
+        assert!(
+            !self.ran.get(),
+            "ordered region executed twice in one iteration"
+        );
+        self.ran.set(true);
+        self.wait_turn();
+        let out = f();
+        self.slot
+            .ordered_next
+            .store(self.current.get() + 1, Ordering::Release);
+        out
+    }
+
+    fn wait_turn(&self) {
+        let me = self.current.get();
+        let mut spins = 0u32;
+        while self.slot.ordered_next.load(Ordering::Acquire) != me {
+            if self.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            spins += 1;
+            if spins > 10_000 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Called by the driver after each iteration: if the body skipped its
+    /// ordered region, take and release the turn so later iterations are
+    /// not blocked.
+    fn finish_iteration(&self) {
+        if !self.ran.get() {
+            self.wait_turn();
+            self.slot
+                .ordered_next
+                .store(self.current.get() + 1, Ordering::Release);
+        }
+        self.ran.set(false);
+    }
+}
+
+impl<'scope> ThreadCtx<'scope> {
+    /// Worksharing loop over `range` (the `for` directive): the team
+    /// divides the iterations according to `sched`; each index runs
+    /// exactly once. Implies an end barrier unless `nowait`.
+    pub fn ws_for(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        nowait: bool,
+        mut body: impl FnMut(usize),
+    ) {
+        let base = range.start;
+        let trip = range.end.saturating_sub(range.start) as u64;
+        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+            for i in lo..hi {
+                body(base + i as usize);
+            }
+        });
+    }
+
+    /// Like [`ws_for`](Self::ws_for) but hands the body whole chunks,
+    /// letting hot kernels iterate contiguous memory without per-index
+    /// closure calls.
+    pub fn ws_for_chunks(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        nowait: bool,
+        mut body: impl FnMut(Range<usize>),
+    ) {
+        let base = range.start;
+        let trip = range.end.saturating_sub(range.start) as u64;
+        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+            body(base + lo as usize..base + hi as usize);
+        });
+    }
+
+    /// Strided worksharing loop: iterates `start, start+step, …` while
+    /// `< end` (positive step) or `> end` (negative step), matching the
+    /// canonical OpenMP loop forms.
+    pub fn ws_for_step(
+        &self,
+        start: i64,
+        end: i64,
+        step: i64,
+        sched: Schedule,
+        nowait: bool,
+        mut body: impl FnMut(i64),
+    ) {
+        assert!(step != 0, "worksharing loop step must be nonzero");
+        let trip: u64 = if step > 0 {
+            if end > start {
+                ((end - start) as u64).div_ceil(step as u64)
+            } else {
+                0
+            }
+        } else if start > end {
+            ((start - end) as u64).div_ceil(step.unsigned_abs())
+        } else {
+            0
+        };
+        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+            for k in lo..hi {
+                body(start + (k as i64) * step);
+            }
+        });
+    }
+
+    /// Normalized driver: distribute `0..trip` per `sched`, invoking
+    /// `chunk_body(lo, hi)` for each chunk this thread claims.
+    pub(crate) fn ws_norm(
+        &self,
+        trip: u64,
+        sched: Schedule,
+        nowait: bool,
+        mut chunk_body: impl FnMut(u64, u64),
+    ) {
+        let sched = self.resolve_schedule(sched);
+        match sched {
+            Schedule::Static { chunk } => {
+                for r in StaticChunks::new(trip, self.num_threads(), self.thread_num(), chunk) {
+                    chunk_body(r.start, r.end);
+                }
+            }
+            Schedule::Dynamic { chunk } | Schedule::Guided { chunk } => {
+                let guided = matches!(sched, Schedule::Guided { .. });
+                let chunk = chunk.max(1);
+                let gen = self.next_gen();
+                let team = self.team().clone();
+                let slot = team.slot(gen);
+                let size = self.num_threads();
+                let ok = slot.enter(gen, size, &team.abort, |s| {
+                    s.next.store(0, Ordering::Relaxed);
+                    s.end.store(trip, Ordering::Relaxed);
+                    s.chunk.store(chunk, Ordering::Relaxed);
+                    s.kind.store(
+                        if guided { KIND_GUIDED } else { KIND_DYNAMIC },
+                        Ordering::Relaxed,
+                    );
+                });
+                if !ok {
+                    std::panic::panic_any(SiblingPanic);
+                }
+                loop {
+                    let grabbed = if guided {
+                        // CAS loop: shrinking grabs proportional to the
+                        // remaining work.
+                        loop {
+                            let cur = slot.next.load(Ordering::Acquire);
+                            if cur >= trip {
+                                break None;
+                            }
+                            let g = guided_grab(trip - cur, size, chunk);
+                            match slot.next.compare_exchange_weak(
+                                cur,
+                                cur + g,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => break Some((cur, cur + g)),
+                                Err(_) => continue,
+                            }
+                        }
+                    } else {
+                        let cur = slot.next.fetch_add(chunk, Ordering::AcqRel);
+                        if cur >= trip {
+                            None
+                        } else {
+                            Some((cur, (cur + chunk).min(trip)))
+                        }
+                    };
+                    match grabbed {
+                        Some((lo, hi)) => {
+                            crate::stats::bump(&crate::stats::stats().dispatched_chunks);
+                            chunk_body(lo, hi);
+                        }
+                        None => break,
+                    }
+                }
+                slot.leave();
+            }
+            Schedule::Runtime | Schedule::Auto => unreachable!("resolved above"),
+        }
+        if !nowait {
+            self.barrier();
+        }
+    }
+
+    /// Worksharing loop with an `ordered` clause: `body(i, ord)` may call
+    /// `ord.section(..)` once to run code in strict iteration order.
+    pub fn ws_for_ordered(
+        &self,
+        range: Range<usize>,
+        sched: Schedule,
+        nowait: bool,
+        mut body: impl FnMut(usize, &Ordered<'_>),
+    ) {
+        let sched = self.resolve_schedule(sched);
+        let base = range.start;
+        let trip = range.end.saturating_sub(range.start) as u64;
+        // Ordered loops always take a slot: the ordered turnstile lives
+        // there even for static schedules.
+        let gen = self.next_gen();
+        let team = self.team().clone();
+        let slot = team.slot(gen);
+        let size = self.num_threads();
+        let (guided, chunk, uses_dispatch) = match sched {
+            Schedule::Dynamic { chunk } => (false, chunk.max(1), true),
+            Schedule::Guided { chunk } => (true, chunk.max(1), true),
+            Schedule::Static { .. } => (false, 1, false),
+            _ => unreachable!("resolved above"),
+        };
+        let ok = slot.enter(gen, size, &team.abort, |s| {
+            s.next.store(0, Ordering::Relaxed);
+            s.end.store(trip, Ordering::Relaxed);
+            s.ordered_next.store(0, Ordering::Relaxed);
+        });
+        if !ok {
+            std::panic::panic_any(SiblingPanic);
+        }
+        let ord = Ordered {
+            slot,
+            current: Cell::new(0),
+            ran: Cell::new(false),
+            abort: &team.abort,
+        };
+        let mut run_chunk = |lo: u64, hi: u64| {
+            for i in lo..hi {
+                ord.current.set(i);
+                ord.ran.set(false);
+                body(base + i as usize, &ord);
+                ord.finish_iteration();
+            }
+        };
+        if uses_dispatch {
+            loop {
+                let grabbed = if guided {
+                    loop {
+                        let cur = slot.next.load(Ordering::Acquire);
+                        if cur >= trip {
+                            break None;
+                        }
+                        let g = guided_grab(trip - cur, size, chunk);
+                        match slot.next.compare_exchange_weak(
+                            cur,
+                            cur + g,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => break Some((cur, cur + g)),
+                            Err(_) => continue,
+                        }
+                    }
+                } else {
+                    let cur = slot.next.fetch_add(chunk, Ordering::AcqRel);
+                    if cur >= trip {
+                        None
+                    } else {
+                        Some((cur, (cur + chunk).min(trip)))
+                    }
+                };
+                match grabbed {
+                    Some((lo, hi)) => run_chunk(lo, hi),
+                    None => break,
+                }
+            }
+        } else {
+            let static_chunk = match sched {
+                Schedule::Static { chunk } => chunk,
+                _ => unreachable!(),
+            };
+            for r in StaticChunks::new(trip, size, self.thread_num(), static_chunk) {
+                run_chunk(r.start, r.end);
+            }
+        }
+        slot.leave();
+        if !nowait {
+            self.barrier();
+        }
+    }
+
+    /// Resolve `runtime` (against the ICV) and `auto` (to `static`).
+    pub fn resolve_schedule(&self, sched: Schedule) -> Schedule {
+        match sched {
+            Schedule::Runtime => {
+                let s = crate::icv::current().run_sched;
+                match s {
+                    Schedule::Runtime | Schedule::Auto => Schedule::default(),
+                    other => other,
+                }
+            }
+            Schedule::Auto => Schedule::default(),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pool::{fork, ForkSpec};
+    use crate::sched::Schedule;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+    fn cover(trip: usize, threads: usize, sched: Schedule) {
+        let hits: Vec<AtomicU32> = (0..trip).map(|_| AtomicU32::new(0)).collect();
+        fork(ForkSpec::with_num_threads(threads), |ctx| {
+            ctx.ws_for(0..trip, sched, false, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "trip={trip} threads={threads} sched={sched}"
+        );
+    }
+
+    #[test]
+    fn every_schedule_covers_every_index_once() {
+        for sched in [
+            Schedule::static_block(),
+            Schedule::static_chunk(3),
+            Schedule::dynamic(),
+            Schedule::dynamic_chunk(16),
+            Schedule::guided(),
+            Schedule::guided_chunk(8),
+            Schedule::Auto,
+            Schedule::Runtime,
+        ] {
+            for trip in [0usize, 1, 7, 256] {
+                for threads in [1usize, 2, 4] {
+                    cover(trip, threads, sched);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_are_contiguous_and_bounded() {
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            ctx.ws_for_chunks(10..1000, Schedule::dynamic_chunk(37), false, |r| {
+                assert!(r.start >= 10 && r.end <= 1000);
+                assert!(!r.is_empty() && r.len() <= 37);
+            });
+        });
+    }
+
+    #[test]
+    fn nonzero_base_offsets_respected() {
+        let total = AtomicUsize::new(0);
+        fork(ForkSpec::with_num_threads(3), |ctx| {
+            ctx.ws_for(100..200, Schedule::guided(), false, |i| {
+                assert!((100..200).contains(&i));
+                total.fetch_add(i, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (100..200).sum::<usize>());
+    }
+
+    #[test]
+    fn negative_step_loop() {
+        let seen = Mutex::new(Vec::new());
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            ctx.ws_for_step(10, 0, -3, Schedule::dynamic(), false, |i| {
+                seen.lock().push(i);
+            });
+        });
+        let mut v = seen.into_inner();
+        v.sort_unstable();
+        assert_eq!(v, vec![1, 4, 7, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_step_panics() {
+        fork(ForkSpec::with_num_threads(1), |ctx| {
+            ctx.ws_for_step(0, 10, 0, Schedule::default(), false, |_| {});
+        });
+    }
+
+    #[test]
+    fn empty_and_reversed_step_ranges() {
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            // Positive step, end <= start: zero iterations.
+            ctx.ws_for_step(5, 5, 1, Schedule::default(), false, |_| {
+                panic!("no iterations expected")
+            });
+            ctx.ws_for_step(5, 2, 1, Schedule::default(), false, |_| {
+                panic!("no iterations expected")
+            });
+            // Negative step, start <= end: zero iterations.
+            ctx.ws_for_step(2, 5, -1, Schedule::default(), false, |_| {
+                panic!("no iterations expected")
+            });
+        });
+    }
+
+    #[test]
+    fn consecutive_nowait_loops_do_not_corrupt() {
+        // Many back-to-back nowait dynamic loops stress the slot ring
+        // (generation recycling with threads racing ahead).
+        let counters: Vec<AtomicUsize> = (0..32).map(|_| AtomicUsize::new(0)).collect();
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            for counter in &counters {
+                ctx.ws_for(0..64, Schedule::dynamic(), true, |_i| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            ctx.barrier();
+        });
+        for (round, c) in counters.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn ordered_static_schedule_serializes_in_order() {
+        let order = Mutex::new(Vec::new());
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            ctx.ws_for_ordered(0..40, Schedule::static_block(), false, |i, ord| {
+                ord.section(|| order.lock().push(i));
+            });
+        });
+        assert_eq!(*order.lock(), (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_guided_schedule_serializes_in_order() {
+        let order = Mutex::new(Vec::new());
+        fork(ForkSpec::with_num_threads(3), |ctx| {
+            ctx.ws_for_ordered(0..50, Schedule::guided_chunk(2), false, |i, ord| {
+                ord.section(|| order.lock().push(i));
+            });
+        });
+        assert_eq!(*order.lock(), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ordered_section_is_optional_per_iteration() {
+        // Iterations that skip their ordered region must not block later
+        // ones.
+        let order = Mutex::new(Vec::new());
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            ctx.ws_for_ordered(0..30, Schedule::dynamic(), false, |i, ord| {
+                if i % 3 == 0 {
+                    ord.section(|| order.lock().push(i));
+                }
+            });
+        });
+        assert_eq!(
+            *order.lock(),
+            (0..30).filter(|i| i % 3 == 0).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn resolve_schedule_maps_runtime_and_auto() {
+        fork(ForkSpec::with_num_threads(1), |ctx| {
+            assert_eq!(ctx.resolve_schedule(Schedule::Auto), Schedule::default());
+            // Runtime resolves to the run-sched ICV (static by default,
+            // never Runtime/Auto itself).
+            let r = ctx.resolve_schedule(Schedule::Runtime);
+            assert!(!matches!(r, Schedule::Runtime | Schedule::Auto));
+            assert_eq!(
+                ctx.resolve_schedule(Schedule::dynamic_chunk(5)),
+                Schedule::Dynamic { chunk: 5 }
+            );
+        });
+    }
+
+    #[test]
+    fn reduce_value_sequences_multiple_types() {
+        // Alternating types across reduction generations exercises the
+        // double-buffered cells.
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            let t = ctx.thread_num();
+            for round in 0..6 {
+                let s: usize = ctx.reduce_value(crate::reduction::SumOp, t + round);
+                assert_eq!(s, 4 * round + 6);
+                let m: f64 = ctx.reduce_value(crate::reduction::MaxOp, t as f64);
+                assert_eq!(m, 3.0);
+            }
+        });
+    }
+}

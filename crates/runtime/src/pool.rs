@@ -1,0 +1,490 @@
+//! The worker pool and the fork/join entry point.
+//!
+//! [`fork`] is romp's `__kmpc_fork_call`: the directive layer outlines a
+//! parallel region into a closure and passes it here; the calling thread
+//! becomes thread 0 of a fresh team whose other members are drawn from a
+//! lazily-grown, process-global pool of parked worker threads.
+//!
+//! ## Safety of the lifetime erasure
+//!
+//! The region closure lives on the master's stack and is executed
+//! concurrently by workers through a raw pointer (`Job`). This is sound
+//! because `fork` does not return until every team member has signalled
+//! completion (`Team::remaining` reaching zero), so the closure —
+//! and everything it borrows — strictly outlives all worker access.
+//! The paper's Zig implementation relies on the identical contract when
+//! it passes function pointers plus pointers into the enclosing stack
+//! frame to the LLVM OpenMP runtime.
+//!
+//! ## Panic handling
+//!
+//! A panicking team thread records its payload in the team and raises the
+//! team abort flag; sibling threads waiting at barriers or dispatch slots
+//! observe the flag and unwind with a [`SiblingPanic`] marker. After the
+//! join, the master rethrows the first real payload, so a panic inside a
+//! parallel region behaves like a panic in serial code.
+
+use crate::ctx::{forking_position, RegionInfo, SiblingPanic, ThreadCtx, REGION_STACK};
+use crate::icv::{self, Icvs};
+use crate::stats::{bump, stats};
+use crate::team::Team;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// How a `parallel` construct is launched; carries the clause values the
+/// paper's directive supports (`num_threads`, `if`, `proc_bind`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForkSpec {
+    /// `num_threads(n)` clause; `None` = use the `nthreads-var` ICV.
+    pub num_threads: Option<usize>,
+    /// `if(expr)` clause; `Some(false)` forces a serialized (team-of-one)
+    /// region.
+    pub if_clause: Option<bool>,
+}
+
+impl ForkSpec {
+    /// Default spec: team size from the ICVs.
+    pub fn new() -> Self {
+        ForkSpec::default()
+    }
+
+    /// Request an explicit team size (the `num_threads` clause).
+    pub fn with_num_threads(n: usize) -> Self {
+        ForkSpec {
+            num_threads: Some(n),
+            if_clause: None,
+        }
+    }
+
+    /// Attach an `if` clause.
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.if_clause = Some(cond);
+        self
+    }
+
+    /// Attach a `num_threads` clause.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+}
+
+/// Type-erased pointer to the region closure plus its call trampoline.
+/// The second trampoline argument is a type-erased `&ThreadCtx<'env>`.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), *const ()),
+}
+
+// SAFETY: the pointee is `Sync` (bound enforced by `make_job`) and the
+// master keeps it alive for the duration of all worker access.
+unsafe impl Send for Job {}
+
+fn make_job<'env, F>(f: &F) -> Job
+where
+    F: Fn(&ThreadCtx<'env>) + Sync,
+{
+    unsafe fn call<'env, F>(data: *const (), ctx: *const ())
+    where
+        F: Fn(&ThreadCtx<'env>) + Sync,
+    {
+        // SAFETY: `data` was produced from `&F` in `make_job` and is kept
+        // alive by the forking master until the join completes; `ctx`
+        // points at the executing thread's live `ThreadCtx`, whose
+        // lifetime parameter is erased here and re-conjured — sound
+        // because the context never stores `'env` data, it only brands
+        // the `task` bound (see `ThreadCtx` docs).
+        let f = unsafe { &*(data as *const F) };
+        let ctx = unsafe { &*(ctx as *const ThreadCtx<'env>) };
+        f(ctx);
+    }
+    Job {
+        data: f as *const F as *const (),
+        call: call::<F>,
+    }
+}
+
+struct Assignment {
+    team: Arc<Team>,
+    thread_num: usize,
+    job: Job,
+}
+
+struct WorkerSlot {
+    mailbox: Mutex<Option<Assignment>>,
+    cv: Condvar,
+}
+
+struct Pool {
+    idle: Mutex<Vec<Arc<WorkerSlot>>>,
+    total: AtomicUsize,
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        idle: Mutex::new(Vec::new()),
+        total: AtomicUsize::new(0),
+    })
+}
+
+impl Pool {
+    /// Take up to `want` idle workers, spawning new ones while under the
+    /// thread limit. May return fewer than requested (the spec permits
+    /// delivering fewer threads than asked).
+    fn acquire(&self, want: usize, icvs: &Icvs) -> Vec<Arc<WorkerSlot>> {
+        let mut got = Vec::with_capacity(want);
+        {
+            let mut idle = self.idle.lock();
+            while got.len() < want {
+                match idle.pop() {
+                    Some(w) => got.push(w),
+                    None => break,
+                }
+            }
+        }
+        // The limit counts all threads; reserve one for the initial thread.
+        let worker_cap = icvs.thread_limit.saturating_sub(1);
+        while got.len() < want {
+            if self
+                .total
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| {
+                    (t < worker_cap).then_some(t + 1)
+                })
+                .is_err()
+            {
+                break;
+            }
+            got.push(spawn_worker(icvs.stacksize));
+        }
+        got
+    }
+
+    fn release(&self, slot: Arc<WorkerSlot>) {
+        self.idle.lock().push(slot);
+    }
+}
+
+fn spawn_worker(stacksize: Option<usize>) -> Arc<WorkerSlot> {
+    bump(&stats().workers_spawned);
+    let slot = Arc::new(WorkerSlot {
+        mailbox: Mutex::new(None),
+        cv: Condvar::new(),
+    });
+    let their_slot = slot.clone();
+    let n = stats().workers_spawned.load(Ordering::Relaxed);
+    let mut builder = std::thread::Builder::new().name(format!("romp-worker-{n}"));
+    if let Some(bytes) = stacksize {
+        builder = builder.stack_size(bytes);
+    }
+    builder
+        .spawn(move || worker_main(their_slot))
+        .expect("failed to spawn romp worker thread");
+    slot
+}
+
+fn worker_main(slot: Arc<WorkerSlot>) {
+    loop {
+        let assignment = {
+            let mut mb = slot.mailbox.lock();
+            loop {
+                if let Some(a) = mb.take() {
+                    break a;
+                }
+                slot.cv.wait(&mut mb);
+            }
+        };
+        let Assignment {
+            team,
+            thread_num,
+            job,
+        } = assignment;
+        run_region(&team, thread_num, job);
+        // Signal completion, then return to the pool. Nothing after the
+        // decrement may touch the job or team borrows.
+        let prev = team.remaining.fetch_sub(1, Ordering::AcqRel);
+        if prev == 1 {
+            let _g = team.join_lock.lock();
+            drop(_g);
+            team.join_cv.notify_one();
+        }
+        drop(team);
+        pool().release(slot.clone());
+    }
+}
+
+/// Run a region body as `thread_num` of `team` on the current thread:
+/// maintain the region TLS stack, catch panics into the team, and execute
+/// the implicit end-of-region barrier (which drains deferred tasks).
+fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
+    REGION_STACK.with(|s| {
+        s.borrow_mut().push(RegionInfo {
+            team: team.clone(),
+            thread_num,
+        })
+    });
+    let ctx: ThreadCtx<'_> = ThreadCtx::new(team.clone(), thread_num);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // SAFETY: the master blocks in `join` until every team thread has
+        // finished with the job, so the closure behind `job.data` (and
+        // everything it borrows) outlives this call.
+        unsafe { (job.call)(job.data, &ctx as *const ThreadCtx<'_> as *const ()) };
+        ctx.end_of_region_barrier();
+    }));
+    if let Err(payload) = result {
+        team.record_panic(payload);
+    }
+    REGION_STACK.with(|s| {
+        s.borrow_mut().pop();
+    });
+}
+
+/// Fork a parallel region: run `f` once per team thread, join, and
+/// propagate panics. The analogue of `__kmpc_fork_call`.
+///
+/// Team size resolution follows the spec: the `if` clause can force
+/// serialization; otherwise `num_threads`, then the `nthreads-var` ICV;
+/// nesting beyond `max-active-levels` serializes; everything is clamped
+/// by `thread-limit-var` and by how many workers the pool can actually
+/// deliver.
+///
+/// The `'env` lifetime plays the role of `std::thread::scope`'s
+/// environment lifetime: closures handed to
+/// [`ThreadCtx::task`] may borrow anything that outlives the `fork`
+/// call, because the region's implicit end barrier drains all deferred
+/// tasks before `fork` returns.
+pub fn fork<'env, F>(spec: ForkSpec, f: F)
+where
+    F: Fn(&ThreadCtx<'env>) + Sync,
+{
+    let icvs = icv::current();
+    let (level, active_level, ancestors) = forking_position();
+    let mut n = match spec.if_clause {
+        Some(false) => 1,
+        _ => spec
+            .num_threads
+            .unwrap_or_else(|| icvs.nthreads_for_level(level)),
+    };
+    if active_level >= icvs.max_active_levels {
+        n = 1;
+    }
+    n = n.clamp(1, icvs.thread_limit.max(1));
+    bump(&stats().forks);
+
+    let job = make_job(&f);
+    if n == 1 {
+        bump(&stats().serialized_forks);
+        let team = Arc::new(Team::new(
+            1,
+            level + 1,
+            active_level,
+            icvs.barrier_kind,
+            icvs.wait_policy,
+            ancestors,
+        ));
+        run_region(&team, 0, job);
+        rethrow(&team);
+        return;
+    }
+
+    let workers = pool().acquire(n - 1, &icvs);
+    let size = workers.len() + 1;
+    if size == 1 {
+        bump(&stats().serialized_forks);
+    }
+    // Oversubscription heuristic (libomp does the same): when the team
+    // is larger than the hardware concurrency, spinning at barriers
+    // steals the timeslice from the sibling that would release us —
+    // park immediately instead.
+    let wait_policy = if size > crate::icv::hardware_threads() {
+        crate::icv::WaitPolicy::Passive
+    } else {
+        icvs.wait_policy
+    };
+    let team = Arc::new(Team::new(
+        size,
+        level + 1,
+        active_level + 1,
+        icvs.barrier_kind,
+        wait_policy,
+        ancestors,
+    ));
+    for (i, w) in workers.iter().enumerate() {
+        let mut mb = w.mailbox.lock();
+        *mb = Some(Assignment {
+            team: team.clone(),
+            thread_num: i + 1,
+            job,
+        });
+        drop(mb);
+        w.cv.notify_one();
+    }
+    run_region(&team, 0, job);
+    join(&team, &icvs);
+    rethrow(&team);
+}
+
+/// Block until every worker of `team` has signalled completion.
+fn join(team: &Arc<Team>, icvs: &Icvs) {
+    let spin_budget = icvs.wait_policy.spin_budget();
+    let mut spins = 0u32;
+    while team.remaining.load(Ordering::Acquire) > 0 {
+        spins += 1;
+        if spins >= spin_budget {
+            break;
+        }
+        std::hint::spin_loop();
+    }
+    let mut guard = team.join_lock.lock();
+    while team.remaining.load(Ordering::Acquire) > 0 {
+        team.join_cv
+            .wait_for(&mut guard, std::time::Duration::from_millis(1));
+    }
+}
+
+/// After the join: if any team thread panicked, rethrow on the master.
+fn rethrow(team: &Arc<Team>) {
+    if team.abort.load(Ordering::Acquire) {
+        let payload = team.panic_payload.lock().take();
+        match payload {
+            Some(p) => std::panic::resume_unwind(p),
+            None => std::panic::panic_any(SiblingPanic),
+        }
+    }
+}
+
+/// Number of workers currently alive in the global pool (diagnostic).
+pub fn pool_size() -> usize {
+    pool().total.load(Ordering::Acquire)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::Schedule;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn fork_runs_body_once_per_thread() {
+        let hits = AtomicUsize::new(0);
+        let distinct = Mutex::new(std::collections::HashSet::new());
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            hits.fetch_add(1, Ordering::SeqCst);
+            distinct.lock().insert(ctx.thread_num());
+            assert_eq!(ctx.num_threads(), 4);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+        assert_eq!(distinct.lock().len(), 4);
+    }
+
+    #[test]
+    fn if_false_serializes() {
+        fork(ForkSpec::new().num_threads(8).if_clause(false), |ctx| {
+            assert_eq!(ctx.num_threads(), 1);
+            assert_eq!(ctx.thread_num(), 0);
+        });
+    }
+
+    #[test]
+    fn team_of_one_still_supports_constructs() {
+        let sum = AtomicU64::new(0);
+        fork(ForkSpec::with_num_threads(1), |ctx| {
+            ctx.ws_for(0..10, Schedule::dynamic(), false, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            ctx.barrier();
+            assert!(ctx.single(false, || ()).is_some());
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+
+    #[test]
+    fn workers_are_reused_across_regions() {
+        // Warm the pool.
+        fork(ForkSpec::with_num_threads(4), |_| {});
+        let spawned_before = stats().workers_spawned.load(Ordering::Relaxed);
+        for _ in 0..50 {
+            fork(ForkSpec::with_num_threads(4), |_| {});
+        }
+        let spawned_after = stats().workers_spawned.load(Ordering::Relaxed);
+        // Other tests run concurrently and may spawn workers of their own,
+        // but 50 sequential same-size regions must not need 50 new teams'
+        // worth of threads.
+        assert!(
+            spawned_after - spawned_before < 50 * 3,
+            "pool failed to reuse workers: {spawned_before} -> {spawned_after}"
+        );
+    }
+
+    #[test]
+    fn panic_in_region_propagates_to_caller() {
+        let r = std::panic::catch_unwind(|| {
+            fork(ForkSpec::with_num_threads(4), |ctx| {
+                if ctx.thread_num() == 2 {
+                    panic!("worker exploded");
+                }
+                // Other threads park at a barrier; the abort flag must
+                // release them.
+                ctx.barrier();
+            });
+        });
+        let payload = r.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "worker exploded");
+        // The pool must still be usable afterwards.
+        let ok = AtomicUsize::new(0);
+        fork(ForkSpec::with_num_threads(4), |_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn master_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            fork(ForkSpec::with_num_threads(2), |ctx| {
+                if ctx.is_master() {
+                    panic!("master exploded");
+                }
+            });
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_fork_serializes_by_default() {
+        // max_active_levels defaults to 1.
+        fork(ForkSpec::with_num_threads(2), |outer| {
+            let outer_n = outer.num_threads();
+            let outer_level = outer.level();
+            fork(ForkSpec::with_num_threads(4), move |inner| {
+                assert_eq!(inner.num_threads(), 1, "inner region must serialize");
+                assert_eq!(inner.level(), outer_level + 1);
+            });
+            assert!(outer_n <= 2);
+        });
+    }
+
+    #[test]
+    fn borrowed_data_is_visible_and_writable() {
+        let mut data = vec![0u64; 1000];
+        let chunks: Vec<_> = data.chunks_mut(250).collect();
+        let chunks = Mutex::new(chunks);
+        fork(ForkSpec::with_num_threads(4), |_ctx| {
+            // Each thread takes one disjoint chunk.
+            let mine = chunks.lock().pop();
+            if let Some(chunk) = mine {
+                for (i, x) in chunk.iter_mut().enumerate() {
+                    *x = i as u64;
+                }
+            }
+        });
+        for chunk in data.chunks(250) {
+            for (i, &x) in chunk.iter().enumerate() {
+                assert_eq!(x, i as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Runtime statistics counters.
+//!
+//! Cheap relaxed atomic counters recording how often the runtime's major
+//! code paths fire. The ablation benchmarks (`romp-bench`) and several
+//! tests use these to assert that the intended machinery actually ran
+//! (e.g. that a `schedule(dynamic)` loop really went through the shared
+//! dispatcher, or that task stealing occurred under imbalance).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global counters, one per interesting runtime event.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Parallel regions started (including serialized ones).
+    pub forks: AtomicU64,
+    /// Parallel regions that were serialized (team of one).
+    pub serialized_forks: AtomicU64,
+    /// Explicit + implicit barrier episodes completed.
+    pub barriers: AtomicU64,
+    /// Chunks handed out by dynamic/guided dispatchers.
+    pub dispatched_chunks: AtomicU64,
+    /// Explicit tasks executed.
+    pub tasks_executed: AtomicU64,
+    /// Tasks executed by a thread other than the one that created them.
+    pub tasks_stolen: AtomicU64,
+    /// Worker threads ever spawned by the pool.
+    pub workers_spawned: AtomicU64,
+    /// Lock acquisitions that had to spin (contended).
+    pub contended_locks: AtomicU64,
+}
+
+static STATS: Stats = Stats {
+    forks: AtomicU64::new(0),
+    serialized_forks: AtomicU64::new(0),
+    barriers: AtomicU64::new(0),
+    dispatched_chunks: AtomicU64::new(0),
+    tasks_executed: AtomicU64::new(0),
+    tasks_stolen: AtomicU64::new(0),
+    workers_spawned: AtomicU64::new(0),
+    contended_locks: AtomicU64::new(0),
+};
+
+/// Access the global statistics block.
+pub fn stats() -> &'static Stats {
+    &STATS
+}
+
+/// A point-in-time copy of all counters, convenient for before/after diffs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// See [`Stats::forks`].
+    pub forks: u64,
+    /// See [`Stats::serialized_forks`].
+    pub serialized_forks: u64,
+    /// See [`Stats::barriers`].
+    pub barriers: u64,
+    /// See [`Stats::dispatched_chunks`].
+    pub dispatched_chunks: u64,
+    /// See [`Stats::tasks_executed`].
+    pub tasks_executed: u64,
+    /// See [`Stats::tasks_stolen`].
+    pub tasks_stolen: u64,
+    /// See [`Stats::workers_spawned`].
+    pub workers_spawned: u64,
+    /// See [`Stats::contended_locks`].
+    pub contended_locks: u64,
+}
+
+impl Stats {
+    /// Copy every counter at once.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            forks: self.forks.load(Ordering::Relaxed),
+            serialized_forks: self.serialized_forks.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            dispatched_chunks: self.dispatched_chunks.load(Ordering::Relaxed),
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            contended_locks: self.contended_locks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Snapshot {
+    /// Counter deltas between two snapshots (`later - self`).
+    pub fn delta(&self, later: &Snapshot) -> Snapshot {
+        Snapshot {
+            forks: later.forks - self.forks,
+            serialized_forks: later.serialized_forks - self.serialized_forks,
+            barriers: later.barriers - self.barriers,
+            dispatched_chunks: later.dispatched_chunks - self.dispatched_chunks,
+            tasks_executed: later.tasks_executed - self.tasks_executed,
+            tasks_stolen: later.tasks_stolen - self.tasks_stolen,
+            workers_spawned: later.workers_spawned - self.workers_spawned,
+            contended_locks: later.contended_locks - self.contended_locks,
+        }
+    }
+}
+
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_is_monotone() {
+        let before = stats().snapshot();
+        bump(&stats().forks);
+        bump(&stats().forks);
+        bump(&stats().barriers);
+        let after = stats().snapshot();
+        let d = before.delta(&after);
+        assert!(d.forks >= 2);
+        assert!(d.barriers >= 1);
+    }
+}

@@ -1,0 +1,304 @@
+//! Explicit tasking: `task`, `taskwait`, `taskgroup`.
+//!
+//! Each team thread owns a deque of deferred tasks. A thread pushes new
+//! tasks onto the *back* of its own deque and pops from the back
+//! (LIFO — good locality for recursive decompositions); idle threads
+//! steal from the *front* of a victim's deque (FIFO — steals the oldest,
+//! largest-grained work). Stealing happens when a thread is waiting at a
+//! barrier, in `taskwait`, or at the end of a `taskgroup`.
+//!
+//! Queues are `Mutex<VecDeque<…>>` rather than a lock-free Chase–Lev
+//! deque: tasks in OpenMP codes are coarse (the push/pop cost is noise),
+//! and the simpler structure is obviously correct. The work-stealing
+//! *policy* (LIFO pop, FIFO steal, randomized victim start) matches the
+//! classical design.
+//!
+//! ## Lifetimes
+//!
+//! Task closures may borrow from the enclosing parallel region (the
+//! `'scope` parameter on [`crate::ThreadCtx`]). Internally the box is
+//! transmuted to `'static`; this is sound because every code path that
+//! completes a region — the implicit region-end barrier in
+//! [`crate::pool`] — drains all pending tasks first, and the master does
+//! not return from `fork` until then, so borrowed data outlives every
+//! task. This is the same argument `std::thread::scope` makes.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Completion counters a task must decrement when it finishes: its
+/// parent's children count plus any enclosing taskgroups.
+pub(crate) struct TaskHooks {
+    pub parent_children: Arc<AtomicUsize>,
+    pub groups: Vec<Arc<AtomicUsize>>,
+}
+
+pub(crate) struct RawTask {
+    func: Box<dyn FnOnce() + Send + 'static>,
+    hooks: TaskHooks,
+}
+
+/// Per-team task state.
+pub(crate) struct TaskSystem {
+    queues: Vec<Mutex<VecDeque<RawTask>>>,
+    /// Tasks created and not yet finished, team-wide.
+    pub pending: AtomicUsize,
+}
+
+impl std::fmt::Debug for TaskSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskSystem")
+            .field("queues", &self.queues.len())
+            .field("pending", &self.pending.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TaskSystem {
+    pub(crate) fn new(size: usize) -> Self {
+        TaskSystem {
+            queues: (0..size).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Defer a task onto `thread_num`'s deque.
+    ///
+    /// # Safety
+    ///
+    /// `func` has been lifetime-erased to `'static`. The caller must
+    /// guarantee the data it borrows outlives the enclosing parallel
+    /// region (enforced by the `'scope` bound on `ThreadCtx::task` plus
+    /// the region-end drain).
+    pub(crate) unsafe fn push(&self, thread_num: usize, task: RawTask) {
+        self.pending.fetch_add(1, Ordering::AcqRel);
+        task.hooks.parent_children.fetch_add(1, Ordering::AcqRel);
+        for g in &task.hooks.groups {
+            g.fetch_add(1, Ordering::AcqRel);
+        }
+        self.queues[thread_num].lock().push_back(task);
+    }
+
+    /// Grab one task: own deque from the back, else steal from the front
+    /// of another thread's deque (starting at a rotating victim).
+    pub(crate) fn pop_or_steal(&self, thread_num: usize, seed: &mut u64) -> Option<RawTask> {
+        if let Some(t) = self.queues[thread_num].lock().pop_back() {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        if n <= 1 {
+            return None;
+        }
+        // xorshift for a cheap randomized starting victim.
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        let start = (*seed as usize) % n;
+        for k in 0..n {
+            let v = (start + k) % n;
+            if v == thread_num {
+                continue;
+            }
+            if let Some(t) = self.queues[v].lock().pop_front() {
+                crate::stats::bump(&crate::stats::stats().tasks_stolen);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Run one task to completion on the current thread, maintaining the
+    /// task-frame TLS so nested `task`/`taskwait` see the right parent.
+    pub(crate) fn execute(&self, task: RawTask) {
+        crate::stats::bump(&crate::stats::stats().tasks_executed);
+        let frame = Arc::new(TaskFrame {
+            children: Arc::new(AtomicUsize::new(0)),
+        });
+        let prev = CURRENT_FRAME.with(|c| c.replace(Some(frame.clone())));
+        // Run; panics propagate to the executing thread's region handler,
+        // but the counters must be consistent either way.
+        struct Finish<'a> {
+            sys: &'a TaskSystem,
+            hooks: TaskHooks,
+            prev: Option<Arc<TaskFrame>>,
+        }
+        impl Drop for Finish<'_> {
+            fn drop(&mut self) {
+                CURRENT_FRAME.with(|c| *c.borrow_mut() = self.prev.take());
+                self.hooks.parent_children.fetch_sub(1, Ordering::AcqRel);
+                for g in &self.hooks.groups {
+                    g.fetch_sub(1, Ordering::AcqRel);
+                }
+                self.sys.pending.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let _finish = Finish {
+            sys: self,
+            hooks: task.hooks,
+            prev,
+        };
+        (task.func)();
+    }
+
+    /// Execute available tasks until none can be found.
+    pub(crate) fn drain(&self, thread_num: usize, seed: &mut u64) {
+        while let Some(t) = self.pop_or_steal(thread_num, seed) {
+            self.execute(t);
+        }
+    }
+
+    /// Total tasks not yet finished.
+    pub(crate) fn pending(&self) -> usize {
+        self.pending.load(Ordering::Acquire)
+    }
+}
+
+/// The dynamically enclosing explicit task (for `taskwait` semantics).
+pub(crate) struct TaskFrame {
+    pub children: Arc<AtomicUsize>,
+}
+
+thread_local! {
+    pub(crate) static CURRENT_FRAME: std::cell::RefCell<Option<Arc<TaskFrame>>> =
+        const { std::cell::RefCell::new(None) };
+    /// Taskgroup nesting stack for the current thread.
+    pub(crate) static GROUP_STACK: std::cell::RefCell<Vec<Arc<AtomicUsize>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Children counter of the current task (explicit task frame if inside
+/// one, else the given implicit-task counter).
+pub(crate) fn current_children(implicit: &Arc<AtomicUsize>) -> Arc<AtomicUsize> {
+    CURRENT_FRAME.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|f| f.children.clone())
+            .unwrap_or_else(|| implicit.clone())
+    })
+}
+
+/// Snapshot of the enclosing taskgroup counters.
+pub(crate) fn current_groups() -> Vec<Arc<AtomicUsize>> {
+    GROUP_STACK.with(|g| g.borrow().clone())
+}
+
+/// Build a lifetime-erased task.
+///
+/// # Safety
+///
+/// See [`TaskSystem::push`].
+pub(crate) unsafe fn make_raw_task<'a>(
+    f: Box<dyn FnOnce() + Send + 'a>,
+    hooks: TaskHooks,
+) -> RawTask {
+    // SAFETY: contract delegated to the caller (region-end drain).
+    let func: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(f) };
+    RawTask { func, hooks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hooks() -> (TaskHooks, Arc<AtomicUsize>) {
+        let parent = Arc::new(AtomicUsize::new(0));
+        (
+            TaskHooks {
+                parent_children: parent.clone(),
+                groups: vec![],
+            },
+            parent,
+        )
+    }
+
+    #[test]
+    fn push_execute_decrements_counters() {
+        let sys = TaskSystem::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let r2 = ran.clone();
+        let (h, parent) = hooks();
+        let task = unsafe {
+            make_raw_task(
+                Box::new(move || {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                }),
+                h,
+            )
+        };
+        unsafe { sys.push(0, task) };
+        assert_eq!(sys.pending(), 1);
+        assert_eq!(parent.load(Ordering::SeqCst), 1);
+        let mut seed = 1;
+        sys.drain(0, &mut seed);
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        assert_eq!(sys.pending(), 0);
+        assert_eq!(parent.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn lifo_pop_fifo_steal() {
+        let sys = TaskSystem::new(2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3 {
+            let order = order.clone();
+            let (h, _p) = hooks();
+            let t = unsafe {
+                make_raw_task(
+                    Box::new(move || {
+                        order.lock().push(i);
+                    }),
+                    h,
+                )
+            };
+            unsafe { sys.push(0, t) };
+        }
+        // Owner pops the most recent first.
+        let mut seed = 1;
+        let t = sys.pop_or_steal(0, &mut seed).unwrap();
+        sys.execute(t);
+        assert_eq!(*order.lock(), vec![2]);
+        // Thief steals the oldest.
+        let mut seed2 = 99;
+        let t = sys.pop_or_steal(1, &mut seed2).unwrap();
+        sys.execute(t);
+        assert_eq!(*order.lock(), vec![2, 0]);
+    }
+
+    #[test]
+    fn counters_restored_even_on_panic() {
+        let sys = TaskSystem::new(1);
+        let (h, parent) = hooks();
+        let t = unsafe { make_raw_task(Box::new(|| panic!("task boom")), h) };
+        unsafe { sys.push(0, t) };
+        let mut seed = 1;
+        let task = sys.pop_or_steal(0, &mut seed).unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sys.execute(task)));
+        assert!(r.is_err());
+        assert_eq!(sys.pending(), 0);
+        assert_eq!(parent.load(Ordering::SeqCst), 0);
+        assert!(CURRENT_FRAME.with(|c| c.borrow().is_none()));
+    }
+
+    #[test]
+    fn group_counters_tracked() {
+        let sys = TaskSystem::new(1);
+        let group = Arc::new(AtomicUsize::new(0));
+        let parent = Arc::new(AtomicUsize::new(0));
+        let t = unsafe {
+            make_raw_task(
+                Box::new(|| {}),
+                TaskHooks {
+                    parent_children: parent.clone(),
+                    groups: vec![group.clone()],
+                },
+            )
+        };
+        unsafe { sys.push(0, t) };
+        assert_eq!(group.load(Ordering::SeqCst), 1);
+        let mut seed = 1;
+        sys.drain(0, &mut seed);
+        assert_eq!(group.load(Ordering::SeqCst), 0);
+    }
+}

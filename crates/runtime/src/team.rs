@@ -1,0 +1,371 @@
+//! Team state: everything the threads of one parallel region share.
+//!
+//! A [`Team`] is created per `parallel` construct (the analogue of
+//! libomp's `kmp_team_t`). Besides the barrier and panic plumbing it owns
+//! a small ring of **worksharing slots** (`WsSlot`): the shared state a
+//! `dynamic`/`guided` loop, a `single`, a `sections` or an `ordered`
+//! construct needs.
+//!
+//! ## The slot protocol
+//!
+//! OpenMP requires every thread of a team to encounter the same sequence
+//! of worksharing constructs. Each thread therefore keeps a private
+//! *generation* counter that increments at every slot-using construct; a
+//! construct's shared state lives in `slots[gen % WS_SLOTS]`. Because
+//! `nowait` lets fast threads run ahead, a slot may still be occupied by
+//! an older generation when a thread arrives; the protocol is:
+//!
+//! * `gen == mine, state == READY` — join the construct;
+//! * `gen == mine, state == FREE` — race to install (first CAS wins);
+//! * `gen < mine` — the older construct must fully drain
+//!   (`done == team size`) before one arriving thread recycles the slot
+//!   by CAS-ing `state: READY → INSTALLING`.
+//!
+//! `done == size` can only be reached after *every* team thread has left
+//! the construct, so a slot is never recycled under a thread still using
+//! it, and all threads racing to install target the same generation
+//! (a thread can only want generation `g + WS_SLOTS` after finishing
+//! `g`, which requires `g` to be fully done).
+
+use crate::barrier::{BarrierKind, TeamBarrier};
+use crate::icv::WaitPolicy;
+use crate::task::TaskSystem;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+
+/// Number of in-flight worksharing constructs a team supports before
+/// fast threads must wait for slow ones (libomp uses 7 dispatch buffers).
+pub const WS_SLOTS: usize = 8;
+
+const STATE_FREE: u8 = 0;
+const STATE_INSTALLING: u8 = 1;
+const STATE_READY: u8 = 2;
+
+/// Dispatch kind stored in a slot.
+pub(crate) const KIND_DYNAMIC: u8 = 0;
+pub(crate) const KIND_GUIDED: u8 = 1;
+
+/// Shared state for one worksharing construct.
+#[derive(Debug)]
+pub(crate) struct WsSlot {
+    /// Generation currently installed in this slot.
+    gen: AtomicU64,
+    state: AtomicU8,
+    /// Threads that have finished the installed construct.
+    done: AtomicUsize,
+    /// Dispatch cursor (next unclaimed iteration, normalized space).
+    pub next: AtomicU64,
+    /// One past the last iteration.
+    pub end: AtomicU64,
+    /// Chunk size (dynamic) / minimum chunk (guided).
+    pub chunk: AtomicU64,
+    /// `KIND_DYNAMIC` or `KIND_GUIDED`.
+    pub kind: AtomicU8,
+    /// `single`: set by the one thread that executes the block.
+    pub claimed: AtomicBool,
+    /// `ordered`: the iteration whose turn it is.
+    pub ordered_next: AtomicU64,
+}
+
+impl WsSlot {
+    fn new(initial_gen: u64) -> Self {
+        WsSlot {
+            gen: AtomicU64::new(initial_gen),
+            state: AtomicU8::new(STATE_FREE),
+            done: AtomicUsize::new(0),
+            next: AtomicU64::new(0),
+            end: AtomicU64::new(0),
+            chunk: AtomicU64::new(1),
+            kind: AtomicU8::new(KIND_DYNAMIC),
+            claimed: AtomicBool::new(false),
+            ordered_next: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter this slot for construct generation `gen`, installing the
+    /// shared state with `init` if we win the installation race.
+    /// Returns `false` if the team aborted while we waited.
+    pub(crate) fn enter(
+        &self,
+        gen: u64,
+        team_size: usize,
+        abort: &AtomicBool,
+        init: impl FnOnce(&WsSlot),
+    ) -> bool {
+        let mut init = Some(init);
+        let mut spins = 0u32;
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                return false;
+            }
+            let cur = self.gen.load(Ordering::Acquire);
+            if cur == gen {
+                #[allow(clippy::collapsible_match)] // explicit state machine
+                match self.state.load(Ordering::Acquire) {
+                    STATE_READY => return true,
+                    STATE_FREE => {
+                        if self
+                            .state
+                            .compare_exchange(
+                                STATE_FREE,
+                                STATE_INSTALLING,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            self.done.store(0, Ordering::Relaxed);
+                            (init.take().expect("installer runs once"))(self);
+                            self.state.store(STATE_READY, Ordering::Release);
+                            return true;
+                        }
+                    }
+                    _ => {} // being installed by someone else; spin
+                }
+            } else {
+                debug_assert!(
+                    cur < gen,
+                    "workshare slot generation ran backwards ({cur} > {gen}); \
+                     team threads encountered different construct sequences"
+                );
+                // Recycle only once the previous construct fully drained.
+                if self.state.load(Ordering::Acquire) == STATE_READY
+                    && self.done.load(Ordering::Acquire) == team_size
+                    && self
+                        .state
+                        .compare_exchange(
+                            STATE_READY,
+                            STATE_INSTALLING,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                {
+                    self.done.store(0, Ordering::Relaxed);
+                    (init.take().expect("installer runs once"))(self);
+                    self.gen.store(gen, Ordering::Relaxed);
+                    self.state.store(STATE_READY, Ordering::Release);
+                    return true;
+                }
+            }
+            spins += 1;
+            if spins > 10_000 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Mark this thread as finished with the construct it entered.
+    pub(crate) fn leave(&self) {
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// One generation-tagged reduction accumulator (see `Team::reduce_cells`).
+#[derive(Debug)]
+pub(crate) struct RedCell {
+    /// Which reduction generation currently owns the cell; `u64::MAX`
+    /// means never used.
+    pub gen: u64,
+    pub value: Option<Box<dyn Any + Send>>,
+}
+
+impl RedCell {
+    fn new() -> Self {
+        RedCell {
+            gen: u64::MAX,
+            value: None,
+        }
+    }
+}
+
+/// Shared state of one parallel region's team.
+pub struct Team {
+    /// Number of threads in the team (including the master).
+    pub(crate) size: usize,
+    /// Nesting level of the region this team executes (1 = outermost
+    /// parallel region; the sequential part is level 0).
+    pub(crate) level: usize,
+    /// Number of enclosing *active* (size > 1) regions, including this one
+    /// if active.
+    pub(crate) active_level: usize,
+    pub(crate) barrier: TeamBarrier,
+    /// Raised when any team thread panics; all barrier/slot waits watch it.
+    pub(crate) abort: AtomicBool,
+    /// First panic payload, rethrown by the master after the join.
+    pub(crate) panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Workers (not the master) that have not yet finished the region.
+    pub(crate) remaining: AtomicUsize,
+    pub(crate) join_lock: Mutex<()>,
+    pub(crate) join_cv: Condvar,
+    pub(crate) slots: [WsSlot; WS_SLOTS],
+    pub(crate) tasks: TaskSystem,
+    /// `copyprivate` broadcast cell for `single` constructs.
+    pub(crate) copy_cell: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Double-buffered type-erased accumulators for in-region reductions
+    /// (`ThreadCtx::reduce_value`); indexed by reduction generation
+    /// parity, tagged with the generation so stale values are discarded
+    /// on reuse.
+    pub(crate) reduce_cells: [Mutex<RedCell>; 2],
+    /// `(thread_num, team_size)` per enclosing level, index 0 = initial
+    /// implicit task. Used by `omp_get_ancestor_thread_num`.
+    pub(crate) ancestors: Vec<(usize, usize)>,
+}
+
+impl std::fmt::Debug for Team {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Team")
+            .field("size", &self.size)
+            .field("level", &self.level)
+            .field("active_level", &self.active_level)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Team {
+    /// Build a team of `size` threads at nesting `level`.
+    pub(crate) fn new(
+        size: usize,
+        level: usize,
+        active_level: usize,
+        barrier_kind: BarrierKind,
+        wait_policy: WaitPolicy,
+        ancestors: Vec<(usize, usize)>,
+    ) -> Self {
+        Team {
+            size,
+            level,
+            active_level,
+            barrier: TeamBarrier::new(size, barrier_kind, wait_policy),
+            abort: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            remaining: AtomicUsize::new(size.saturating_sub(1)),
+            join_lock: Mutex::new(()),
+            join_cv: Condvar::new(),
+            slots: std::array::from_fn(|i| WsSlot::new(i as u64)),
+            tasks: TaskSystem::new(size),
+            copy_cell: Mutex::new(None),
+            reduce_cells: [Mutex::new(RedCell::new()), Mutex::new(RedCell::new())],
+            ancestors,
+        }
+    }
+
+    /// Team size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Slot for a construct generation.
+    pub(crate) fn slot(&self, gen: u64) -> &WsSlot {
+        &self.slots[(gen as usize) % WS_SLOTS]
+    }
+
+    /// Record a panic from a team thread and raise the abort flag.
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        // Sibling-abort echoes are not interesting; keep the first real one.
+        let mut slot = self.panic_payload.lock();
+        if slot.is_none() && !payload.is::<crate::ctx::SiblingPanic>() {
+            *slot = Some(payload);
+        }
+        self.abort.store(true, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn test_team(size: usize) -> Team {
+        Team::new(
+            size,
+            1,
+            1,
+            BarrierKind::Central,
+            WaitPolicy::Hybrid,
+            vec![(0, 1)],
+        )
+    }
+
+    #[test]
+    fn slot_install_then_join() {
+        let team = test_team(2);
+        let abort = AtomicBool::new(false);
+        let slot = team.slot(0);
+        // First thread installs.
+        assert!(slot.enter(0, 2, &abort, |s| {
+            s.next.store(0, Ordering::Relaxed);
+            s.end.store(100, Ordering::Relaxed);
+        }));
+        // Second thread joins without re-initializing.
+        assert!(slot.enter(0, 2, &abort, |_| panic!("double install")));
+        assert_eq!(slot.end.load(Ordering::Relaxed), 100);
+        slot.leave();
+        slot.leave();
+    }
+
+    #[test]
+    fn slot_recycles_after_all_leave() {
+        let team = test_team(1);
+        let abort = AtomicBool::new(false);
+        // Generations 0 and WS_SLOTS map to the same slot.
+        let g2 = WS_SLOTS as u64;
+        let slot = team.slot(0);
+        assert!(slot.enter(0, 1, &abort, |s| s.end.store(7, Ordering::Relaxed)));
+        slot.leave();
+        assert!(slot.enter(g2, 1, &abort, |s| s.end.store(9, Ordering::Relaxed)));
+        assert_eq!(slot.end.load(Ordering::Relaxed), 9);
+        slot.leave();
+    }
+
+    #[test]
+    fn slot_enter_aborts() {
+        let team = test_team(2);
+        let abort = AtomicBool::new(false);
+        let slot = team.slot(0);
+        assert!(slot.enter(0, 2, &abort, |_| {}));
+        // Generation WS_SLOTS can't recycle (done != size), but the abort
+        // flag must still release the waiter.
+        abort.store(true, Ordering::SeqCst);
+        assert!(!slot.enter(WS_SLOTS as u64, 2, &abort, |_| {}));
+    }
+
+    #[test]
+    fn concurrent_install_race_single_winner() {
+        let team = Arc::new(test_team(8));
+        let abort = Arc::new(AtomicBool::new(false));
+        let installs = Arc::new(AtomicUsize::new(0));
+        let mut handles = vec![];
+        for _ in 0..8 {
+            let team = team.clone();
+            let abort = abort.clone();
+            let installs = installs.clone();
+            handles.push(std::thread::spawn(move || {
+                let slot = team.slot(3);
+                assert!(slot.enter(3, 8, &abort, |_| {
+                    installs.fetch_add(1, Ordering::SeqCst);
+                }));
+                slot.leave();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(installs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn record_panic_keeps_first_real_payload() {
+        let team = test_team(2);
+        team.record_panic(Box::new(crate::ctx::SiblingPanic));
+        assert!(team.panic_payload.lock().is_none());
+        assert!(team.abort.load(Ordering::Relaxed));
+        team.record_panic(Box::new("real"));
+        team.record_panic(Box::new("second"));
+        let p = team.panic_payload.lock().take().unwrap();
+        assert_eq!(*p.downcast::<&str>().unwrap(), "real");
+    }
+}

@@ -1,0 +1,62 @@
+//! Wall-clock timing, the `omp_get_wtime` / `omp_get_wtick` equivalents.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Elapsed wall-clock seconds since an arbitrary (but fixed) point in the
+/// past, exactly like `omp_get_wtime`. Differences between two calls are
+/// meaningful; absolute values are not.
+pub fn get_wtime() -> f64 {
+    epoch().elapsed().as_secs_f64()
+}
+
+/// Timer resolution in seconds (`omp_get_wtick`). `Instant` is
+/// nanosecond-granular on every platform we target.
+pub fn get_wtick() -> f64 {
+    1e-9
+}
+
+/// Convenience: time a closure, returning `(result, seconds)`.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = get_wtime();
+    let out = f();
+    (out, get_wtime() - t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wtime_is_monotone() {
+        let a = get_wtime();
+        let b = get_wtime();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn wtime_measures_sleep() {
+        let t0 = get_wtime();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let dt = get_wtime() - t0;
+        assert!(dt >= 0.009, "slept 10ms but measured {dt}");
+    }
+
+    #[test]
+    fn wtick_positive() {
+        assert!(get_wtick() > 0.0);
+        assert!(get_wtick() <= 1e-6);
+    }
+
+    #[test]
+    fn timed_returns_value() {
+        let (v, dt) = timed(|| 42);
+        assert_eq!(v, 42);
+        assert!(dt >= 0.0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Run the NPB EP benchmark end to end — the NPB-style report: class,
+//! threads, timing, MOP/s, Gaussian-pair counts and the official
+//! verification.
+//!
+//! ```text
+//! cargo run --release --example npb_ep [-- <class S|W|A|B|C>]
+//! ```
+
+use romp::npb::{ep, Class};
+use romp::prelude::*;
+
+fn main() {
+    let class: Class = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "S".into())
+        .parse()
+        .expect("valid class");
+    let threads = omp_get_num_procs();
+
+    println!(" NAS Parallel Benchmarks (romp reproduction) — EP Benchmark\n");
+    println!(" Number of random numbers generated: 2^{}", class.ep_m() + 1);
+    println!(" Number of available threads:        {threads}\n");
+
+    let result = ep::romp::run(class, threads);
+
+    // Recompute the detail for the NPB-style printout.
+    let (out, _) = ep::run_serial(Class::S); // cheap; only for the layout demo at S
+    let detail = if class == Class::S {
+        out
+    } else {
+        // For bigger classes reuse the parallel run's figures only.
+        ep::EpOutput {
+            sx: result.checksum,
+            sy: f64::NAN,
+            q: [0; 10],
+        }
+    };
+
+    println!(" EP Benchmark Results:\n");
+    println!(" CPU Time = {:.4} seconds", result.time_s);
+    println!(" N = 2^{}", class.ep_m());
+    println!(" Sums = {:25.15e} (sx)", result.checksum);
+    if class == Class::S {
+        println!("        {:25.15e} (sy)", detail.sy);
+        println!(" Counts:");
+        for (l, q) in detail.q.iter().enumerate() {
+            if *q > 0 {
+                println!("  {l} {q:>12}");
+            }
+        }
+    }
+    println!("\n Verification = {}", if result.verified { "SUCCESSFUL" } else { "FAILED" });
+    println!(" Mop/s total  = {:.2}", result.mops);
+    assert!(result.verified);
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the three ways to write an OpenMP-style loop in romp.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use romp::prelude::*;
+
+fn main() {
+    let n = 4_000_000usize;
+    let h = 1.0 / n as f64;
+
+    // 1. Directive macros — pragma-text clauses, like the paper's
+    //    comment directives for Zig.
+    let t0 = omp_get_wtime();
+    let (pi_macro,) = omp_parallel_for!(
+        schedule(static), reduction(+ : pi_macro = 0.0),
+        for i in 0..(n) {
+            let x = h * (i as f64 + 0.5);
+            pi_macro += 4.0 / (1.0 + x * x);
+        }
+    );
+    let t_macro = omp_get_wtime() - t0;
+
+    // 2. The typed builder API — what the macros desugar to.
+    let t0 = omp_get_wtime();
+    let pi_builder = par_for(0..n)
+        .schedule(Schedule::static_block())
+        .reduce(SumOp, 0.0, |i, acc| {
+            let x = h * (i as f64 + 0.5);
+            *acc += 4.0 / (1.0 + x * x);
+        });
+    let t_builder = omp_get_wtime() - t0;
+
+    // 3. A full region with explicit constructs: worksharing, single,
+    //    critical and a barrier — the general shape of ported codes.
+    let partials = std::sync::Mutex::new(Vec::new());
+    let t0 = omp_get_wtime();
+    omp_parallel!(|ctx| {
+        omp_single!(ctx, nowait, {
+            println!(
+                "team of {} threads on {} hardware threads",
+                ctx.num_threads(),
+                omp_get_num_procs()
+            );
+        });
+        let mut local = 0.0f64;
+        omp_for!(ctx, schedule(static), reduction(+ : local), for i in 0..(n) {
+            let x = h * (i as f64 + 0.5);
+            local += 4.0 / (1.0 + x * x);
+        });
+        omp_barrier!(ctx);
+        omp_master!(ctx, {
+            partials.lock().unwrap().push(local);
+        });
+    });
+    let t_region = omp_get_wtime() - t0;
+    let pi_region = partials.into_inner().unwrap()[0];
+
+    let exact = std::f64::consts::PI;
+    println!("pi (macros ) = {:.12}  err {:+.2e}  {:.4}s", pi_macro * h, pi_macro * h - exact, t_macro);
+    println!("pi (builder) = {:.12}  err {:+.2e}  {:.4}s", pi_builder * h, pi_builder * h - exact, t_builder);
+    println!("pi (region ) = {:.12}  err {:+.2e}  {:.4}s", pi_region * h, pi_region * h - exact, t_region);
+    assert!((pi_macro * h - exact).abs() < 1e-9);
+    assert!((pi_builder * h - exact).abs() < 1e-9);
+    assert!((pi_region * h - exact).abs() < 1e-9);
+    println!("all three agree with pi to 1e-9 — quickstart OK");
+}

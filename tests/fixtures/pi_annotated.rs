@@ -1,0 +1,38 @@
+//! Fixture: a directive-annotated source file, translated by `rompcc`
+//! into `pi_translated.rs` (checked in; the translator test asserts the
+//! translation is reproduced byte-for-byte, and the translated module
+//! is compiled and executed by the same test).
+
+/// Midpoint-rule integration of 4/(1+x^2) over [0,1].
+pub fn compute_pi(n: usize) -> f64 {
+    let h = 1.0 / n as f64;
+    let mut sum = 0.0f64;
+    //#omp parallel for schedule(static) reduction(+ : sum)
+    for i in 0..n {
+        let x = h * (i as f64 + 0.5);
+        sum += 4.0 / (1.0 + x * x);
+    }
+    sum * h
+}
+
+/// Histogram with a region, a dynamic worksharing loop and a critical
+/// merge — the general shape of ported OpenMP codes.
+pub fn histogram(keys: &[usize], bins: usize) -> Vec<usize> {
+    let merged = std::sync::Mutex::new(vec![0usize; bins]);
+    //#omp parallel default(shared)
+    {
+        let mut local = vec![0usize; bins];
+        //#omp for schedule(dynamic, 64) nowait
+        for i in 0..keys.len() {
+            local[keys[i] % bins] += 1;
+        }
+        //#omp critical (hist_merge)
+        {
+            let mut m = merged.lock().unwrap();
+            for b in 0..bins {
+                m[b] += local[b];
+            }
+        }
+    }
+    merged.into_inner().unwrap()
+}

@@ -1,0 +1,57 @@
+//! End-to-end translator test: the checked-in annotated fixture must
+//! translate exactly to the checked-in golden output, and the golden
+//! output must *compile and compute correctly* (it is included below as
+//! a real module).
+
+#[path = "fixtures/pi_translated.rs"]
+mod translated;
+
+const ANNOTATED: &str = include_str!("fixtures/pi_annotated.rs");
+const GOLDEN: &str = include_str!("fixtures/pi_translated.rs");
+
+#[test]
+fn translation_matches_golden() {
+    let out = romp_pragma::translate(ANNOTATED).expect("fixture translates cleanly");
+    assert_eq!(
+        out, GOLDEN,
+        "rompcc output drifted from the checked-in golden file; \
+         regenerate with `cargo run -p romp-pragma --bin rompcc -- \
+         tests/fixtures/pi_annotated.rs -o tests/fixtures/pi_translated.rs`"
+    );
+}
+
+#[test]
+fn translated_pi_computes_pi() {
+    let pi = translated::compute_pi(2_000_000);
+    assert!(
+        (pi - std::f64::consts::PI).abs() < 1e-9,
+        "translated compute_pi returned {pi}"
+    );
+}
+
+#[test]
+fn translated_histogram_is_exact() {
+    let keys: Vec<usize> = (0..100_000).map(|i| i * 7919).collect();
+    let bins = 97;
+    let hist = translated::histogram(&keys, bins);
+    let mut expect = vec![0usize; bins];
+    for &k in &keys {
+        expect[k % bins] += 1;
+    }
+    assert_eq!(hist, expect);
+    assert_eq!(hist.iter().sum::<usize>(), keys.len());
+}
+
+#[test]
+fn fixture_has_directives_and_golden_has_none() {
+    assert!(romp_pragma::find_directives(ANNOTATED).len() >= 4);
+    assert!(romp_pragma::find_directives(GOLDEN).is_empty());
+}
+
+#[test]
+fn pipeline_stages_on_fixture() {
+    let stages = romp_pragma::pipeline_stages(ANNOTATED);
+    assert!(stages.contains("stage 1"));
+    assert!(stages.contains("ParallelFor"));
+    assert!(stages.contains("romp_core::omp_parallel!"));
+}
