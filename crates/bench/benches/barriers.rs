@@ -19,17 +19,21 @@ fn bench_barriers(c: &mut Criterion) {
     for kind in [BarrierKind::Central, BarrierKind::Dissemination] {
         for &team in &teams {
             let label = format!("{kind:?}/{team}t");
-            g.bench_with_input(BenchmarkId::from_parameter(label), &(kind, team), |b, &(k, t)| {
-                icv::with_global_mut(|i| i.barrier_kind = k);
-                b.iter(|| {
-                    fork(ForkSpec::with_num_threads(t), |ctx| {
-                        for _ in 0..100 {
-                            ctx.barrier();
-                        }
+            g.bench_with_input(
+                BenchmarkId::from_parameter(label),
+                &(kind, team),
+                |b, &(k, t)| {
+                    icv::with_global_mut(|i| i.barrier_kind = k);
+                    b.iter(|| {
+                        fork(ForkSpec::with_num_threads(t), |ctx| {
+                            for _ in 0..100 {
+                                ctx.barrier();
+                            }
+                        });
                     });
-                });
-                icv::with_global_mut(|i| i.barrier_kind = BarrierKind::Central);
-            });
+                    icv::with_global_mut(|i| i.barrier_kind = BarrierKind::Central);
+                },
+            );
         }
     }
     g.finish();

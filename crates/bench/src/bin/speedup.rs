@@ -96,7 +96,10 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &format!("{} (class {class}) — speedup vs 1 thread", kernel.to_uppercase()),
+                &format!(
+                    "{} (class {class}) — speedup vs 1 thread",
+                    kernel.to_uppercase()
+                ),
                 &header,
                 &rows
             )
@@ -105,7 +108,11 @@ fn main() {
             eprintln!("[speedup] WARNING: verification failed for {kernel}");
         }
     }
-    if let Ok(p) = write_csv("speedup", &["kernel", "threads", "time_s", "speedup"], &csv_rows) {
+    if let Ok(p) = write_csv(
+        "speedup",
+        &["kernel", "threads", "time_s", "speedup"],
+        &csv_rows,
+    ) {
         println!("(csv: {})", p.display());
     }
 }

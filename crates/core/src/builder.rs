@@ -330,7 +330,9 @@ mod tests {
 
     #[test]
     fn empty_range_is_fine() {
-        par_for(5..5).num_threads(4).run(|_| panic!("no iterations"));
+        par_for(5..5)
+            .num_threads(4)
+            .run(|_| panic!("no iterations"));
         let s = par_for(5..5)
             .num_threads(4)
             .reduce(SumOp, 7i32, |_, _| panic!("no iterations"));

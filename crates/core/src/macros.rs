@@ -303,7 +303,9 @@ macro_rules! __omp_parallel_for {
 #[macro_export]
 macro_rules! __omp_sched {
     (static) => {
-        $crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }
+        $crate::runtime::Schedule::Static {
+            chunk: ::std::option::Option::None,
+        }
     };
     (static, $c:expr) => {
         $crate::runtime::Schedule::Static {

@@ -148,15 +148,21 @@ mod tests {
             let d = SharedSlice::new(&mut data);
             let m = SharedSlice::new(&mut mirror);
             omp_parallel!(num_threads(4), |ctx| {
-                omp_for!(ctx, for i in 0..256 {
-                    unsafe { d.write(i, i + 1) };
-                });
+                omp_for!(
+                    ctx,
+                    for i in 0..256 {
+                        unsafe { d.write(i, i + 1) };
+                    }
+                );
                 // Implied barrier published the writes; now read a
                 // shuffled pattern.
-                omp_for!(ctx, for i in 0..256 {
-                    let v = unsafe { d.read(255 - i) };
-                    unsafe { m.write(i, v) };
-                });
+                omp_for!(
+                    ctx,
+                    for i in 0..256 {
+                        let v = unsafe { d.read(255 - i) };
+                        unsafe { m.write(i, v) };
+                    }
+                );
             });
         }
         for (i, &v) in mirror.iter().enumerate() {

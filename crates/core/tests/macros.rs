@@ -61,11 +61,19 @@ fn private_declares_uninitialized_copy() {
 fn shared_and_default_clauses_are_accepted() {
     let data = vec![1u64; 100];
     let total = AtomicUsize::new(0);
-    omp_parallel!(num_threads(2), default(shared), shared(data, total), |ctx| {
-        omp_for!(ctx, for i in 0..100 {
-            total.fetch_add(data[i] as usize, Ordering::Relaxed);
-        });
-    });
+    omp_parallel!(
+        num_threads(2),
+        default(shared),
+        shared(data, total),
+        |ctx| {
+            omp_for!(
+                ctx,
+                for i in 0..100 {
+                    total.fetch_add(data[i] as usize, Ordering::Relaxed);
+                }
+            );
+        }
+    );
     assert_eq!(total.load(Ordering::Relaxed), 100);
 }
 
@@ -76,12 +84,48 @@ fn omp_for_all_schedules_cover_exactly() {
         omp_parallel!(num_threads(4), |ctx| {
             omp_for!(ctx, schedule(static), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
             omp_for!(ctx, schedule(static, 7), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(dynamic), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(dynamic, 16), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(guided), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(guided, 4), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(runtime), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
-            omp_for!(ctx, schedule(auto), for i in 0..(n) { hits[i].fetch_add(1, Ordering::Relaxed); });
+            omp_for!(
+                ctx,
+                schedule(dynamic),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
+            omp_for!(
+                ctx,
+                schedule(dynamic, 16),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
+            omp_for!(
+                ctx,
+                schedule(guided),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
+            omp_for!(
+                ctx,
+                schedule(guided, 4),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
+            omp_for!(
+                ctx,
+                schedule(runtime),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
+            omp_for!(
+                ctx,
+                schedule(auto),
+                for i in 0..(n) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
         });
         assert!(
             hits.iter().all(|h| h.load(Ordering::Relaxed) == 8),
@@ -96,12 +140,21 @@ fn omp_for_nowait_allows_overlap() {
     let a = AtomicUsize::new(0);
     let b = AtomicUsize::new(0);
     omp_parallel!(num_threads(4), |ctx| {
-        omp_for!(ctx, schedule(dynamic, 1), nowait, for _i in 0..64 {
-            a.fetch_add(1, Ordering::Relaxed);
-        });
-        omp_for!(ctx, schedule(dynamic, 1), for _i in 0..64 {
-            b.fetch_add(1, Ordering::Relaxed);
-        });
+        omp_for!(
+            ctx,
+            schedule(dynamic, 1),
+            nowait,
+            for _i in 0..64 {
+                a.fetch_add(1, Ordering::Relaxed);
+            }
+        );
+        omp_for!(
+            ctx,
+            schedule(dynamic, 1),
+            for _i in 0..64 {
+                b.fetch_add(1, Ordering::Relaxed);
+            }
+        );
     });
     assert_eq!(a.load(Ordering::Relaxed), 64);
     assert_eq!(b.load(Ordering::Relaxed), 64);
@@ -112,9 +165,12 @@ fn omp_for_range_expression_form() {
     let data: Vec<usize> = (0..50).collect();
     let total = AtomicUsize::new(0);
     omp_parallel!(num_threads(3), |ctx| {
-        omp_for!(ctx, for i in (0..data.len()) {
-            total.fetch_add(data[i], Ordering::Relaxed);
-        });
+        omp_for!(
+            ctx,
+            for i in (0..data.len()) {
+                total.fetch_add(data[i], Ordering::Relaxed);
+            }
+        );
     });
     assert_eq!(total.load(Ordering::Relaxed), 49 * 50 / 2);
 }
@@ -123,9 +179,13 @@ fn omp_for_range_expression_form() {
 fn omp_for_step_by_form() {
     let hit = Mutex::new(Vec::new());
     omp_parallel!(num_threads(2), |ctx| {
-        omp_for!(ctx, schedule(dynamic), for i in (3..20).step_by(4) {
-            hit.lock().unwrap().push(i);
-        });
+        omp_for!(
+            ctx,
+            schedule(dynamic),
+            for i in (3..20).step_by(4) {
+                hit.lock().unwrap().push(i);
+            }
+        );
     });
     let mut v = hit.into_inner().unwrap();
     v.sort_unstable();
@@ -230,9 +290,13 @@ fn parallel_for_multiple_reduction_vars() {
 #[test]
 fn parallel_for_without_reduction() {
     let flags: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
-    omp_parallel_for!(num_threads(4), schedule(guided, 2), for i in 0..257 {
-        flags[i].fetch_add(1, Ordering::Relaxed);
-    });
+    omp_parallel_for!(
+        num_threads(4),
+        schedule(guided, 2),
+        for i in 0..257 {
+            flags[i].fetch_add(1, Ordering::Relaxed);
+        }
+    );
     assert!(flags.iter().all(|f| f.load(Ordering::Relaxed) == 1));
 }
 
@@ -399,9 +463,13 @@ fn taskloop_covers_range_exactly() {
     let hits = &hits;
     omp_parallel!(num_threads(4), |ctx| {
         omp_single!(ctx, {
-            omp_taskloop!(ctx, grainsize(13), for i in (0..500) {
-                hits[i].fetch_add(1, Ordering::Relaxed);
-            });
+            omp_taskloop!(
+                ctx,
+                grainsize(13),
+                for i in (0..500) {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }
+            );
             // The implicit taskgroup means everything is done here.
             assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         });
@@ -414,9 +482,12 @@ fn taskloop_default_grainsize() {
     let total = &total;
     omp_parallel!(num_threads(3), |ctx| {
         omp_single!(ctx, {
-            omp_taskloop!(ctx, for i in (10..110) {
-                total.fetch_add(i, Ordering::Relaxed);
-            });
+            omp_taskloop!(
+                ctx,
+                for i in (10..110) {
+                    total.fetch_add(i, Ordering::Relaxed);
+                }
+            );
         });
     });
     assert_eq!(total.load(Ordering::Relaxed), (10..110).sum::<usize>());
@@ -439,13 +510,17 @@ fn nested_constructs_compose() {
     // parallel -> for -> critical inside, then single + sections.
     let acc = AtomicI64::new(0);
     omp_parallel!(num_threads(4), |ctx| {
-        omp_for!(ctx, schedule(dynamic, 8), for i in 0..256 {
-            if i % 64 == 0 {
-                omp_critical!({
-                    acc.fetch_add(1, Ordering::Relaxed);
-                });
+        omp_for!(
+            ctx,
+            schedule(dynamic, 8),
+            for i in 0..256 {
+                if i % 64 == 0 {
+                    omp_critical!({
+                        acc.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
             }
-        });
+        );
         omp_single!(ctx, {
             acc.fetch_add(100, Ordering::Relaxed);
         });

@@ -167,7 +167,11 @@ mod tests {
         global_registry()
             .call(
                 "dcopy_",
-                &mut [n.by_ref(), ArgRef::F64Slice(&x), ArgRef::F64SliceMut(&mut y)],
+                &mut [
+                    n.by_ref(),
+                    ArgRef::F64Slice(&x),
+                    ArgRef::F64SliceMut(&mut y),
+                ],
             )
             .unwrap();
         assert_eq!(y, x);

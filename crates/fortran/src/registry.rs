@@ -88,9 +88,9 @@ impl ArgRef<'_> {
         match self {
             ArgRef::F64(v) => **v,
             ArgRef::F64Mut(v) => **v,
-            other => panic!(
-                "Fortran argument type mismatch: expected DOUBLE PRECISION, got {other:?}"
-            ),
+            other => {
+                panic!("Fortran argument type mismatch: expected DOUBLE PRECISION, got {other:?}")
+            }
         }
     }
 
@@ -196,9 +196,7 @@ impl Registry {
     where
         F: for<'a, 'b> Fn(&'a mut [ArgRef<'b>]) + Send + Sync + 'static,
     {
-        self.symbols
-            .write()
-            .insert(mangle(name), Arc::new(body));
+        self.symbols.write().insert(mangle(name), Arc::new(body));
     }
 
     /// Is a mangled symbol present?
@@ -270,7 +268,8 @@ mod tests {
         assert!(!r.resolves("TWICE"));
         let x = ArgVal::F64(21.0);
         let mut out = ArgVal::F64(0.0);
-        r.call("twice_", &mut [x.by_ref(), out.by_ref_mut()]).unwrap();
+        r.call("twice_", &mut [x.by_ref(), out.by_ref_mut()])
+            .unwrap();
         assert_eq!(out, ArgVal::F64(42.0));
     }
 
@@ -284,7 +283,10 @@ mod tests {
             other => panic!("unexpected: {other:?}"),
         }
         let msg = r.call("saxpy", &mut []).unwrap_err().to_string();
-        assert!(msg.contains("saxpy_"), "hint should suggest mangled name: {msg}");
+        assert!(
+            msg.contains("saxpy_"),
+            "hint should suggest mangled name: {msg}"
+        );
     }
 
     #[test]

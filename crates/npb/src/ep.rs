@@ -183,21 +183,17 @@ pub mod reference {
                 let sums = romp_core::par_for(0..nn)
                     .num_threads(threads)
                     .schedule(Schedule::static_block())
-                    .reduce(
-                        super::PairSum,
-                        (0.0, 0.0),
-                        |k, acc: &mut (f64, f64)| {
-                            let a = accumulate_blocks(k as u64, k as u64 + 1);
-                            acc.0 += a.sx;
-                            acc.1 += a.sy;
-                            romp_core::critical_named("ep_q_merge_ref", || {
-                                let mut q = q_total.lock().unwrap();
-                                for l in 0..10 {
-                                    q[l] += a.q[l];
-                                }
-                            });
-                        },
-                    );
+                    .reduce(super::PairSum, (0.0, 0.0), |k, acc: &mut (f64, f64)| {
+                        let a = accumulate_blocks(k as u64, k as u64 + 1);
+                        acc.0 += a.sx;
+                        acc.1 += a.sy;
+                        romp_core::critical_named("ep_q_merge_ref", || {
+                            let mut q = q_total.lock().unwrap();
+                            for l in 0..10 {
+                                q[l] += a.q[l];
+                            }
+                        });
+                    });
                 let (out_sx, rest) = tail.split_first_mut().expect("sx argument");
                 let (out_sy, rest) = rest.split_first_mut().expect("sy argument");
                 out_sx.set_f64(sums.0);

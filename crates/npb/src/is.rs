@@ -204,7 +204,10 @@ fn full_verify(keys: &[u32], counts_prefix: &[u32]) -> bool {
         sorted[*p as usize] = k;
     }
     sorted.windows(2).all(|w| w[0] <= w[1])
-        && sorted.first().map(|&f| keys.iter().min() == Some(&f)).unwrap_or(true)
+        && sorted
+            .first()
+            .map(|&f| keys.iter().min() == Some(&f))
+            .unwrap_or(true)
 }
 
 fn mops(class: Class, secs: f64) -> f64 {

@@ -83,7 +83,13 @@ pub fn expected_checksum(class: Class) -> u64 {
     v
 }
 
-fn result(class: Class, variant: Variant, threads: usize, secs: f64, checksum: u64) -> KernelResult {
+fn result(
+    class: Class,
+    variant: Variant,
+    threads: usize,
+    secs: f64,
+    checksum: u64,
+) -> KernelResult {
     KernelResult {
         name: "Mandelbrot",
         class,

@@ -34,9 +34,7 @@ pub struct Randlc {
 impl Randlc {
     /// Start from a seed (must be odd and < 2^46, like NPB's seeds).
     pub fn new(seed: u64) -> Self {
-        Randlc {
-            x: seed & MOD_MASK,
-        }
+        Randlc { x: seed & MOD_MASK }
     }
 
     /// Current raw state.

@@ -303,9 +303,7 @@ fn emit_parallel(
             } else {
                 "default(none), "
             }),
-            Clause::Shared(vars) => {
-                clause_txt.push_str(&format!("shared({}), ", vars.join(", ")))
-            }
+            Clause::Shared(vars) => clause_txt.push_str(&format!("shared({}), ", vars.join(", "))),
             Clause::ProcBind(kind) => clause_txt.push_str(&format!("proc_bind({kind}), ")),
             // private/firstprivate handled by the macro's own clauses.
             Clause::Private(vars) => {
@@ -354,7 +352,11 @@ fn emit_for(
         clause_txt.push_str("nowait, ");
     }
     if let Some((op, vars)) = reds.first() {
-        clause_txt.push_str(&format!("reduction({} : {}), ", op.token(), vars.join(", ")));
+        clause_txt.push_str(&format!(
+            "reduction({} : {}), ",
+            op.token(),
+            vars.join(", ")
+        ));
     }
     let prelude = privatization_prelude(d);
     let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
@@ -394,9 +396,7 @@ fn emit_parallel_for(
             } else {
                 "default(none), "
             }),
-            Clause::Shared(vars) => {
-                clause_txt.push_str(&format!("shared({}), ", vars.join(", ")))
-            }
+            Clause::Shared(vars) => clause_txt.push_str(&format!("shared({}), ", vars.join(", "))),
             Clause::Firstprivate(vars) => {
                 clause_txt.push_str(&format!("firstprivate({}), ", vars.join(", ")))
             }
@@ -562,7 +562,8 @@ fn emit_sections(
         let abs = found.start + content_start;
         // Only split at markers that are at the top brace level of this
         // block: check by brace-matching from content_start.
-        if found.text.trim() == "section" && at_top_level(&cx.src[content_start..close], found.start)
+        if found.text.trim() == "section"
+            && at_top_level(&cx.src[content_start..close], found.start)
         {
             boundaries.push((abs, found.end + content_start));
         }
@@ -670,8 +671,14 @@ mod tests {
     #[test]
     fn barrier_and_taskwait_standalone() {
         let out = t("//#omp parallel\n{\n//#omp barrier\n//#omp taskwait\n}");
-        assert!(out.contains("romp_core::omp_barrier!(__omp_ctx_0);"), "{out}");
-        assert!(out.contains("romp_core::omp_taskwait!(__omp_ctx_0);"), "{out}");
+        assert!(
+            out.contains("romp_core::omp_barrier!(__omp_ctx_0);"),
+            "{out}"
+        );
+        assert!(
+            out.contains("romp_core::omp_taskwait!(__omp_ctx_0);"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -682,9 +689,13 @@ mod tests {
 
     #[test]
     fn critical_named_and_unnamed() {
-        let out = t("//#omp parallel\n{\n//#omp critical\n{ a(); }\n//#omp critical (tag)\n{ b(); }\n}");
+        let out =
+            t("//#omp parallel\n{\n//#omp critical\n{ a(); }\n//#omp critical (tag)\n{ b(); }\n}");
         assert!(out.contains("romp_core::omp_critical!({ a(); });"), "{out}");
-        assert!(out.contains("romp_core::omp_critical!(tag, { b(); });"), "{out}");
+        assert!(
+            out.contains("romp_core::omp_critical!(tag, { b(); });"),
+            "{out}"
+        );
     }
 
     #[test]
@@ -726,7 +737,10 @@ mod tests {
     #[test]
     fn atomic_lowers_to_critical() {
         let out = t("//#omp parallel\n{\n//#omp atomic\n{ x += 1; }\n}");
-        assert!(out.contains("romp_core::omp_critical!({ x += 1; });"), "{out}");
+        assert!(
+            out.contains("romp_core::omp_critical!({ x += 1; });"),
+            "{out}"
+        );
     }
 
     #[test]

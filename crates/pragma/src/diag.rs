@@ -26,7 +26,11 @@ impl Diag {
 
 impl fmt::Display for Diag {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "error: {} at line {}, column {}", self.message, self.line, self.col)
+        write!(
+            f,
+            "error: {} at line {}, column {}",
+            self.message, self.line, self.col
+        )
     }
 }
 

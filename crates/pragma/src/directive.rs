@@ -417,11 +417,7 @@ fn token_width(text: &str, offset: usize, tok: &Token) -> usize {
 /// Parse the text after the `//#omp` sentinel into a directive.
 pub fn parse(text: &str) -> Result<Directive, ParseError> {
     let toks = lex(text)?;
-    let mut p = Parser {
-        text,
-        toks,
-        pos: 0,
-    };
+    let mut p = Parser { text, toks, pos: 0 };
     let first = p.expect_ident().map_err(|_| ParseError {
         offset: 0,
         message: "expected a directive name after `//#omp`".to_string(),
@@ -502,9 +498,7 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
             match v.as_str() {
                 "shared" => Ok(Clause::Default(true)),
                 "none" => Ok(Clause::Default(false)),
-                other => Err(p.err(format!(
-                    "default takes `shared` or `none`, found `{other}`"
-                ))),
+                other => Err(p.err(format!("default takes `shared` or `none`, found `{other}`"))),
             }
         }
         "shared" => {
@@ -635,10 +629,8 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
         }
     }
     if d.kind == DirectiveKind::ParallelFor || d.kind == DirectiveKind::For {
-        if let Some(Clause::Collapse(n)) = d
-            .clauses
-            .iter()
-            .find(|c| matches!(c, Clause::Collapse(_)))
+        if let Some(Clause::Collapse(n)) =
+            d.clauses.iter().find(|c| matches!(c, Clause::Collapse(_)))
         {
             if *n > 1 {
                 return Err(ParseError {

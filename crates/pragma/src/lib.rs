@@ -64,8 +64,7 @@ pub fn pipeline_stages(src: &str) -> String {
     for f in &found {
         match directive::lex(&f.text) {
             Ok(toks) => {
-                let rendered: Vec<String> =
-                    toks.iter().map(|(_, t)| format!("{t:?}")).collect();
+                let rendered: Vec<String> = toks.iter().map(|(_, t)| format!("{t:?}")).collect();
                 let _ = writeln!(out, "  {} -> [{}]", f.text, rendered.join(", "));
             }
             Err(e) => {

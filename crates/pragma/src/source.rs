@@ -112,16 +112,14 @@ impl<'a> Walker<'a> {
                 }
                 self.i += 1;
             }
-            LexState::Str => {
-                match b {
-                    b'\\' => self.i += 2,
-                    b'"' => {
-                        self.state = LexState::Normal;
-                        self.i += 1;
-                    }
-                    _ => self.i += 1,
+            LexState::Str => match b {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.state = LexState::Normal;
+                    self.i += 1;
                 }
-            }
+                _ => self.i += 1,
+            },
             LexState::RawStr(hashes) => {
                 if b == b'"' && self.has_hashes(at + 1, hashes) {
                     self.state = LexState::Normal;
@@ -130,16 +128,14 @@ impl<'a> Walker<'a> {
                 }
                 self.i += 1;
             }
-            LexState::Char => {
-                match b {
-                    b'\\' => self.i += 2,
-                    b'\'' => {
-                        self.state = LexState::Normal;
-                        self.i += 1;
-                    }
-                    _ => self.i += 1,
+            LexState::Char => match b {
+                b'\\' => self.i += 2,
+                b'\'' => {
+                    self.state = LexState::Normal;
+                    self.i += 1;
                 }
-            }
+                _ => self.i += 1,
+            },
         }
         Some((at, b, before))
     }

@@ -1,0 +1,129 @@
+//! Round-trip the checked-in π fixtures through the real `rompcc`
+//! binary: `rompcc tests/fixtures/pi_annotated.rs` must reproduce
+//! `tests/fixtures/pi_translated.rs` (modulo whitespace), exercising
+//! the CLI end-to-end — argument parsing, file IO, `-o`, `--check`,
+//! and stdout emission — not just the library `translate` call.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const ANNOTATED: &str = include_str!("../../../tests/fixtures/pi_annotated.rs");
+const GOLDEN: &str = include_str!("../../../tests/fixtures/pi_translated.rs");
+
+fn rompcc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rompcc"))
+}
+
+/// Scratch file unique to this test binary run.
+fn scratch(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("rompcc-roundtrip-{}-{name}", std::process::id()));
+    p
+}
+
+/// Collapse all whitespace runs so formatting-only drift (indentation,
+/// trailing newlines, line wrapping) does not fail the round-trip.
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[test]
+fn binary_output_matches_translated_fixture_via_o_flag() {
+    let input = scratch("in.rs");
+    let output = scratch("out.rs");
+    std::fs::write(&input, ANNOTATED).unwrap();
+
+    let status = rompcc()
+        .arg(&input)
+        .arg("-o")
+        .arg(&output)
+        .status()
+        .expect("failed to spawn rompcc");
+    assert!(status.success(), "rompcc exited with {status}");
+
+    let got = std::fs::read_to_string(&output).unwrap();
+    assert_eq!(
+        normalize_ws(&got),
+        normalize_ws(GOLDEN),
+        "rompcc -o output drifted from tests/fixtures/pi_translated.rs"
+    );
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&output);
+}
+
+#[test]
+fn binary_stdout_matches_translated_fixture() {
+    let input = scratch("stdout-in.rs");
+    std::fs::write(&input, ANNOTATED).unwrap();
+
+    let out = rompcc()
+        .arg(&input)
+        .output()
+        .expect("failed to spawn rompcc");
+    assert!(out.status.success());
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(
+        normalize_ws(&got),
+        normalize_ws(GOLDEN),
+        "rompcc stdout drifted from tests/fixtures/pi_translated.rs"
+    );
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn check_mode_accepts_fixture_and_counts_directives() {
+    let input = scratch("check-in.rs");
+    std::fs::write(&input, ANNOTATED).unwrap();
+
+    let out = rompcc()
+        .arg(&input)
+        .arg("--check")
+        .output()
+        .expect("failed to spawn rompcc");
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    let n = romp_pragma::find_directives(ANNOTATED).len();
+    assert!(
+        stderr.contains(&format!("{n} directive(s)")),
+        "unexpected --check report: {stderr}"
+    );
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn translated_fixture_is_a_fixed_point_of_the_binary() {
+    // Running rompcc on its own output must be the identity (modulo
+    // whitespace): all directives were consumed by the first pass.
+    let input = scratch("fixed-in.rs");
+    std::fs::write(&input, GOLDEN).unwrap();
+
+    let out = rompcc()
+        .arg(&input)
+        .output()
+        .expect("failed to spawn rompcc");
+    assert!(out.status.success());
+    let got = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(normalize_ws(&got), normalize_ws(GOLDEN));
+    let _ = std::fs::remove_file(&input);
+}
+
+#[test]
+fn bad_directive_fails_with_diagnostics() {
+    let input = scratch("bad-in.rs");
+    std::fs::write(&input, "//#omp bogus nonsense\n{ }\n").unwrap();
+
+    let out = rompcc()
+        .arg(&input)
+        .output()
+        .expect("failed to spawn rompcc");
+    assert!(
+        !out.status.success(),
+        "rompcc accepted an unknown directive"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("error"),
+        "no diagnostic on stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(&input);
+}

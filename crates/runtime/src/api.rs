@@ -115,9 +115,15 @@ pub fn omp_set_schedule(sched: Schedule) {
     tls_override_mut(|o| o.run_sched = Some(sched));
 }
 
-/// `omp_get_schedule`.
+/// `omp_get_schedule`: the `run-sched-var` of the current data
+/// environment — this thread's own `omp_set_schedule` override if any,
+/// else the enclosing team's fork-time snapshot (what a
+/// `schedule(runtime)` loop here actually uses), else the global ICV.
 pub fn omp_get_schedule() -> Schedule {
-    icv::current().run_sched
+    if let Some(s) = icv::tls_run_sched_override() {
+        return s;
+    }
+    with_current(|r| Some(r.team.run_sched), || None).unwrap_or_else(|| icv::current().run_sched)
 }
 
 /// `omp_get_wtime` (re-exported from [`crate::wtime`]).

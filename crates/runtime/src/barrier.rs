@@ -138,8 +138,7 @@ impl TeamBarrier {
             }
             // Timed wait so we re-check the abort flag even if the wakeup
             // notification raced ahead of our park.
-            self.park_cv
-                .wait_for(&mut guard, Duration::from_millis(1));
+            self.park_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
         !abort.load(Ordering::Relaxed)
     }
@@ -224,7 +223,11 @@ mod tests {
 
     #[test]
     fn abort_unblocks_waiters() {
-        let barrier = Arc::new(TeamBarrier::new(2, BarrierKind::Central, WaitPolicy::Passive));
+        let barrier = Arc::new(TeamBarrier::new(
+            2,
+            BarrierKind::Central,
+            WaitPolicy::Passive,
+        ));
         let abort = Arc::new(AtomicBool::new(false));
         let b = barrier.clone();
         let a = abort.clone();

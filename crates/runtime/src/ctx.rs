@@ -52,10 +52,7 @@ pub(crate) fn forking_position() -> (usize, usize, Vec<(usize, usize)>) {
 
 /// Read a field of the innermost region, with a default for the
 /// sequential part.
-pub(crate) fn with_current<R>(
-    f: impl FnOnce(&RegionInfo) -> R,
-    default: impl FnOnce() -> R,
-) -> R {
+pub(crate) fn with_current<R>(f: impl FnOnce(&RegionInfo) -> R, default: impl FnOnce() -> R) -> R {
     REGION_STACK.with(|s| {
         let stack = s.borrow();
         match stack.last() {

@@ -95,7 +95,10 @@ pub fn parse_barrier_kind(s: &str) -> Option<BarrierKind> {
 /// drive it with a closure over a map.
 pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
     let mut icvs = Icvs::default();
-    if let Some(v) = get("OMP_NUM_THREADS").as_deref().and_then(parse_num_threads) {
+    if let Some(v) = get("OMP_NUM_THREADS")
+        .as_deref()
+        .and_then(parse_num_threads)
+    {
         icvs.nthreads = v;
     }
     if let Some(v) = get("OMP_DYNAMIC").as_deref().and_then(parse_bool) {
@@ -117,7 +120,10 @@ pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
             icvs.thread_limit = v;
         }
     }
-    if let Some(v) = get("OMP_WAIT_POLICY").as_deref().and_then(parse_wait_policy) {
+    if let Some(v) = get("OMP_WAIT_POLICY")
+        .as_deref()
+        .and_then(parse_wait_policy)
+    {
         icvs.wait_policy = v;
     }
     if let Some(v) = get("OMP_PROC_BIND").as_deref().and_then(parse_proc_bind) {
@@ -156,7 +162,11 @@ pub fn display_env(icvs: &Icvs) -> String {
     let _ = writeln!(out, "  OMP_NUM_THREADS = '{nthreads}'");
     let _ = writeln!(out, "  OMP_SCHEDULE = '{}'", icvs.run_sched);
     let _ = writeln!(out, "  OMP_DYNAMIC = '{}'", icvs.dynamic);
-    let _ = writeln!(out, "  OMP_MAX_ACTIVE_LEVELS = '{}'", icvs.max_active_levels);
+    let _ = writeln!(
+        out,
+        "  OMP_MAX_ACTIVE_LEVELS = '{}'",
+        icvs.max_active_levels
+    );
     let _ = writeln!(out, "  OMP_THREAD_LIMIT = '{}'", icvs.thread_limit);
     let _ = writeln!(
         out,

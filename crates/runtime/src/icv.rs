@@ -181,6 +181,19 @@ pub(crate) fn tls_override_mut(f: impl FnOnce(&mut TlsOverride)) {
     });
 }
 
+/// This thread's explicit `omp_set_schedule` override, if any.
+pub(crate) fn tls_run_sched_override() -> Option<Schedule> {
+    TLS_OVERRIDE.with(|o| o.borrow().as_ref().and_then(|t| t.run_sched))
+}
+
+/// Discard this thread's `omp_set_*` overrides. Pool workers call this
+/// before each region: an implicit task starts with a fresh data
+/// environment inherited from the team, so overrides a worker set while
+/// serving an earlier region must not leak into later teams.
+pub(crate) fn tls_clear_overrides() {
+    TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -71,11 +71,11 @@ pub use api::*;
 pub use atomic::AtomicF64;
 pub use barrier::BarrierKind;
 pub use critical::{critical, critical_named};
-pub use env::display_env;
 pub use ctx::{SiblingPanic, ThreadCtx};
-pub use loops::Ordered;
+pub use env::display_env;
 pub use icv::{Icvs, ProcBind, WaitPolicy};
 pub use lock::{NestLock, OmpLock};
+pub use loops::Ordered;
 pub use pool::{fork, ForkSpec};
 pub use reduction::{
     BitAndOp, BitOrOp, BitXorOp, LogAndOp, LogOrOp, MaxOp, MinOp, ProdOp, ReduceOp, SumOp,

@@ -316,11 +316,12 @@ impl<'scope> ThreadCtx<'scope> {
         }
     }
 
-    /// Resolve `runtime` (against the ICV) and `auto` (to `static`).
+    /// Resolve `runtime` (against the team's `run-sched-var` snapshot,
+    /// so every team thread agrees) and `auto` (to `static`).
     pub fn resolve_schedule(&self, sched: Schedule) -> Schedule {
         match sched {
             Schedule::Runtime => {
-                let s = crate::icv::current().run_sched;
+                let s = self.team().run_sched;
                 match s {
                     Schedule::Runtime | Schedule::Auto => Schedule::default(),
                     other => other,

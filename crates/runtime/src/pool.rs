@@ -201,6 +201,9 @@ fn worker_main(slot: Arc<WorkerSlot>) {
             thread_num,
             job,
         } = assignment;
+        // Fresh implicit-task data environment: `omp_set_*` overrides
+        // from regions this worker served earlier must not leak in.
+        icv::tls_clear_overrides();
         run_region(&team, thread_num, job);
         // Signal completion, then return to the pool. Nothing after the
         // decrement may touch the job or team borrows.
@@ -259,7 +262,14 @@ pub fn fork<'env, F>(spec: ForkSpec, f: F)
 where
     F: Fn(&ThreadCtx<'env>) + Sync,
 {
-    let icvs = icv::current();
+    let mut icvs = icv::current();
+    // ICV inheritance for nested regions: the child team's
+    // `run-sched-var` comes from the enclosing team's fork-time
+    // snapshot (not this OS thread's view of the global ICV), unless
+    // this thread explicitly called `omp_set_schedule` in the region.
+    if icv::tls_run_sched_override().is_none() {
+        crate::ctx::with_current(|r| icvs.run_sched = r.team.run_sched, || ());
+    }
     let (level, active_level, ancestors) = forking_position();
     let mut n = match spec.if_clause {
         Some(false) => 1,
@@ -283,6 +293,7 @@ where
             icvs.barrier_kind,
             icvs.wait_policy,
             ancestors,
+            icvs.run_sched,
         ));
         run_region(&team, 0, job);
         rethrow(&team);
@@ -310,6 +321,7 @@ where
         icvs.barrier_kind,
         wait_policy,
         ancestors,
+        icvs.run_sched,
     ));
     for (i, w) in workers.iter().enumerate() {
         let mut mb = w.mailbox.lock();

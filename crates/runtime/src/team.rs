@@ -213,6 +213,11 @@ pub struct Team {
     /// `(thread_num, team_size)` per enclosing level, index 0 = initial
     /// implicit task. Used by `omp_get_ancestor_thread_num`.
     pub(crate) ancestors: Vec<(usize, usize)>,
+    /// `run-sched-var` snapshot from the master's data environment at
+    /// fork time: `schedule(runtime)` loops must resolve identically on
+    /// every team thread, so the resolution source is bound to the team
+    /// (per OpenMP ICV inheritance), not read per-thread mid-loop.
+    pub(crate) run_sched: crate::sched::Schedule,
 }
 
 impl std::fmt::Debug for Team {
@@ -234,6 +239,7 @@ impl Team {
         barrier_kind: BarrierKind,
         wait_policy: WaitPolicy,
         ancestors: Vec<(usize, usize)>,
+        run_sched: crate::sched::Schedule,
     ) -> Self {
         Team {
             size,
@@ -250,6 +256,7 @@ impl Team {
             copy_cell: Mutex::new(None),
             reduce_cells: [Mutex::new(RedCell::new()), Mutex::new(RedCell::new())],
             ancestors,
+            run_sched,
         }
     }
 
@@ -287,6 +294,7 @@ mod tests {
             BarrierKind::Central,
             WaitPolicy::Hybrid,
             vec![(0, 1)],
+            crate::sched::Schedule::default(),
         )
     }
 

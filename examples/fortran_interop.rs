@@ -60,28 +60,32 @@ fn main() {
     {
         let view = romp::core::slice::SharedSlice::new(&mut data);
         omp_parallel!(|ctx| {
-            omp_for!(ctx, schedule(dynamic), for row in 0..(rows) {
-                // SAFETY: each row is owned by exactly one thread.
-                let row_slice = unsafe {
-                    std::slice::from_raw_parts_mut(
-                        view.as_ptr().add(row * cols) as *mut f64,
-                        cols,
-                    )
-                };
-                let n_arg = ArgVal::I64(cols as i64);
-                let alpha = ArgVal::F64(row as f64);
-                global_registry()
-                    .call(
-                        "daxpy_",
-                        &mut [
-                            n_arg.by_ref(),
-                            alpha.by_ref(),
-                            ArgRef::F64Slice(&unit),
-                            ArgRef::F64SliceMut(row_slice),
-                        ],
-                    )
-                    .expect("daxpy_ resolves");
-            });
+            omp_for!(
+                ctx,
+                schedule(dynamic),
+                for row in 0..(rows) {
+                    // SAFETY: each row is owned by exactly one thread.
+                    let row_slice = unsafe {
+                        std::slice::from_raw_parts_mut(
+                            view.as_ptr().add(row * cols) as *mut f64,
+                            cols,
+                        )
+                    };
+                    let n_arg = ArgVal::I64(cols as i64);
+                    let alpha = ArgVal::F64(row as f64);
+                    global_registry()
+                        .call(
+                            "daxpy_",
+                            &mut [
+                                n_arg.by_ref(),
+                                alpha.by_ref(),
+                                ArgRef::F64Slice(&unit),
+                                ArgRef::F64SliceMut(row_slice),
+                            ],
+                        )
+                        .expect("daxpy_ resolves");
+                }
+            );
         });
     }
     for (row, chunk) in data.chunks(cols).enumerate() {

@@ -38,9 +38,15 @@ fn main() {
     println!();
 
     let serial = mandelbrot::run_serial(class);
-    println!("serial reference: {:.3}s (checksum {})\n", serial.1, serial.0);
+    println!(
+        "serial reference: {:.3}s (checksum {})\n",
+        serial.1, serial.0
+    );
 
-    println!("{:<12} {:>9} {:>9} {:>9}", "schedule", "time (s)", "speedup", "verified");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9}",
+        "schedule", "time (s)", "speedup", "verified"
+    );
     for (label, sched) in [
         ("static", Schedule::static_block()),
         ("static,8", Schedule::static_chunk(8)),

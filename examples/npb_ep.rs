@@ -18,7 +18,10 @@ fn main() {
     let threads = omp_get_num_procs();
 
     println!(" NAS Parallel Benchmarks (romp reproduction) — EP Benchmark\n");
-    println!(" Number of random numbers generated: 2^{}", class.ep_m() + 1);
+    println!(
+        " Number of random numbers generated: 2^{}",
+        class.ep_m() + 1
+    );
     println!(" Number of available threads:        {threads}\n");
 
     let result = ep::romp::run(class, threads);
@@ -49,7 +52,14 @@ fn main() {
             }
         }
     }
-    println!("\n Verification = {}", if result.verified { "SUCCESSFUL" } else { "FAILED" });
+    println!(
+        "\n Verification = {}",
+        if result.verified {
+            "SUCCESSFUL"
+        } else {
+            "FAILED"
+        }
+    );
     println!(" Mop/s total  = {:.2}", result.mops);
     assert!(result.verified);
 }

@@ -24,12 +24,13 @@ fn main() {
 
     // 2. The typed builder API — what the macros desugar to.
     let t0 = omp_get_wtime();
-    let pi_builder = par_for(0..n)
-        .schedule(Schedule::static_block())
-        .reduce(SumOp, 0.0, |i, acc| {
-            let x = h * (i as f64 + 0.5);
-            *acc += 4.0 / (1.0 + x * x);
-        });
+    let pi_builder =
+        par_for(0..n)
+            .schedule(Schedule::static_block())
+            .reduce(SumOp, 0.0, |i, acc| {
+                let x = h * (i as f64 + 0.5);
+                *acc += 4.0 / (1.0 + x * x);
+            });
     let t_builder = omp_get_wtime() - t0;
 
     // 3. A full region with explicit constructs: worksharing, single,
@@ -58,9 +59,24 @@ fn main() {
     let pi_region = partials.into_inner().unwrap()[0];
 
     let exact = std::f64::consts::PI;
-    println!("pi (macros ) = {:.12}  err {:+.2e}  {:.4}s", pi_macro * h, pi_macro * h - exact, t_macro);
-    println!("pi (builder) = {:.12}  err {:+.2e}  {:.4}s", pi_builder * h, pi_builder * h - exact, t_builder);
-    println!("pi (region ) = {:.12}  err {:+.2e}  {:.4}s", pi_region * h, pi_region * h - exact, t_region);
+    println!(
+        "pi (macros ) = {:.12}  err {:+.2e}  {:.4}s",
+        pi_macro * h,
+        pi_macro * h - exact,
+        t_macro
+    );
+    println!(
+        "pi (builder) = {:.12}  err {:+.2e}  {:.4}s",
+        pi_builder * h,
+        pi_builder * h - exact,
+        t_builder
+    );
+    println!(
+        "pi (region ) = {:.12}  err {:+.2e}  {:.4}s",
+        pi_region * h,
+        pi_region * h - exact,
+        t_region
+    );
     assert!((pi_macro * h - exact).abs() < 1e-9);
     assert!((pi_builder * h - exact).abs() < 1e-9);
     assert!((pi_region * h - exact).abs() < 1e-9);

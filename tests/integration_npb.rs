@@ -87,6 +87,38 @@ fn is_keys_deterministic_across_threads() {
     assert_eq!(a, c);
 }
 
+/// Class-S verification matrix: every kernel, in both configurations,
+/// must pass the official NPB `verify` thresholds single-threaded and
+/// multi-threaded (the paper's correctness bar for its Zig ports).
+#[test]
+fn class_s_verification_single_and_multi_threaded() {
+    let cg_setup = cg::setup(Class::S);
+    for threads in [1usize, 4] {
+        for (name, result) in [
+            ("cg/romp", cg::romp::run_with(&cg_setup, threads)),
+            ("cg/reference", cg::reference::run_with(&cg_setup, threads)),
+            ("ep/romp", ep::romp::run(Class::S, threads)),
+            ("ep/reference", ep::reference::run(Class::S, threads)),
+            ("is/romp", is::romp::run(Class::S, threads)),
+            ("is/reference", is::reference::run(Class::S, threads)),
+            ("mandelbrot/romp", mandelbrot::romp::run(Class::S, threads)),
+            (
+                "mandelbrot/reference",
+                mandelbrot::reference::run(Class::S, threads),
+            ),
+        ] {
+            assert!(
+                result.verified,
+                "{name} failed official class-S verification on {threads} thread(s): {result}"
+            );
+            assert_eq!(
+                result.threads, threads,
+                "{name} reported wrong thread count"
+            );
+        }
+    }
+}
+
 #[test]
 fn kernel_results_render() {
     let r = ep::romp::run(Class::S, 2);

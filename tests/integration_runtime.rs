@@ -30,9 +30,13 @@ fn nested_parallelism_when_enabled() {
 fn dynamic_dispatch_actually_dispatches() {
     let before = stats::stats().snapshot();
     omp_parallel!(num_threads(4), |ctx| {
-        omp_for!(ctx, schedule(dynamic, 1), for _i in 0..256 {
-            std::hint::black_box(0);
-        });
+        omp_for!(
+            ctx,
+            schedule(dynamic, 1),
+            for _i in 0..256 {
+                std::hint::black_box(0);
+            }
+        );
     });
     let after = stats::stats().snapshot();
     let d = before.delta(&after);
@@ -145,9 +149,13 @@ fn passive_wait_policy_regions_work() {
     icv::with_global_mut(|i| i.wait_policy = WaitPolicy::Passive);
     let sum = AtomicU64::new(0);
     omp_parallel!(num_threads(4), |ctx| {
-        omp_for!(ctx, schedule(dynamic), for i in 0..500 {
-            sum.fetch_add(i as u64, Ordering::Relaxed);
-        });
+        omp_for!(
+            ctx,
+            schedule(dynamic),
+            for i in 0..500 {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            }
+        );
         omp_barrier!(ctx);
     });
     icv::with_global_mut(|i| i.wait_policy = WaitPolicy::Hybrid);
@@ -187,9 +195,13 @@ fn schedule_runtime_respects_icv() {
     romp::runtime::omp_set_schedule(Schedule::dynamic_chunk(2));
     let before = stats::stats().snapshot();
     omp_parallel!(num_threads(2), |ctx| {
-        omp_for!(ctx, schedule(runtime), for _i in 0..64 {
-            std::hint::black_box(0);
-        });
+        omp_for!(
+            ctx,
+            schedule(runtime),
+            for _i in 0..64 {
+                std::hint::black_box(0);
+            }
+        );
     });
     let after = stats::stats().snapshot();
     assert!(

@@ -3,6 +3,9 @@
 //! output must *compile and compute correctly* (it is included below as
 //! a real module).
 
+// `rustfmt::skip`: the golden file must stay byte-identical to rompcc
+// output; formatting it would break `translation_matches_golden`.
+#[rustfmt::skip]
 #[path = "fixtures/pi_translated.rs"]
 mod translated;
 

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API subset romp's benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], [`Bencher::iter`] — with a simple wall-clock
+//! measurement loop instead of criterion's statistical machinery. Each
+//! benchmark reports min/mean over `sample_size` samples to stdout.
+//!
+//! A `--filter <substr>` argument (or a bare positional substring, as
+//! cargo-bench passes) restricts which benchmarks run.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (used inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.full)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { full: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { full: s }
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` `sample_size` times, recording the wall-clock time of each.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up run outside measurement.
+        black_box(f());
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut args = std::env::args().skip(1);
+        let mut filter = None;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--filter" => filter = args.next(),
+                // cargo bench forwards `--bench`; ignore harness flags.
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&self.filter, &id.full, 10, f);
+        self
+    }
+
+    fn matches(&self, full: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full.contains(f))
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this harness has no time target.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `<group>/<id>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            run_one(&None, &full, self.sample_size, f);
+        }
+        self
+    }
+
+    /// Benchmark `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.criterion.matches(&full) {
+            run_one(&None, &full, self.sample_size, |b| f(b, input));
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(filter: &Option<String>, full: &str, samples: usize, mut f: F) {
+    if let Some(flt) = filter {
+        if !full.contains(flt.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+        sample_size: samples,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{full:<50} (no samples)");
+        return;
+    }
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{full:<50} min {:>12.3?}   mean {:>12.3?}   ({} samples)",
+        min,
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Collect benchmark functions into a single runner, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_id_formats() {
+        assert_eq!(BenchmarkId::new("a", 4).to_string(), "a/4");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut calls = 0u32;
+        run_one(&None, "unit/bench", 3, |b| {
+            b.iter(|| calls += 1);
+        });
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn filter_skips() {
+        let mut ran = false;
+        run_one(&Some("nomatch".into()), "unit/other", 2, |_| ran = true);
+        assert!(!ran);
+    }
+}

@@ -1,0 +1,181 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset romp's property tests use: the [`proptest!`]
+//! macro (with `#![proptest_config(..)]`), `prop_assert!`/
+//! `prop_assert_eq!`, range strategies over integers and floats,
+//! `collection::vec`, `bool::ANY`, and string-pattern strategies for
+//! the simple regex subset romp's tests write (`[class]`, `.`, and
+//! `{m,n}` repetition). Generation is a deterministic SplitMix64 stream
+//! seeded from the test name, so failures reproduce; there is no
+//! shrinking.
+
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod strategy;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size`
+    /// and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// `proptest::bool` — strategies for booleans.
+pub mod bool {
+    /// Uniformly random booleans.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// Runner configuration; only `cases` is honoured by this stand-in.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Accepted for compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// The prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Fail the current case unless the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Fail the current case if the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a test running `body` over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::rng::TestRng::from_name(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// Ranges stay in bounds.
+        #[test]
+        fn int_ranges_in_bounds(a in 3usize..17, b in -5i64..5, c in 0u32..1) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert_eq!(c, 0);
+        }
+
+        /// Vec strategy honours the size range and element bounds.
+        #[test]
+        fn vec_strategy_bounds(v in crate::collection::vec(1u64..4, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| (1..4).contains(&x)));
+        }
+
+        /// String patterns: class, repetition, and `.` all generate.
+        #[test]
+        fn string_patterns(s in "[A-Za-z][A-Za-z0-9_]{0,30}", any in ".{0,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 31);
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_alphabetic());
+            prop_assert!(chars.all(|c| c.is_ascii_alphanumeric() || c == '_'));
+            prop_assert!(any.len() <= 12);
+        }
+    }
+
+    #[test]
+    fn runs_expanded_tests() {
+        int_ranges_in_bounds();
+        vec_strategy_bounds();
+        string_patterns();
+    }
+
+    #[test]
+    fn float_range_in_bounds() {
+        let mut rng = crate::rng::TestRng::from_name("float_range");
+        for _ in 0..100 {
+            let x = (-2.0f64..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_any_hits_both() {
+        let mut rng = crate::rng::TestRng::from_name("bool_any");
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[crate::bool::ANY.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::rng::TestRng::from_name("same");
+        let mut b = crate::rng::TestRng::from_name("same");
+        for _ in 0..10 {
+            assert_eq!((0u64..1000).generate(&mut a), (0u64..1000).generate(&mut b));
+        }
+    }
+}

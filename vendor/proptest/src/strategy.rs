@@ -1,0 +1,256 @@
+//! Value-generation strategies: ranges, collections, booleans, and a
+//! small string-pattern language.
+
+use crate::rng::TestRng;
+use std::ops::Range;
+
+/// Something that can generate values of one type from the test RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.abs_diff(self.start);
+                let off = rng.below(span as u64);
+                // Wrapping add in the unsigned domain handles signed
+                // ranges spanning zero without overflow.
+                <$t>::wrapping_add(self.start, off as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u8, u16, u32, u64, isize, i8, i16, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let x = self.start + rng.unit_f64() * (self.end - self.start);
+        // Guard against rounding up to the exclusive endpoint.
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        (self.start as f64..self.end as f64).generate(rng) as f32
+    }
+}
+
+/// Uniformly random booleans (`proptest::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+/// `Vec` strategy returned by [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    /// Element strategy.
+    pub element: S,
+    /// Length range (half-open).
+    pub size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = if self.size.start < self.size.end {
+            self.size.generate(rng)
+        } else {
+            self.size.start
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// String patterns: proptest treats `&str` as a regex to generate from.
+/// This stand-in supports the subset romp's tests use: literal chars,
+/// `.` (printable ASCII), `[...]` classes with ranges, and `{m,n}`
+/// repetition of the preceding atom.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+#[derive(Debug)]
+enum Atom {
+    /// Choose uniformly among these chars.
+    Class(Vec<char>),
+    /// Printable ASCII plus newline (stand-in for regex `.`).
+    Dot,
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Class(vec![unescape(chars[i - 1])])
+            }
+            c => {
+                i += 1;
+                Atom::Class(vec![c])
+            }
+        };
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let (lo, hi, next) = parse_repeat(&chars, i + 1);
+            i = next;
+            (lo, hi)
+        } else {
+            (1, 1)
+        };
+        let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+        for _ in 0..n {
+            out.push(match &atom {
+                Atom::Class(set) => set[rng.below(set.len() as u64) as usize],
+                Atom::Dot => {
+                    // Printable ASCII 0x20..=0x7e.
+                    char::from(0x20 + rng.below(0x5f) as u8)
+                }
+            });
+        }
+    }
+    out
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse a `[...]` class starting just after the `[`; returns the
+/// expanded char set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 1;
+            unescape(chars[i])
+        } else {
+            chars[i]
+        };
+        // Range `a-z` (a `-` just before `]` is a literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in pattern");
+    (set, i + 1)
+}
+
+/// Parse `{m,n}` or `{m}` starting just after the `{`; returns
+/// `(m, n, index past the closing brace)`.
+fn parse_repeat(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+    let mut lo = 0usize;
+    while i < chars.len() && chars[i].is_ascii_digit() {
+        lo = lo * 10 + chars[i].to_digit(10).unwrap() as usize;
+        i += 1;
+    }
+    let hi = if i < chars.len() && chars[i] == ',' {
+        i += 1;
+        let mut h = 0usize;
+        while i < chars.len() && chars[i].is_ascii_digit() {
+            h = h * 10 + chars[i].to_digit(10).unwrap() as usize;
+            i += 1;
+        }
+        h
+    } else {
+        lo
+    };
+    debug_assert!(i < chars.len() && chars[i] == '}', "malformed repetition");
+    (lo, hi.max(lo), i + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_ranges_and_newline() {
+        let mut rng = TestRng::from_name("class");
+        for _ in 0..50 {
+            let s = "[ -~\n]{0,20}".generate(&mut rng);
+            assert!(s.len() <= 20);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn literal_and_fixed_repeat() {
+        let mut rng = TestRng::from_name("lit");
+        assert_eq!("abc".generate(&mut rng), "abc");
+        assert_eq!("a{3}".generate(&mut rng), "aaa");
+    }
+
+    #[test]
+    fn signed_range_spans_zero() {
+        let mut rng = TestRng::from_name("signed");
+        for _ in 0..200 {
+            let v = (-1000i64..1000).generate(&mut rng);
+            assert!((-1000..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn extreme_i64_range() {
+        let mut rng = TestRng::from_name("extreme");
+        for _ in 0..200 {
+            let v = (i64::MIN / 2..i64::MAX / 2).generate(&mut rng);
+            assert!((i64::MIN / 2..i64::MAX / 2).contains(&v));
+        }
+    }
+}
