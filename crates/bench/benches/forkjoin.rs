@@ -41,7 +41,7 @@ fn bench_forkjoin(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("romp_tiny_for_1k", t), &t, |b, &t| {
             let acc = AtomicU64::new(0);
             b.iter(|| {
-                par_for(0..1000).num_threads(t).run(|i| {
+                par_for(0..1000usize).num_threads(t).run(|i| {
                     acc.fetch_add(i as u64, Ordering::Relaxed);
                 });
             })

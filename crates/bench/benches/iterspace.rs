@@ -1,0 +1,122 @@
+//! BENCH — per-iteration dispatch overhead of decoded iteration spaces.
+//!
+//! The `IterSpace` redesign routes every loop shape through a
+//! normalized `0..trip` driver plus a chunk-granular decoder. This
+//! bench pins the cost of that decoding against a raw serial `Range`
+//! loop over the same number of points, on a single thread (so team
+//! scheduling noise is out of the picture and only dispatch shape
+//! remains): raw range, builder `run` over `Range`, `run_chunks`,
+//! `StridedRange`, `collapse2`, `collapse3` — and the old per-iteration
+//! `div`/`mod` decode that `ParFor2` used before the redesign, as the
+//! regression baseline.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_core::prelude::*;
+
+const N: usize = 1 << 16;
+const SIDE: usize = 1 << 8; // SIDE * SIDE == N
+const EDGE: usize = 1 << 4; // EDGE^4 == N (collapse3 uses EDGE^2 inner)
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("iterspace_dispatch");
+    g.sample_size(20);
+
+    g.bench_function(BenchmarkId::from_parameter("raw_range_serial"), |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..N {
+                acc = acc.wrapping_add(black_box(i) as u64);
+            }
+            acc
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("range_run"), |b| {
+        b.iter(|| {
+            let acc = std::sync::atomic::AtomicU64::new(0);
+            par_for(0..N).num_threads(1).run(|i| {
+                acc.fetch_add(black_box(i) as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+            acc.into_inner()
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("range_reduce_chunks"), |b| {
+        b.iter(|| {
+            par_for(0..N)
+                .num_threads(1)
+                .reduce_chunks(SumOp, 0u64, |r, acc| {
+                    for i in r {
+                        *acc = acc.wrapping_add(black_box(i) as u64);
+                    }
+                })
+        })
+    });
+
+    g.bench_function(BenchmarkId::from_parameter("strided_reduce_chunks"), |b| {
+        b.iter(|| {
+            par_for(StridedRange::new(0, N as i64, 1))
+                .num_threads(1)
+                .reduce_chunks(SumOp, 0u64, |c, acc| {
+                    for i in c {
+                        *acc = acc.wrapping_add(black_box(i) as u64);
+                    }
+                })
+        })
+    });
+
+    g.bench_function(
+        BenchmarkId::from_parameter("collapse2_reduce_chunks"),
+        |b| {
+            b.iter(|| {
+                par_for(collapse2(0..SIDE, 0..SIDE))
+                    .num_threads(1)
+                    .reduce_chunks(SumOp, 0u64, |c, acc| {
+                        for (i, j) in c {
+                            *acc = acc.wrapping_add(black_box(i * SIDE + j) as u64);
+                        }
+                    })
+            })
+        },
+    );
+
+    g.bench_function(
+        BenchmarkId::from_parameter("collapse3_reduce_chunks"),
+        |b| {
+            b.iter(|| {
+                par_for(collapse3(0..EDGE, 0..EDGE, 0..EDGE * EDGE))
+                    .num_threads(1)
+                    .reduce_chunks(SumOp, 0u64, |c, acc| {
+                        for (i, j, k) in c {
+                            *acc = acc
+                                .wrapping_add(black_box((i * EDGE + j) * EDGE * EDGE + k) as u64);
+                        }
+                    })
+            })
+        },
+    );
+
+    // Pre-redesign baseline: what `ParFor2::run` cost per iteration —
+    // a `div` + `mod` with a `max(1)` guard on every point.
+    g.bench_function(
+        BenchmarkId::from_parameter("collapse2_divmod_per_iter"),
+        |b| {
+            b.iter(|| {
+                let iw = SIDE;
+                par_for(0..N)
+                    .num_threads(1)
+                    .reduce_chunks(SumOp, 0u64, |r, acc| {
+                        for k in r {
+                            let (i, j) = (k / iw.max(1), k % iw.max(1));
+                            *acc = acc.wrapping_add(black_box(i * SIDE + j) as u64);
+                        }
+                    })
+            })
+        },
+    );
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

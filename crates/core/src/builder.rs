@@ -3,8 +3,23 @@
 //! This is the code shape the directive front ends (macros and the
 //! `//#omp` translator) desugar into; it is also pleasant to use
 //! directly. Everything is a thin, zero-allocation wrapper over
-//! [`romp_runtime::fork`] and [`ThreadCtx`]'s worksharing methods.
+//! [`romp_runtime::fork`] and the [`IterSpace`] lowering in
+//! [`crate::space`].
+//!
+//! One generic builder, [`ParFor<S>`], serves every iteration space —
+//! plain and signed ranges, [`StridedRange`](crate::space::StridedRange)
+//! strides, and `collapse(2)`/`collapse(3)` fusions — with the full
+//! clause set (`schedule`, `num_threads`, `if`, reductions, chunked
+//! variants) available uniformly. On top of the classic `run`/`reduce`
+//! shapes it offers a **safe mutable-output layer**:
+//! [`write_into`](ParFor::write_into) and
+//! [`write_chunks_into`](ParFor::write_chunks_into) hand each thread
+//! disjoint `&mut` views of an output slice — the `a[i] = …` pattern of
+//! OpenMP loops — with no caller-side `unsafe` (the disjointness proof
+//! is the runtime's exactly-once partition contract, pinned by the
+//! conformance suite).
 
+use crate::space::{collapse2, Collapse2, IterSpace};
 use romp_runtime::reduction::RedVar;
 use romp_runtime::{fork, ForkSpec, ReduceOp, Schedule, ThreadCtx};
 use std::ops::Range;
@@ -59,24 +74,56 @@ impl Parallel {
     }
 }
 
-/// Builder for a combined `parallel for`.
+/// Builder for a combined `parallel for` over any [`IterSpace`].
 #[derive(Debug, Clone)]
-pub struct ParFor {
-    range: Range<usize>,
+pub struct ParFor<S: IterSpace> {
+    space: S,
     sched: Schedule,
     spec: ForkSpec,
 }
 
-/// Start building a `parallel for` over `range`.
-pub fn par_for(range: Range<usize>) -> ParFor {
+/// The 2-D collapse of two `usize` ranges — what [`par_for_2d`]
+/// builds. (Former standalone `ParFor2` builder; now just an instance
+/// of the generic [`ParFor`].)
+pub type ParFor2 = ParFor<Collapse2<Range<usize>, Range<usize>>>;
+
+/// Start building a `parallel for` over any iteration space: a
+/// `Range<usize>`, a `Range<i64>`, a
+/// [`StridedRange`](crate::space::StridedRange), or a
+/// [`collapse2`]/[`collapse3`](crate::space::collapse3) fusion.
+pub fn par_for<S: IterSpace>(space: S) -> ParFor<S> {
     ParFor {
-        range,
+        space,
         sched: Schedule::default(),
         spec: ForkSpec::default(),
     }
 }
 
-impl ParFor {
+/// Start building a collapsed 2-D `parallel for` (`collapse(2)` over
+/// two `usize` ranges). Delegates to [`par_for`] +
+/// [`collapse2`]; bodies receive the `(i, j)` tuple.
+pub fn par_for_2d(outer: Range<usize>, inner: Range<usize>) -> ParFor2 {
+    par_for(collapse2(outer, inner))
+}
+
+/// `Send`/`Sync` wrapper for the base pointer of an output slice whose
+/// disjoint chunks are handed out by the worksharing schedule.
+struct SendPtr<T>(*mut T);
+// SAFETY: access discipline is enforced by the normalized-chunk
+// partition (each chunk visits exactly one thread); the wrapper itself
+// only carries the address.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the
+    /// whole `Sync` wrapper, not the raw pointer field.
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+impl<S: IterSpace> ParFor<S> {
     /// The `schedule` clause.
     pub fn schedule(mut self, sched: Schedule) -> Self {
         self.sched = sched;
@@ -89,34 +136,50 @@ impl ParFor {
         self
     }
 
-    /// The `if` clause.
+    /// The `if` clause: `false` serializes the region.
     pub fn if_clause(mut self, cond: bool) -> Self {
         self.spec.if_clause = Some(cond);
         self
     }
 
-    /// Run `body(i)` for every `i` in the range, distributed over the
+    /// Merge a whole fork spec (used by the macro front end, which
+    /// accumulates `num_threads`/`if` clauses into a [`ForkSpec`]).
+    /// Clauses set in `spec` win; clauses it leaves unset keep whatever
+    /// [`num_threads`](Self::num_threads)/[`if_clause`](Self::if_clause)
+    /// already configured, so chaining order cannot silently drop one.
+    pub fn fork_spec(mut self, spec: ForkSpec) -> Self {
+        if spec.num_threads.is_some() {
+            self.spec.num_threads = spec.num_threads;
+        }
+        if spec.if_clause.is_some() {
+            self.spec.if_clause = spec.if_clause;
+        }
+        self
+    }
+
+    /// Run `body(i)` for every index of the space, distributed over the
     /// team.
     pub fn run<F>(self, body: F)
     where
-        F: Fn(usize) + Sync,
+        F: Fn(S::Index) + Sync,
     {
-        let ParFor { range, sched, spec } = self;
+        let ParFor { space, sched, spec } = self;
         fork(spec, |ctx| {
             // nowait: the region-end implicit barrier is the loop barrier.
-            ctx.ws_for(range.clone(), sched, true, &body);
+            crate::space::ws_space(ctx, &space, sched, true, &body);
         });
     }
 
-    /// Run `body(chunk)` for whole chunks — lets hot kernels iterate
-    /// contiguous slices without per-index dispatch.
+    /// Run `body(chunk)` for whole claimed chunks — lets hot kernels
+    /// iterate without per-index closure dispatch. For `Range<usize>`
+    /// spaces the chunk *is* a `Range<usize>`.
     pub fn run_chunks<F>(self, body: F)
     where
-        F: Fn(Range<usize>) + Sync,
+        F: Fn(S::Chunk) + Sync,
     {
-        let ParFor { range, sched, spec } = self;
+        let ParFor { space, sched, spec } = self;
         fork(spec, |ctx| {
-            ctx.ws_for_chunks(range.clone(), sched, true, &body);
+            crate::space::ws_space_chunks(ctx, &space, sched, true, &body);
         });
     }
 
@@ -127,13 +190,13 @@ impl ParFor {
     where
         T: Clone + Send,
         Op: ReduceOp<T>,
-        F: Fn(usize, &mut T) + Sync,
+        F: Fn(S::Index, &mut T) + Sync,
     {
-        let ParFor { range, sched, spec } = self;
+        let ParFor { space, sched, spec } = self;
         let red = RedVar::new(init, op);
         fork(spec, |ctx| {
             let mut local = op.identity();
-            ctx.ws_for(range.clone(), sched, true, |i| body(i, &mut local));
+            crate::space::ws_space(ctx, &space, sched, true, |i| body(i, &mut local));
             red.contribute(local);
         });
         red.into_inner()
@@ -144,112 +207,153 @@ impl ParFor {
     where
         T: Clone + Send,
         Op: ReduceOp<T>,
-        F: Fn(Range<usize>, &mut T) + Sync,
+        F: Fn(S::Chunk, &mut T) + Sync,
     {
-        let ParFor { range, sched, spec } = self;
+        let ParFor { space, sched, spec } = self;
         let red = RedVar::new(init, op);
         fork(spec, |ctx| {
             let mut local = op.identity();
-            ctx.ws_for_chunks(range.clone(), sched, true, |r| body(r, &mut local));
+            crate::space::ws_space_chunks(ctx, &space, sched, true, |c| body(c, &mut local));
             red.contribute(local);
         });
         red.into_inner()
     }
-}
 
-/// Builder for a `parallel for collapse(2)` over a rectangular space:
-/// the two loops are fused into one iteration space so the schedule
-/// balances across both.
-#[derive(Debug, Clone)]
-pub struct ParFor2 {
-    outer: Range<usize>,
-    inner: Range<usize>,
-    sched: Schedule,
-    spec: ForkSpec,
-}
-
-/// Start building a collapsed 2-D `parallel for`.
-pub fn par_for_2d(outer: Range<usize>, inner: Range<usize>) -> ParFor2 {
-    ParFor2 {
-        outer,
-        inner,
-        sched: Schedule::default(),
-        spec: ForkSpec::default(),
-    }
-}
-
-impl ParFor2 {
-    /// The `schedule` clause.
-    pub fn schedule(mut self, sched: Schedule) -> Self {
-        self.sched = sched;
-        self
-    }
-
-    /// The `num_threads` clause.
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.spec.num_threads = Some(n);
-        self
-    }
-
-    /// Run `body(i, j)` over the collapsed space.
-    pub fn run<F>(self, body: F)
+    /// Safe mutable-output loop: `body(idx, slot)` runs once per point
+    /// of the space, where `slot` is the exclusive `&mut` to
+    /// `out[k]` for the point's normalized position `k` — the OpenMP
+    /// `a[i] = …` pattern with **no caller-side `unsafe`**.
+    ///
+    /// `out.len()` must equal the space's trip count. Disjointness is
+    /// guaranteed by the worksharing partition (every normalized index
+    /// is claimed by exactly one thread), so any schedule is fine.
+    ///
+    /// ```
+    /// use romp_core::prelude::*;
+    ///
+    /// let mut squares = vec![0u64; 1000];
+    /// par_for(0..1000usize)
+    ///     .num_threads(4)
+    ///     .schedule(Schedule::dynamic_chunk(64))
+    ///     .write_into(&mut squares, |i, slot| *slot = (i * i) as u64);
+    /// assert!(squares.iter().enumerate().all(|(i, &v)| v == (i * i) as u64));
+    /// ```
+    pub fn write_into<T, F>(self, out: &mut [T], body: F)
     where
-        F: Fn(usize, usize) + Sync,
+        T: Send,
+        F: Fn(S::Index, &mut T) + Sync,
     {
-        let ParFor2 {
-            outer,
-            inner,
-            sched,
-            spec,
-        } = self;
-        let iw = inner.end.saturating_sub(inner.start);
-        let trip = outer.end.saturating_sub(outer.start) * iw;
-        let (ob, ib) = (outer.start, inner.start);
+        let ParFor { space, sched, spec } = self;
+        let trip = space.trip();
+        assert_eq!(
+            out.len() as u64,
+            trip,
+            "write_into: output slice length {} != iteration-space size {trip}",
+            out.len()
+        );
+        let base = SendPtr(out.as_mut_ptr());
         fork(spec, |ctx| {
-            ctx.ws_for(0..trip, sched, true, |k| {
-                body(ob + k / iw.max(1), ib + k % iw.max(1));
+            ctx.ws_for_normalized(trip, sched, true, |lo, hi| {
+                // SAFETY: the normalized driver hands `[lo, hi)` to
+                // exactly one thread (the exactly-once partition pinned
+                // by the conformance suite), so this subslice is
+                // disjoint from every other chunk's; the fork join
+                // publishes the writes back to the caller's borrow.
+                let slots = unsafe {
+                    std::slice::from_raw_parts_mut(base.get().add(lo as usize), (hi - lo) as usize)
+                };
+                for (slot, idx) in slots.iter_mut().zip(space.chunk(lo, hi)) {
+                    body(idx, slot);
+                }
             });
         });
     }
 
-    /// Collapsed reduction.
-    pub fn reduce<T, Op, F>(self, op: Op, init: T, body: F) -> T
+    /// Chunk-granular safe mutable output, in the style of
+    /// `par_chunks_mut`: each claimed chunk's decoder arrives together
+    /// with the exclusive `&mut` subslice of `out` it owns.
+    ///
+    /// `out.len()` must be a multiple of the trip count; the quotient
+    /// `m = out.len() / trip` is the per-iteration output stride, so a
+    /// chunk `[lo, hi)` owns `out[lo*m .. hi*m]`. With `m == 1` this is
+    /// the chunked form of [`write_into`](Self::write_into); with
+    /// `m == row_len` a loop over rows owns whole output rows —
+    /// see `examples/heat.rs`.
+    ///
+    /// ```
+    /// use romp_core::prelude::*;
+    ///
+    /// // Each of 8 rows of width 16 is filled by whichever thread
+    /// // claims it; no atomics, no unsafe.
+    /// let mut grid = vec![0usize; 8 * 16];
+    /// par_for(0..8usize).num_threads(3).write_chunks_into(&mut grid, |rows, out| {
+    ///     for (row, row_out) in rows.zip(out.chunks_mut(16)) {
+    ///         for (col, cell) in row_out.iter_mut().enumerate() {
+    ///             *cell = row * 16 + col;
+    ///         }
+    ///     }
+    /// });
+    /// assert!(grid.iter().enumerate().all(|(k, &v)| v == k));
+    /// ```
+    pub fn write_chunks_into<T, F>(self, out: &mut [T], body: F)
     where
-        T: Clone + Send,
-        Op: ReduceOp<T>,
-        F: Fn(usize, usize, &mut T) + Sync,
+        T: Send,
+        F: Fn(S::Chunk, &mut [T]) + Sync,
     {
-        let ParFor2 {
-            outer,
-            inner,
-            sched,
-            spec,
-        } = self;
-        let iw = inner.end.saturating_sub(inner.start);
-        let trip = outer.end.saturating_sub(outer.start) * iw;
-        let (ob, ib) = (outer.start, inner.start);
-        let red = RedVar::new(init, op);
+        let ParFor { space, sched, spec } = self;
+        let trip = space.trip();
+        let stride = if trip == 0 {
+            assert!(
+                out.is_empty(),
+                "write_chunks_into: iteration space is empty but the output \
+                 slice has {} elements (nothing would be written)",
+                out.len()
+            );
+            1
+        } else {
+            assert!(
+                !out.is_empty(),
+                "write_chunks_into: output slice is empty but the iteration \
+                 space has {trip} points (nothing would be written)"
+            );
+            assert_eq!(
+                out.len() as u64 % trip,
+                0,
+                "write_chunks_into: output length {} is not a multiple of the \
+                 iteration-space size {trip}",
+                out.len()
+            );
+            (out.len() as u64 / trip) as usize
+        };
+        let base = SendPtr(out.as_mut_ptr());
         fork(spec, |ctx| {
-            let mut local = op.identity();
-            ctx.ws_for(0..trip, sched, true, |k| {
-                body(ob + k / iw.max(1), ib + k % iw.max(1), &mut local);
+            ctx.ws_for_normalized(trip, sched, true, |lo, hi| {
+                // SAFETY: as in `write_into`; the per-iteration stride
+                // scales the disjoint normalized chunks onto disjoint
+                // subslices.
+                let slots = unsafe {
+                    std::slice::from_raw_parts_mut(
+                        base.get().add(lo as usize * stride),
+                        (hi - lo) as usize * stride,
+                    )
+                };
+                body(space.chunk(lo, hi), slots);
             });
-            red.contribute(local);
         });
-        red.into_inner()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::space::{collapse3, StridedRange};
     use romp_runtime::{MaxOp, SumOp};
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn par_for_covers_all_indices_once() {
         let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
-        par_for(0..1000)
+        par_for(0..1000usize)
             .num_threads(4)
             .schedule(Schedule::dynamic_chunk(7))
             .run(|i| {
@@ -281,7 +385,7 @@ mod tests {
 
     #[test]
     fn reduce_includes_init() {
-        let s = par_for(0..10)
+        let s = par_for(0..10usize)
             .num_threads(2)
             .reduce(SumOp, 100i64, |i, acc| *acc += i as i64);
         assert_eq!(s, 100 + 45);
@@ -299,7 +403,7 @@ mod tests {
     #[test]
     fn run_chunks_sees_contiguous_ranges() {
         let total = AtomicUsize::new(0);
-        par_for(0..777)
+        par_for(0..777usize)
             .num_threads(3)
             .schedule(Schedule::static_chunk(50))
             .run_chunks(|r| {
@@ -313,7 +417,7 @@ mod tests {
     #[test]
     fn par_for_2d_covers_rectangle() {
         let hits: Vec<AtomicUsize> = (0..20 * 30).map(|_| AtomicUsize::new(0)).collect();
-        par_for_2d(0..20, 0..30).num_threads(4).run(|i, j| {
+        par_for_2d(0..20, 0..30).num_threads(4).run(|(i, j)| {
             hits[i * 30 + j].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -323,17 +427,48 @@ mod tests {
     fn par_for_2d_reduce() {
         let s = par_for_2d(1..4, 1..5)
             .num_threads(3)
-            .reduce(SumOp, 0usize, |i, j, acc| *acc += i * j);
+            .reduce(SumOp, 0usize, |(i, j), acc| *acc += i * j);
         // (1+2+3) * (1+2+3+4) = 60
         assert_eq!(s, 60);
     }
 
     #[test]
+    fn signed_and_strided_spaces_through_the_same_builder() {
+        let s = par_for(-5i64..5)
+            .num_threads(3)
+            .schedule(Schedule::dynamic())
+            .reduce(SumOp, 0i64, |i, acc| *acc += i);
+        assert_eq!(s, -5);
+        let s =
+            par_for(StridedRange::new(0, 100, 7))
+                .num_threads(4)
+                .reduce(SumOp, 0i64, |i, acc| *acc += i);
+        assert_eq!(s, (0..100).step_by(7).sum::<usize>() as i64);
+    }
+
+    #[test]
+    fn collapse3_through_builder() {
+        let s = par_for(collapse3(0..3usize, 0..4usize, 0..5usize))
+            .num_threads(4)
+            .schedule(Schedule::guided())
+            .reduce(SumOp, 0usize, |(i, j, k), acc| *acc += i * 100 + j * 10 + k);
+        let mut want = 0usize;
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    want += i * 100 + j * 10 + k;
+                }
+            }
+        }
+        assert_eq!(s, want);
+    }
+
+    #[test]
     fn empty_range_is_fine() {
-        par_for(5..5)
+        par_for(5..5usize)
             .num_threads(4)
             .run(|_| panic!("no iterations"));
-        let s = par_for(5..5)
+        let s = par_for(5..5usize)
             .num_threads(4)
             .reduce(SumOp, 7i32, |_, _| panic!("no iterations"));
         assert_eq!(s, 7);
@@ -341,12 +476,97 @@ mod tests {
 
     #[test]
     fn if_clause_serializes_but_computes() {
-        let s = par_for(0..100)
+        let s = par_for(0..100usize)
             .if_clause(false)
             .reduce(SumOp, 0usize, |i, acc| {
                 assert_eq!(romp_runtime::omp_get_num_threads(), 1);
                 *acc += i;
             });
         assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn write_into_fills_every_slot() {
+        let mut out = vec![0u64; 4096];
+        par_for(0..4096usize)
+            .num_threads(8)
+            .schedule(Schedule::dynamic_chunk(64))
+            .write_into(&mut out, |i, slot| *slot = (i * i) as u64);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i * i) as u64);
+        }
+    }
+
+    #[test]
+    fn write_into_collapse_positions_are_normalized() {
+        // Output is indexed by normalized position, so a 2-D space
+        // writes row-major regardless of its bounds.
+        let mut out = vec![(0usize, 0usize); 12];
+        par_for_2d(5..8, 2..6)
+            .num_threads(3)
+            .write_into(&mut out, |(i, j), slot| *slot = (i, j));
+        for (k, &(i, j)) in out.iter().enumerate() {
+            assert_eq!((i, j), (5 + k / 4, 2 + k % 4));
+        }
+    }
+
+    #[test]
+    fn write_into_strided_space() {
+        let mut out = vec![0i64; 34];
+        par_for(StridedRange::new(100, 0, -3))
+            .num_threads(4)
+            .schedule(Schedule::guided())
+            .write_into(&mut out, |i, slot| *slot = i);
+        for (k, &v) in out.iter().enumerate() {
+            assert_eq!(v, 100 - 3 * k as i64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "write_into")]
+    fn write_into_length_mismatch_panics() {
+        let mut out = vec![0u8; 9];
+        par_for(0..10usize).write_into(&mut out, |_, _| {});
+    }
+
+    #[test]
+    fn write_chunks_into_strided_output() {
+        // 6 iterations, 4 output cells each.
+        let mut out = vec![0usize; 24];
+        par_for(0..6usize)
+            .num_threads(3)
+            .schedule(Schedule::static_chunk(1))
+            .write_chunks_into(&mut out, |rows, slots| {
+                for (row, cells) in rows.zip(slots.chunks_mut(4)) {
+                    for (c, cell) in cells.iter_mut().enumerate() {
+                        *cell = row * 4 + c;
+                    }
+                }
+            });
+        assert!(out.iter().enumerate().all(|(k, &v)| v == k));
+    }
+
+    #[test]
+    fn write_chunks_into_empty_space() {
+        let mut out: Vec<u8> = Vec::new();
+        par_for(3..3usize).write_chunks_into(&mut out, |_, _| panic!("no chunks"));
+    }
+
+    #[test]
+    #[should_panic(expected = "write_chunks_into")]
+    fn write_chunks_into_rejects_output_for_empty_space() {
+        // An empty space cannot satisfy a non-empty output: diagnose
+        // instead of silently writing nothing.
+        let mut out = vec![0u8; 4];
+        par_for(3..3usize).write_chunks_into(&mut out, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "write_chunks_into")]
+    fn write_chunks_into_rejects_empty_output_for_nonempty_space() {
+        // The symmetric mistake — a forgotten allocation — must not
+        // silently degenerate to zero-length slots.
+        let mut out: Vec<u8> = Vec::new();
+        par_for(0..4usize).write_chunks_into(&mut out, |_, _| {});
     }
 }

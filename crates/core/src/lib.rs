@@ -61,8 +61,10 @@ pub mod builder;
 mod macros;
 pub mod prelude;
 pub mod slice;
+pub mod space;
 
 pub use builder::{par_for, par_for_2d, parallel, ParFor, ParFor2, Parallel};
+pub use space::{collapse2, collapse3, Collapse2, Collapse3, IterSpace, StridedRange};
 
 // Re-export the runtime surface the macros and translated code use, so a
 // single `romp_core` dependency suffices.

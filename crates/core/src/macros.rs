@@ -9,6 +9,9 @@
 //! | `#pragma omp parallel num_threads(4)` + block | `omp_parallel!(num_threads(4), \|ctx\| { … })` |
 //! | `#pragma omp parallel for schedule(dynamic,4) reduction(+:s)` | `omp_parallel_for!(schedule(dynamic,4), reduction(+ : s = 0.0), for i in 0..n { … })` |
 //! | `#pragma omp for schedule(guided) nowait` | `omp_for!(ctx, schedule(guided), nowait, for i in 0..n { … })` |
+//! | `#pragma omp parallel for collapse(2)` + nest | `omp_parallel_for!(collapse(2), for (i, j) in (0..n, 0..m) { … })` |
+//! | `#pragma omp for collapse(3)` + nest | `omp_for!(ctx, collapse(3), for (i, j, k) in (0..n, 0..m, 0..p) { … })` |
+//! | `for (i = a; i < b; i += s)` loop header | `omp_for!(ctx, step(s), for i in a..b { … })` (`i: i64`; `s` may be negative) |
 //! | `#pragma omp single` | `omp_single!(ctx, { … })` |
 //! | `#pragma omp master` | `omp_master!(ctx, { … })` |
 //! | `#pragma omp critical [(name)]` | `omp_critical!([name,] { … })` |
@@ -58,9 +61,26 @@
 //!
 //! ## Loop headers
 //!
-//! Three forms are accepted: `for i in lo..hi { … }` where `lo`/`hi` are
-//! single tokens or parenthesized expressions, `for i in (range_expr)
-//! { … }`, and `for i in (range_expr).step_by(s) { … }`.
+//! Plain headers take three forms, all over `usize`: `for i in lo..hi
+//! { … }` where `lo`/`hi` are single tokens or parenthesized
+//! expressions, `for i in (range_expr) { … }`, and `for i in
+//! (range_expr).step_by(s) { … }`. Two clause forms extend them:
+//!
+//! * `step(s)` — the OpenMP strided loop: `for i in a..b` then iterates
+//!   `a, a+s, …` short of `b`. Bounds and `s` are taken as `i64` (so
+//!   negative bounds and downward strides work) and `i` is bound as
+//!   `i64`.
+//! * `collapse(2)` / `collapse(3)` — with a tuple header
+//!   `for (i, j) in (ra, rb) { … }` the loops fuse into one
+//!   [`IterSpace`](crate::space::IterSpace) so the schedule balances
+//!   across the whole rectangle. The tuple header alone is what
+//!   triggers the fusion; the clause documents it (and is validated to
+//!   be 1, 2 or 3).
+//!
+//! Every form lowers through the [`crate::space`] machinery — the same
+//! lowering the [`ParFor`](crate::builder::ParFor) builder uses, which
+//! `omp_parallel_for!` invokes directly when no per-thread data clause
+//! forces an explicit region.
 
 /// `parallel` construct. Clauses: `num_threads(e)`, `if(e)`,
 /// `default(shared|none)`, `shared(..)`, `private(..)`,
@@ -132,7 +152,8 @@ macro_rules! __omp_parallel {
 }
 
 /// Worksharing `for` inside an existing region. Clauses: `schedule(..)`,
-/// `nowait`, `reduction(op : var, …)`.
+/// `nowait`, `reduction(op : var, …)`, `step(e)`, `collapse(2|3)` (see
+/// the module docs for the strided/collapsed loop headers).
 ///
 /// ```
 /// use romp_core::prelude::*;
@@ -149,7 +170,7 @@ macro_rules! __omp_parallel {
 #[macro_export]
 macro_rules! omp_for {
     ($ctx:ident, $($t:tt)*) => {
-        $crate::__omp_for!(@ $ctx {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} {false} [] ; $($t)*)
+        $crate::__omp_for!(@ $ctx {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} {false} {} [] ; $($t)*)
     };
 }
 
@@ -157,57 +178,138 @@ macro_rules! omp_for {
 #[macro_export]
 macro_rules! __omp_for {
     // --- clauses ---
-    (@ $ctx:ident {$sched:expr} {$nw:expr} [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
-        $crate::__omp_for!(@ $ctx {$crate::__omp_sched!($($s)*)} {$nw} [$($red)*] ; $($rest)*)
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$crate::__omp_sched!($($s)*)} {$nw} {$($step)*} [$($red)*] ; $($rest)*)
     };
-    (@ $ctx:ident {$sched:expr} {$nw:expr} [$($red:tt)*] ; nowait, $($rest:tt)*) => {
-        $crate::__omp_for!(@ $ctx {$sched} {true} [$($red)*] ; $($rest)*)
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [$($red:tt)*] ; nowait, $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$sched} {true} {$($step)*} [$($red)*] ; $($rest)*)
     };
-    (@ $ctx:ident {$sched:expr} {$nw:expr} [] ; reduction($op:tt : $($var:ident),+), $($rest:tt)*) => {
-        $crate::__omp_for!(@ $ctx {$sched} {$nw} [$op $($var)+] ; $($rest)*)
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {} [$($red:tt)*] ; step($e:expr), $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$sched} {$nw} {$e} [$($red)*] ; $($rest)*)
+    };
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [$($red:tt)*] ; collapse($n:tt), $($rest:tt)*) => {{
+        $crate::__omp_collapse_ok!($n);
+        $crate::__omp_for!(@ $ctx {$sched} {$nw} {$($step)*} [$($red)*] ; $($rest)*)
+    }};
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [] ; reduction($op:tt : $($var:ident),+), $($rest:tt)*) => {
+        $crate::__omp_for!(@ $ctx {$sched} {$nw} {$($step)*} [$op $($var)+] ; $($rest)*)
     };
     // --- terminal without reduction ---
-    (@ $ctx:ident {$sched:expr} {$nw:expr} [] ; $($loop:tt)*) => {
-        $crate::__omp_loop_body!($ctx, $sched, $nw, $($loop)*)
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [] ; $($loop:tt)*) => {
+        $crate::__omp_loop_body!($ctx, $sched, $nw, {$($step)*}, $($loop)*)
     };
     // --- terminal with reduction: nowait the loop (the reduction itself
     //     synchronizes), then combine each variable team-wide ---
-    (@ $ctx:ident {$sched:expr} {$nw:expr} [$op:tt $($var:ident)+] ; $($loop:tt)*) => {{
-        $crate::__omp_loop_body!($ctx, $sched, true, $($loop)*);
+    (@ $ctx:ident {$sched:expr} {$nw:expr} {$($step:tt)*} [$op:tt $($var:ident)+] ; $($loop:tt)*) => {{
+        $crate::__omp_loop_body!($ctx, $sched, true, {$($step)*}, $($loop)*);
         $( $var = $ctx.reduce_value($crate::__red_op!($op), $var); )+
     }};
 }
 
-/// Emit the `ws_for` call for one of the three accepted loop headers.
+/// Validate a `collapse(n)` clause argument at expansion time. The
+/// tuple loop header is what actually selects the fused space; the
+/// clause documents intent (and rejects unsupported depths).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_collapse_ok {
+    (1) => {};
+    (2) => {};
+    (3) => {};
+    ($other:tt) => {
+        compile_error!("collapse(n) supports n = 1, 2 or 3");
+    };
+}
+
+/// Lower one accepted loop header onto the [`IterSpace`] machinery in
+/// `$crate::space` — the same engine the `ParFor` builder drives. The
+/// fourth argument is the `step(..)` clause state: `{}` (absent) or
+/// `{expr}`.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __omp_loop_body {
-    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in ($range:expr).step_by($s:expr) $body:block) => {{
-        let __romp_r = $range;
-        let __romp_step: usize = $s;
-        let __romp_lo: usize = __romp_r.start;
-        let __romp_hi: usize = __romp_r.end;
-        let __romp_trip = if __romp_hi > __romp_lo {
-            (__romp_hi - __romp_lo).div_ceil(__romp_step)
-        } else {
-            0
-        };
-        $ctx.ws_for(0..__romp_trip, $sched, $nw, |__romp_k| {
-            let $i = __romp_lo + __romp_k * __romp_step;
-            $body
-        })
+    // --- collapse(2)/collapse(3) tuple headers ---
+    ($ctx:ident, $sched:expr, $nw:expr, {}, for ($i:ident, $j:ident) in ($ra:expr, $rb:expr) $body:block) => {{
+        let __romp_ra: ::std::ops::Range<usize> = $ra;
+        let __romp_rb: ::std::ops::Range<usize> = $rb;
+        $crate::space::ws_space(
+            $ctx,
+            &$crate::space::collapse2(__romp_ra, __romp_rb),
+            $sched,
+            $nw,
+            |($i, $j)| $body,
+        )
     }};
-    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in ($range:expr) $body:block) => {
-        $ctx.ws_for($range, $sched, $nw, |$i| $body)
-    };
-    ($ctx:ident, $sched:expr, $nw:expr, for $i:ident in $lo:tt .. $hi:tt $body:block) => {
-        $ctx.ws_for(($lo)..($hi), $sched, $nw, |$i| $body)
+    ($ctx:ident, $sched:expr, $nw:expr, {}, for ($i:ident, $j:ident, $k:ident) in ($ra:expr, $rb:expr, $rc:expr) $body:block) => {{
+        let __romp_ra: ::std::ops::Range<usize> = $ra;
+        let __romp_rb: ::std::ops::Range<usize> = $rb;
+        let __romp_rc: ::std::ops::Range<usize> = $rc;
+        $crate::space::ws_space(
+            $ctx,
+            &$crate::space::collapse3(__romp_ra, __romp_rb, __romp_rc),
+            $sched,
+            $nw,
+            |($i, $j, $k)| $body,
+        )
+    }};
+    // --- `.step_by` header: usize semantics (historic form) ---
+    ($ctx:ident, $sched:expr, $nw:expr, {}, for $i:ident in ($range:expr).step_by($s:expr) $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = $range;
+        let __romp_step: usize = $s;
+        $crate::space::ws_space(
+            $ctx,
+            &$crate::space::StridedRange::new(
+                __romp_r.start as i64,
+                __romp_r.end as i64,
+                __romp_step as i64,
+            ),
+            $sched,
+            $nw,
+            |__romp_i| {
+                let $i = __romp_i as usize;
+                $body
+            },
+        )
+    }};
+    // --- plain headers: usize ranges, as the directive layer always
+    //     accepted (the type pin keeps integer literals inferring) ---
+    ($ctx:ident, $sched:expr, $nw:expr, {}, for $i:ident in ($range:expr) $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = $range;
+        $crate::space::ws_space($ctx, &__romp_r, $sched, $nw, |$i| $body)
+    }};
+    ($ctx:ident, $sched:expr, $nw:expr, {}, for $i:ident in $lo:tt .. $hi:tt $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = ($lo)..($hi);
+        $crate::space::ws_space($ctx, &__romp_r, $sched, $nw, |$i| $body)
+    }};
+    // --- step(e) clause: signed strided space, `$i: i64` ---
+    ($ctx:ident, $sched:expr, $nw:expr, {$step:expr}, for $i:ident in ($range:expr) $body:block) => {{
+        let __romp_r = $range;
+        $crate::space::ws_space(
+            $ctx,
+            &$crate::space::StridedRange::new(
+                __romp_r.start as i64,
+                __romp_r.end as i64,
+                ($step) as i64,
+            ),
+            $sched,
+            $nw,
+            |$i| $body,
+        )
+    }};
+    ($ctx:ident, $sched:expr, $nw:expr, {$step:expr}, for $i:ident in $lo:tt .. $hi:tt $body:block) => {
+        $crate::space::ws_space(
+            $ctx,
+            &$crate::space::StridedRange::new(($lo) as i64, ($hi) as i64, ($step) as i64),
+            $sched,
+            $nw,
+            |$i| $body,
+        )
     };
 }
 
 /// Combined `parallel for`. Clauses: `num_threads(e)`, `if(e)`,
 /// `schedule(..)`, `default(..)`, `shared(..)`, `firstprivate(..)`,
-/// `reduction(op : var = init, …)`.
+/// `reduction(op : var = init, …)`, `step(e)`, `collapse(2|3)` (see the
+/// module docs for the strided/collapsed loop headers).
 ///
 /// With a `reduction` clause the macro **returns the combined values as
 /// a tuple** (one element per variable, in clause order):
@@ -228,7 +330,7 @@ macro_rules! __omp_loop_body {
 #[macro_export]
 macro_rules! omp_parallel_for {
     ($($t:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$crate::runtime::ForkSpec::new()} {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} [] [] ; $($t)*)
+        $crate::__omp_parallel_for!(@ {$crate::runtime::ForkSpec::new()} {$crate::runtime::Schedule::Static { chunk: ::std::option::Option::None }} {} [] [] ; $($t)*)
     };
 }
 
@@ -236,40 +338,53 @@ macro_rules! omp_parallel_for {
 #[macro_export]
 macro_rules! __omp_parallel_for {
     // --- clauses ---
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; num_threads($e:expr), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec.num_threads($e)} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; num_threads($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec.num_threads($e)} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; if($e:expr), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec.if_clause($e)} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; if($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec.if_clause($e)} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec} {$crate::__omp_sched!($($s)*)} [$($fp)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; schedule($($s:tt)*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$crate::__omp_sched!($($s)*)} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; default($k:ident), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {} [$($fp:ident)*] [$($red:tt)*] ; step($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$e} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; shared($($s:ident),*), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; collapse($n:tt), $($rest:tt)*) => {{
+        $crate::__omp_collapse_ok!($n);
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
+    }};
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; default($k:ident), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$($red:tt)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)* $($v)*] [$($red)*] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; shared($($s:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [] ; reduction($op:tt : $($var:ident = $init:expr),+), $($rest:tt)*) => {
-        $crate::__omp_parallel_for!(@ {$spec} {$sched} [$($fp)*] [$op $(($var $init))+] ; $($rest)*)
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)* $($v)*] [$($red)*] ; $($rest)*)
     };
-    // --- terminal without reduction ---
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [] ; $($loop:tt)*) => {{
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [] ; reduction($op:tt : $($var:ident = $init:expr),+), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$op $(($var $init))+] ; $($rest)*)
+    };
+    // --- terminal without reduction or firstprivate: straight through
+    //     the generic `ParFor` builder ---
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [] [] ; $($loop:tt)*) => {
+        $crate::__omp_pf_builder!({$spec} {$sched} {$($step)*}, $($loop)*)
+    };
+    // --- terminal with firstprivate (per-thread clones need an
+    //     explicit region prologue) ---
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)+] [] ; $($loop:tt)*) => {{
         let __romp_spec = $spec;
         $crate::runtime::fork(__romp_spec, |__romp_ctx: &$crate::runtime::ThreadCtx<'_>| {
             $(
                 #[allow(unused_mut)]
                 let mut $fp = ::std::clone::Clone::clone(&$fp);
-            )*
-            $crate::__omp_loop_body!(__romp_ctx, $sched, true, $($loop)*);
+            )+
+            $crate::__omp_loop_body!(__romp_ctx, $sched, true, {$($step)*}, $($loop)*);
         });
     }};
     // --- terminal with reduction: returns the combined tuple ---
-    (@ {$spec:expr} {$sched:expr} [$($fp:ident)*] [$op:tt $(($var:ident $init:expr))+] ; $($loop:tt)*) => {{
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$op:tt $(($var:ident $init:expr))+] ; $($loop:tt)*) => {{
         let __romp_spec = $spec;
         let __romp_out = ::std::sync::Mutex::new(::std::option::Option::None);
         $crate::runtime::fork(__romp_spec, |__romp_ctx: &$crate::runtime::ThreadCtx<'_>| {
@@ -284,7 +399,7 @@ macro_rules! __omp_parallel_for {
                     $crate::runtime::ReduceOp::identity(&$crate::__red_op!($op))
                 };
             )+
-            $crate::__omp_loop_body!(__romp_ctx, $sched, true, $($loop)*);
+            $crate::__omp_loop_body!(__romp_ctx, $sched, true, {$($step)*}, $($loop)*);
             $( $var = __romp_ctx.reduce_value($crate::__red_op!($op), $var); )+
             if __romp_ctx.is_master() {
                 *__romp_out.lock().unwrap() = ::std::option::Option::Some(($($var),+ ,));
@@ -295,6 +410,81 @@ macro_rules! __omp_parallel_for {
             .unwrap()
             .expect("parallel-for reduction produced a value")
     }};
+}
+
+/// Lower a clause-free combined `parallel for` directly onto the
+/// generic [`ParFor`](crate::builder::ParFor) builder — the same
+/// header grammar as [`__omp_loop_body`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_pf_builder {
+    ({$spec:expr} {$sched:expr} {}, for ($i:ident, $j:ident) in ($ra:expr, $rb:expr) $body:block) => {{
+        let __romp_ra: ::std::ops::Range<usize> = $ra;
+        let __romp_rb: ::std::ops::Range<usize> = $rb;
+        $crate::builder::par_for($crate::space::collapse2(__romp_ra, __romp_rb))
+            .fork_spec($spec)
+            .schedule($sched)
+            .run(|($i, $j)| $body);
+    }};
+    ({$spec:expr} {$sched:expr} {}, for ($i:ident, $j:ident, $k:ident) in ($ra:expr, $rb:expr, $rc:expr) $body:block) => {{
+        let __romp_ra: ::std::ops::Range<usize> = $ra;
+        let __romp_rb: ::std::ops::Range<usize> = $rb;
+        let __romp_rc: ::std::ops::Range<usize> = $rc;
+        $crate::builder::par_for($crate::space::collapse3(__romp_ra, __romp_rb, __romp_rc))
+            .fork_spec($spec)
+            .schedule($sched)
+            .run(|($i, $j, $k)| $body);
+    }};
+    ({$spec:expr} {$sched:expr} {}, for $i:ident in ($range:expr).step_by($s:expr) $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = $range;
+        let __romp_step: usize = $s;
+        $crate::builder::par_for($crate::space::StridedRange::new(
+            __romp_r.start as i64,
+            __romp_r.end as i64,
+            __romp_step as i64,
+        ))
+        .fork_spec($spec)
+        .schedule($sched)
+        .run(|__romp_i| {
+            let $i = __romp_i as usize;
+            $body
+        });
+    }};
+    ({$spec:expr} {$sched:expr} {}, for $i:ident in ($range:expr) $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = $range;
+        $crate::builder::par_for(__romp_r)
+            .fork_spec($spec)
+            .schedule($sched)
+            .run(|$i| $body);
+    }};
+    ({$spec:expr} {$sched:expr} {}, for $i:ident in $lo:tt .. $hi:tt $body:block) => {{
+        let __romp_r: ::std::ops::Range<usize> = ($lo)..($hi);
+        $crate::builder::par_for(__romp_r)
+            .fork_spec($spec)
+            .schedule($sched)
+            .run(|$i| $body);
+    }};
+    ({$spec:expr} {$sched:expr} {$step:expr}, for $i:ident in ($range:expr) $body:block) => {{
+        let __romp_r = $range;
+        $crate::builder::par_for($crate::space::StridedRange::new(
+            __romp_r.start as i64,
+            __romp_r.end as i64,
+            ($step) as i64,
+        ))
+        .fork_spec($spec)
+        .schedule($sched)
+        .run(|$i| $body);
+    }};
+    ({$spec:expr} {$sched:expr} {$step:expr}, for $i:ident in $lo:tt .. $hi:tt $body:block) => {
+        $crate::builder::par_for($crate::space::StridedRange::new(
+            ($lo) as i64,
+            ($hi) as i64,
+            ($step) as i64,
+        ))
+        .fork_spec($spec)
+        .schedule($sched)
+        .run(|$i| $body);
+    };
 }
 
 /// Map `schedule(..)` clause tokens to a [`Schedule`](crate::Schedule)

@@ -1,6 +1,7 @@
 //! One-stop import for romp programs: `use romp_core::prelude::*;`.
 
 pub use crate::builder::{par_for, par_for_2d, parallel};
+pub use crate::space::{collapse2, collapse3, IterSpace, StridedRange};
 pub use crate::{
     omp_barrier, omp_critical, omp_for, omp_master, omp_ordered, omp_parallel, omp_parallel_for,
     omp_sections, omp_single, omp_task, omp_taskgroup, omp_taskloop, omp_taskwait,

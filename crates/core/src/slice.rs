@@ -9,6 +9,17 @@
 //! already discharge by construction, because worksharing schedules
 //! partition the iteration space (a property the runtime's property
 //! tests pin down).
+//!
+//! **Prefer the safe output layer.** Since the `IterSpace` redesign,
+//! [`ParFor::write_into`](crate::builder::ParFor::write_into) and
+//! [`ParFor::write_chunks_into`](crate::builder::ParFor::write_chunks_into)
+//! cover the common shapes of this pattern — one output slot per
+//! iteration, or whole output rows per claimed chunk — with zero
+//! caller-side `unsafe` (the NPB IS/CG/Mandelbrot kernels and the heat
+//! example have all been migrated onto them). `SharedSlice` remains
+//! for what those cannot express: scatters to schedule-unrelated
+//! indices, or cross-barrier read/write phases inside one long-lived
+//! `parallel` region.
 
 use std::cell::UnsafeCell;
 use std::marker::PhantomData;
@@ -130,7 +141,7 @@ mod tests {
         let mut data = vec![0u64; 4096];
         {
             let view = SharedSlice::new(&mut data);
-            par_for(0..4096)
+            par_for(0..4096usize)
                 .num_threads(8)
                 .schedule(Schedule::dynamic_chunk(64))
                 .run(|i| unsafe { view.write(i, (i * i) as u64) });
@@ -175,7 +186,7 @@ mod tests {
         let mut data = vec![0i64; 100];
         {
             let view = SharedSlice::new(&mut data);
-            par_for(0..100).num_threads(4).run(|i| {
+            par_for(0..100usize).num_threads(4).run(|i| {
                 let cell = unsafe { view.get_mut(i) };
                 *cell += i as i64;
                 *cell *= 2;

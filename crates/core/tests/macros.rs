@@ -568,3 +568,106 @@ fn reduction_all_operators() {
         for i in 0..100 { any = any || (i == 73); });
     assert!(any);
 }
+
+#[test]
+fn step_clause_strides_signed_spaces() {
+    // Upward stride.
+    let seen = Mutex::new(Vec::new());
+    omp_parallel!(num_threads(3), |ctx| {
+        omp_for!(
+            ctx,
+            schedule(dynamic),
+            step(3),
+            for i in 0..10 {
+                seen.lock().unwrap().push(i);
+            }
+        );
+    });
+    let mut v = seen.into_inner().unwrap();
+    v.sort_unstable();
+    assert_eq!(v, vec![0i64, 3, 6, 9]);
+
+    // Downward stride over negative ground.
+    let seen = Mutex::new(Vec::new());
+    omp_parallel!(num_threads(4), |ctx| {
+        omp_for!(
+            ctx,
+            step(-4),
+            for i in 5..(-7) {
+                seen.lock().unwrap().push(i);
+            }
+        );
+    });
+    let mut v = seen.into_inner().unwrap();
+    v.sort_unstable();
+    assert_eq!(v, vec![-3i64, 1, 5]);
+}
+
+#[test]
+fn parallel_for_step_clause() {
+    let sum = AtomicI64::new(0);
+    omp_parallel_for!(
+        num_threads(4),
+        schedule(guided),
+        step(7),
+        for i in 0..100 {
+            sum.fetch_add(i, Ordering::Relaxed);
+        }
+    );
+    assert_eq!(
+        sum.load(Ordering::Relaxed),
+        (0..100).step_by(7).sum::<usize>() as i64
+    );
+}
+
+#[test]
+fn collapse2_tuple_header_covers_rectangle() {
+    let hits: Vec<AtomicUsize> = (0..12 * 9).map(|_| AtomicUsize::new(0)).collect();
+    omp_parallel_for!(
+        num_threads(4),
+        schedule(dynamic, 5),
+        collapse(2),
+        for (i, j) in (0..12, 0..9) {
+            hits[i * 9 + j].fetch_add(1, Ordering::Relaxed);
+        }
+    );
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn collapse3_tuple_header_inside_region() {
+    let hits: Vec<AtomicUsize> = (0..3 * 4 * 5).map(|_| AtomicUsize::new(0)).collect();
+    omp_parallel!(num_threads(3), |ctx| {
+        omp_for!(
+            ctx,
+            collapse(3),
+            schedule(guided),
+            for (i, j, k) in (0..3, 0..4, 0..5) {
+                hits[(i * 4 + j) * 5 + k].fetch_add(1, Ordering::Relaxed);
+            }
+        );
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn collapse2_with_reduction_matches_serial() {
+    let (s,) = omp_parallel_for!(num_threads(4), collapse(2),
+        reduction(+ : s = 0usize),
+        for (i, j) in (1..5, 2..6) { s += i * j; });
+    let want: usize = (1..5usize)
+        .flat_map(|i| (2..6usize).map(move |j| i * j))
+        .sum();
+    assert_eq!(s, want);
+}
+
+#[test]
+fn step_with_reduction_inside_region() {
+    omp_parallel!(num_threads(4), |ctx| {
+        let mut sum = 0i64;
+        omp_for!(ctx, step(5), reduction(+ : sum), for i in 0..47 {
+            sum += i;
+        });
+        assert_eq!(sum, (0..47).step_by(5).sum::<usize>() as i64);
+    });
+}

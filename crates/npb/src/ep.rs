@@ -179,29 +179,27 @@ pub mod reference {
                 // The Fortran reference parallelizes its block loop with
                 // an OpenMP worksharing-loop + reductions; same lowering
                 // here, via the builder (no macros in "Fortran" land).
-                let q_total: Mutex<[u64; 10]> = Mutex::new([0; 10]);
-                let sums = romp_core::par_for(0..nn)
+                // The whole accumulator — sums *and* annulus counts —
+                // reduces as one value, so no critical section or lock
+                // is needed for the q merge.
+                let out = romp_core::par_for(0..nn)
                     .num_threads(threads)
                     .schedule(Schedule::static_block())
-                    .reduce(super::PairSum, (0.0, 0.0), |k, acc: &mut (f64, f64)| {
+                    .reduce(super::EpSum, EpOutput::zero(), |k, acc: &mut EpOutput| {
                         let a = accumulate_blocks(k as u64, k as u64 + 1);
-                        acc.0 += a.sx;
-                        acc.1 += a.sy;
-                        romp_core::critical_named("ep_q_merge_ref", || {
-                            let mut q = q_total.lock().unwrap();
-                            for l in 0..10 {
-                                q[l] += a.q[l];
-                            }
-                        });
+                        acc.sx += a.sx;
+                        acc.sy += a.sy;
+                        for l in 0..10 {
+                            acc.q[l] += a.q[l];
+                        }
                     });
                 let (out_sx, rest) = tail.split_first_mut().expect("sx argument");
                 let (out_sy, rest) = rest.split_first_mut().expect("sy argument");
-                out_sx.set_f64(sums.0);
-                out_sy.set_f64(sums.1);
+                out_sx.set_f64(out.sx);
+                out_sy.set_f64(out.sy);
                 let q_out = rest[0].as_i64_slice_mut();
-                let q = q_total.into_inner().unwrap();
-                for l in 0..10 {
-                    q_out[l] = q[l] as i64;
+                for (dst, &src) in q_out.iter_mut().zip(out.q.iter()) {
+                    *dst = src as i64;
                 }
             });
         });
@@ -253,17 +251,23 @@ pub mod reference {
     }
 }
 
-/// Pairwise `(f64, f64)` sum operator for the reference path's builder
-/// reduction.
+/// Componentwise sum over the whole [`EpOutput`] accumulator (deviate
+/// sums and annulus counts) for the reference path's builder reduction.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct PairSum;
+pub struct EpSum;
 
-impl ReduceOp<(f64, f64)> for PairSum {
-    fn identity(&self) -> (f64, f64) {
-        (0.0, 0.0)
+impl ReduceOp<EpOutput> for EpSum {
+    fn identity(&self) -> EpOutput {
+        EpOutput::zero()
     }
-    fn combine(&self, a: (f64, f64), b: (f64, f64)) -> (f64, f64) {
-        (a.0 + b.0, a.1 + b.1)
+    fn combine(&self, a: EpOutput, b: EpOutput) -> EpOutput {
+        let mut out = a;
+        out.sx += b.sx;
+        out.sy += b.sy;
+        for l in 0..10 {
+            out.q[l] += b.q[l];
+        }
+        out
     }
 }
 

@@ -19,7 +19,6 @@ use crate::rng::{skip_ahead, Randlc, SEED_CG};
 use crate::verify::{KernelResult, Variant};
 use romp_core::prelude::*;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Mutex;
 
 /// `MAX_ITERATIONS` in `is.c`.
 pub const MAX_ITERATIONS: u32 = 10;
@@ -93,32 +92,20 @@ pub fn generate_keys(class: Class, threads: usize) -> Vec<u32> {
     let n = 1usize << log_n;
     let k = (1u64 << log_k) / 4;
     let mut keys = vec![0u32; n];
-    // Hand out disjoint chunks of the output array to the team.
-    let chunks: Mutex<Vec<(usize, &mut [u32])>> = {
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        let mut lo = 0usize;
-        let mut parts = Vec::new();
-        let mut rest: &mut [u32] = &mut keys;
-        while !rest.is_empty() {
-            let take = chunk.min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            parts.push((lo, head));
-            lo += take;
-            rest = tail;
-        }
-        Mutex::new(parts)
-    };
-    parallel().num_threads(threads).run(|_ctx| loop {
-        let part = chunks.lock().unwrap().pop();
-        let Some((lo, slice)) = part else { break };
-        // 4 uniforms per key: our slice starts 4*lo draws into the
-        // stream.
-        let mut rng = Randlc::new(skip_ahead(SEED_CG, 4 * lo as u64));
-        for key in slice.iter_mut() {
-            let x = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
-            *key = (k as f64 * x) as u32;
-        }
-    });
+    // Each claimed chunk of the output array is an exclusive `&mut`
+    // subslice; 4 uniforms per key means a chunk starting at key `lo`
+    // starts 4·lo draws into the one global stream. The result is
+    // thread-count- and schedule-invariant by construction.
+    par_for(0..n)
+        .num_threads(threads)
+        .schedule(Schedule::static_block())
+        .write_chunks_into(&mut keys, |r, out| {
+            let mut rng = Randlc::new(skip_ahead(SEED_CG, 4 * r.start as u64));
+            for key in out.iter_mut() {
+                let x = rng.next_f64() + rng.next_f64() + rng.next_f64() + rng.next_f64();
+                *key = (k as f64 * x) as u32;
+            }
+        });
     keys
 }
 

@@ -16,6 +16,21 @@ use crate::verify::{KernelResult, Variant};
 use romp_core::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Render all rows into a fresh per-row work buffer — the `a[i] = …`
+/// scatter of the C original, expressed through the safe
+/// [`write_into`](romp_core::ParFor::write_into) API (each row slot is
+/// an exclusive `&mut`; no atomics, no `unsafe`).
+pub fn render_rows(class: Class, threads: Option<usize>, sched: Schedule) -> Vec<u64> {
+    let (w, h, it) = class.mandelbrot_size();
+    let mut rows = vec![0u64; h];
+    let mut pf = par_for(0..h).schedule(sched);
+    if let Some(t) = threads {
+        pf = pf.num_threads(t);
+    }
+    pf.write_into(&mut rows, |row, slot| *slot = row_work(row, w, h, it));
+    rows
+}
+
 /// Viewport of the classic Mandelbrot framing.
 pub const X_MIN: f64 = -2.0;
 /// See [`X_MIN`].
@@ -73,12 +88,9 @@ pub fn expected_checksum(class: Class) -> u64 {
     if let Some(&v) = cache.lock().unwrap().get(&class) {
         return v;
     }
-    let (w, h, it) = class.mandelbrot_size();
-    let total = AtomicU64::new(0);
-    par_for(0..h).schedule(Schedule::dynamic_chunk(1)).run(|r| {
-        total.fetch_add(row_work(r, w, h, it), Ordering::Relaxed);
-    });
-    let v = total.into_inner();
+    let v = render_rows(class, None, Schedule::dynamic_chunk(1))
+        .iter()
+        .sum();
     cache.lock().unwrap().insert(class, v);
     v
 }
@@ -111,17 +123,8 @@ pub fn run_with_schedule(
     sched: Schedule,
     variant: Variant,
 ) -> KernelResult {
-    let (w, h, it) = class.mandelbrot_size();
-    let total = AtomicU64::new(0);
-    let (_, secs) = romp_runtime::wtime::timed(|| {
-        par_for(0..h)
-            .num_threads(threads)
-            .schedule(sched)
-            .run(|row| {
-                total.fetch_add(row_work(row, w, h, it), Ordering::Relaxed);
-            });
-    });
-    result(class, variant, threads, secs, total.into_inner())
+    let (rows, secs) = romp_runtime::wtime::timed(|| render_rows(class, Some(threads), sched));
+    result(class, variant, threads, secs, rows.iter().sum())
 }
 
 /// The romp directive-layer implementation: `parallel for` over rows in

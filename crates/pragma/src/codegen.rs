@@ -263,6 +263,94 @@ fn schedule_clause_text(d: &Directive) -> Option<String> {
     })
 }
 
+fn step_clause_text(d: &Directive) -> Option<String> {
+    d.clauses.iter().find_map(|c| match c {
+        Clause::Step(e) => Some(format!("step({e})")),
+        _ => None,
+    })
+}
+
+fn collapse_depth(d: &Directive) -> Option<u32> {
+    d.clauses.iter().find_map(|c| match c {
+        Clause::Collapse(n) => Some(*n),
+        _ => None,
+    })
+}
+
+/// Render the worksharing loop header, validating `collapse` against
+/// the loop pattern: `collapse(n)` with `n > 1` requires the tuple form
+/// `for (i, j[, k]) in (ra, rb[, rc])`, which is forwarded verbatim
+/// (the macro layer fuses the spaces). Returns the header text plus the
+/// `collapse`/`step` clause text to prepend, or `None` after a
+/// diagnostic.
+fn loop_header(
+    cx: &mut Cx<'_>,
+    at: usize,
+    d: &Directive,
+    pat: &str,
+    iter: &str,
+) -> Option<(String, String)> {
+    let tuple_arity = pat.starts_with('(').then(|| pat.matches(',').count() + 1);
+    let mut clause_txt = String::new();
+    let depth = collapse_depth(d);
+    match (depth, tuple_arity) {
+        (Some(n), arity) if n > 1 && arity != Some(n as usize) => {
+            cx.diag(
+                at,
+                format!(
+                    "collapse({n}) requires a tuple loop header with {n} variables, \
+                     e.g. `for (i, j) in (0..n, 0..m)`"
+                ),
+            );
+            return None;
+        }
+        (None | Some(1), Some(arity)) => {
+            cx.diag(
+                at,
+                format!(
+                    "a tuple loop header fuses {arity} loops: say so with a \
+                     `collapse({arity})` clause"
+                ),
+            );
+            return None;
+        }
+        _ => {}
+    }
+    if let Some(n) = depth {
+        clause_txt.push_str(&format!("collapse({n}), "));
+    }
+    if let Some(s) = step_clause_text(d) {
+        if tuple_arity.is_some() {
+            cx.diag(at, "`step` cannot combine with a collapsed loop header");
+            return None;
+        }
+        if iter.contains(".step_by(") {
+            cx.diag(
+                at,
+                "`step` cannot combine with a `.step_by(..)` loop header \
+                 (the header already fixes the stride)",
+            );
+            return None;
+        }
+        clause_txt.push_str(&format!("{s}, "));
+    }
+    let header = if tuple_arity.is_some() {
+        let it = iter.trim();
+        if !it.starts_with('(') || !it.contains(',') {
+            cx.diag(
+                at,
+                "a collapsed loop iterates a parenthesized range tuple, \
+                 e.g. `(0..n, 0..m)`",
+            );
+            return None;
+        }
+        format!("for {pat} in {it}")
+    } else {
+        format!("for {pat} in {}", macro_iter(iter))
+    };
+    Some((header, clause_txt))
+}
+
 fn reductions(d: &Directive) -> Vec<(RedOp, Vec<String>)> {
     d.clauses
         .iter()
@@ -344,7 +432,9 @@ fn emit_for(
         );
         return close + 1;
     }
-    let mut clause_txt = String::new();
+    let Some((header, mut clause_txt)) = loop_header(cx, fd.start, d, pat, iter) else {
+        return close + 1;
+    };
     if let Some(s) = schedule_clause_text(d) {
         clause_txt.push_str(&format!("{s}, "));
     }
@@ -361,8 +451,7 @@ fn emit_for(
     let prelude = privatization_prelude(d);
     let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
     out.push_str(&format!(
-        "romp_core::omp_for!({ctx}, {clause_txt}for {pat} in {} {{{prelude}{body}}});",
-        macro_iter(iter)
+        "romp_core::omp_for!({ctx}, {clause_txt}{header} {{{prelude}{body}}});"
     ));
     close + 1
 }
@@ -406,6 +495,10 @@ fn emit_parallel_for(
     if let Some(s) = schedule_clause_text(d) {
         clause_txt.push_str(&format!("{s}, "));
     }
+    let Some((header, extra_clauses)) = loop_header(cx, fd.start, d, pat, iter) else {
+        return close + 1;
+    };
+    clause_txt.push_str(&extra_clauses);
     // `private` has no macro clause on parallel_for: inject declarations.
     let mut prelude = String::new();
     for cl in &d.clauses {
@@ -418,7 +511,6 @@ fn emit_parallel_for(
         }
     }
     let body = transform_range(cx, open + 1, close, None, depth + 1);
-    let header = format!("for {pat} in {}", macro_iter(iter));
     match reds.first() {
         None => {
             out.push_str(&format!(
@@ -747,6 +839,78 @@ mod tests {
     fn step_by_header_preserved() {
         let out = t("//#omp parallel for\nfor i in (0..100).step_by(5) { f(i); }");
         assert!(out.contains("for i in (0..100).step_by(5)"), "{out}");
+    }
+
+    #[test]
+    fn collapse2_emits_tuple_header() {
+        let out = t("//#omp parallel for collapse(2) schedule(dynamic, 4)\n\
+             for (i, j) in (0..n, 0..m) { f(i, j); }");
+        assert!(
+            out.contains(
+                "romp_core::omp_parallel_for!(schedule(dynamic, 4), collapse(2), \
+                 for (i, j) in (0..n, 0..m) { f(i, j); });"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn collapse3_inside_region() {
+        let out = t("//#omp parallel\n{\n//#omp for collapse(3)\n\
+             for (i, j, k) in (0..a, 0..b, 0..c) { g(i, j, k); }\n}");
+        assert!(
+            out.contains(
+                "romp_core::omp_for!(__omp_ctx_0, collapse(3), \
+                 for (i, j, k) in (0..a, 0..b, 0..c)"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn step_clause_forwarded() {
+        let out = t("//#omp parallel for step(-3) schedule(guided)\nfor i in hi..lo { f(i); }");
+        assert!(
+            out.contains(
+                "romp_core::omp_parallel_for!(schedule(guided), step(-3), for i in (hi..lo)"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn collapse_without_tuple_header_diagnosed() {
+        let e = translate("//#omp parallel for collapse(2)\nfor i in 0..n { f(i); }").unwrap_err();
+        assert!(e[0].message.contains("tuple loop header"), "{e:?}");
+    }
+
+    #[test]
+    fn tuple_header_without_collapse_clause_diagnosed() {
+        // The emitted lowering would fuse; require the directive to say
+        // so explicitly.
+        for src in [
+            "//#omp parallel for\nfor (i, j) in (0..n, 0..m) { f(i, j); }",
+            "//#omp parallel for collapse(1)\nfor (i, j) in (0..n, 0..m) { f(i, j); }",
+        ] {
+            let e = translate(src).unwrap_err();
+            assert!(e[0].message.contains("collapse(2)"), "{src}: {e:?}");
+        }
+    }
+
+    #[test]
+    fn step_with_step_by_header_diagnosed() {
+        let e = translate("//#omp parallel for step(2)\nfor i in (0..n).step_by(3) { f(i); }")
+            .unwrap_err();
+        assert!(e[0].message.contains("cannot combine"), "{e:?}");
+    }
+
+    #[test]
+    fn step_with_collapse_diagnosed() {
+        let e = translate(
+            "//#omp parallel for collapse(2) step(2)\nfor (i, j) in (0..n, 0..m) { f(i, j); }",
+        )
+        .unwrap_err();
+        assert!(e[0].message.contains("cannot combine"), "{e:?}");
     }
 
     #[test]

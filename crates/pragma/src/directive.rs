@@ -140,8 +140,13 @@ pub enum Clause {
     Reduction(RedOp, Vec<String>),
     /// `nowait`
     Nowait,
-    /// `collapse(n)`
+    /// `collapse(n)` — fuse the following `n`-deep rectangular loop
+    /// nest (written with a tuple header) into one iteration space.
     Collapse(u32),
+    /// `step(expr)` — romp extension: the strided canonical loop form
+    /// `for (i = lo; i < hi; i += step)`, which Rust range syntax
+    /// cannot spell for negative strides.
+    Step(String),
     /// `proc_bind(kind)` — accepted, advisory.
     ProcBind(String),
     /// `(name)` on `critical`.
@@ -161,6 +166,7 @@ impl Clause {
             Clause::Reduction(..) => "reduction",
             Clause::Nowait => "nowait",
             Clause::Collapse(_) => "collapse",
+            Clause::Step(_) => "step",
             Clause::ProcBind(_) => "proc_bind",
             Clause::CriticalName(_) => "(name)",
         }
@@ -528,6 +534,14 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
             p.expect(Token::RParen, "`)`")?;
             Ok(Clause::Collapse(n))
         }
+        "step" => {
+            p.expect(Token::LParen, "`(` after step")?;
+            let e = p.raw_until_rparen()?;
+            if e.is_empty() {
+                return Err(p.err("empty expression in step clause"));
+            }
+            Ok(Clause::Step(e))
+        }
         "schedule" => {
             p.expect(Token::LParen, "`(` after schedule")?;
             let kind = match p.expect_ident()?.as_str() {
@@ -593,6 +607,7 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
             "reduction",
             "nowait",
             "collapse",
+            "step",
         ],
         DirectiveKind::ParallelFor => &[
             "num_threads",
@@ -605,6 +620,7 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
             "schedule",
             "reduction",
             "collapse",
+            "step",
         ],
         DirectiveKind::Single => &["private", "firstprivate", "nowait"],
         DirectiveKind::Task => &["if", "default", "shared", "private", "firstprivate"],
@@ -632,13 +648,10 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
         if let Some(Clause::Collapse(n)) =
             d.clauses.iter().find(|c| matches!(c, Clause::Collapse(_)))
         {
-            if *n > 1 {
+            if !(1..=3).contains(n) {
                 return Err(ParseError {
                     offset: 0,
-                    message: format!(
-                        "collapse({n}) is not supported by the translator (use \
-                         romp_core::par_for_2d for collapsed loops)"
-                    ),
+                    message: format!("collapse({n}) is not supported: n must be 1, 2 or 3"),
                 });
             }
         }
@@ -758,10 +771,22 @@ mod tests {
     }
 
     #[test]
-    fn rejects_collapse_gt_one() {
-        let e = parse("parallel for collapse(2)").unwrap_err();
-        assert!(e.message.contains("collapse(2)"), "{e}");
-        assert!(parse("parallel for collapse(1)").is_ok());
+    fn collapse_depths_validated() {
+        for ok in ["collapse(1)", "collapse(2)", "collapse(3)"] {
+            assert!(parse(&format!("parallel for {ok}")).is_ok(), "{ok}");
+        }
+        let e = parse("parallel for collapse(4)").unwrap_err();
+        assert!(e.message.contains("collapse(4)"), "{e}");
+        let e = parse("for collapse(0)").unwrap_err();
+        assert!(e.message.contains("collapse(0)"), "{e}");
+    }
+
+    #[test]
+    fn step_clause_parses() {
+        let d = parse("parallel for step(2 * k) schedule(dynamic)").unwrap();
+        assert_eq!(d.clauses[0], Clause::Step("2 * k".into()));
+        let e = parse("parallel step(3)").unwrap_err();
+        assert!(e.message.contains("not valid on the `parallel`"), "{e}");
     }
 
     #[test]

@@ -327,18 +327,44 @@ pub fn match_brace(src: &str, open: usize) -> Result<usize, ExtractError> {
 /// Parse `for <pat> in <iter> { … }` starting at the `for` keyword.
 fn extract_for(src: &str, for_kw: usize) -> Result<NextConstruct, ExtractError> {
     let after_for = skip_trivia(src, for_kw + 3);
-    // Pattern: a single identifier (the canonical OpenMP loop form).
-    let pat_end = src[after_for..]
-        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
-        .map(|k| after_for + k)
-        .unwrap_or(src.len());
-    let pat = src[after_for..pat_end].to_string();
-    if pat.is_empty() || pat.chars().next().unwrap().is_numeric() {
-        return Err(ExtractError {
+    // Pattern: a single identifier (the canonical OpenMP loop form), or
+    // a parenthesized identifier tuple `(i, j[, k])` for collapsed
+    // nests.
+    let (pat, pat_end) = if src[after_for..].starts_with('(') {
+        let rel_close = src[after_for..].find(')').ok_or(ExtractError {
             offset: after_for,
-            message: "worksharing loop variable must be a simple identifier".into(),
-        });
-    }
+            message: "unterminated tuple pattern in worksharing loop header".into(),
+        })?;
+        let close = after_for + rel_close;
+        let inner = &src[after_for + 1..close];
+        let idents: Vec<&str> = inner.split(',').map(str::trim).collect();
+        let well_formed = (2..=3).contains(&idents.len())
+            && idents.iter().all(|id| {
+                !id.is_empty()
+                    && !id.chars().next().unwrap().is_numeric()
+                    && id.chars().all(|c| c.is_alphanumeric() || c == '_')
+            });
+        if !well_formed {
+            return Err(ExtractError {
+                offset: after_for,
+                message: "collapsed loop pattern must be a tuple of 2 or 3 identifiers".into(),
+            });
+        }
+        (src[after_for..=close].to_string(), close + 1)
+    } else {
+        let pat_end = src[after_for..]
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map(|k| after_for + k)
+            .unwrap_or(src.len());
+        let pat = src[after_for..pat_end].to_string();
+        if pat.is_empty() || pat.chars().next().unwrap().is_numeric() {
+            return Err(ExtractError {
+                offset: after_for,
+                message: "worksharing loop variable must be a simple identifier".into(),
+            });
+        }
+        (pat, pat_end)
+    };
     let in_kw = skip_trivia(src, pat_end);
     if !src[in_kw..].starts_with("in")
         || !src[in_kw + 2..]
@@ -478,9 +504,23 @@ fn main() {
     }
 
     #[test]
-    fn rejects_destructuring_loop_pattern() {
-        let e = next_construct("for (a, b) in pairs { }", 0).unwrap_err();
-        assert!(e.message.contains("simple identifier"), "{e:?}");
+    fn tuple_loop_patterns_parse_for_collapse() {
+        match next_construct("for (i, j) in (0..n, 0..m) { }", 0).unwrap() {
+            NextConstruct::ForLoop { pat, iter, .. } => {
+                assert_eq!(pat, "(i, j)");
+                assert_eq!(iter, "(0..n, 0..m)");
+            }
+            other => panic!("expected a for loop, got {other:?}"),
+        }
+        match next_construct("for (i, j, k) in (0..2, 0..3, 0..4) { }", 0).unwrap() {
+            NextConstruct::ForLoop { pat, .. } => assert_eq!(pat, "(i, j, k)"),
+            other => panic!("expected a for loop, got {other:?}"),
+        }
+        // Not an identifier tuple: still rejected.
+        let e = next_construct("for (a, b.c) in pairs { }", 0).unwrap_err();
+        assert!(e.message.contains("tuple of 2 or 3 identifiers"), "{e:?}");
+        let e = next_construct("for (a, b, c, d) in quads { }", 0).unwrap_err();
+        assert!(e.message.contains("tuple of 2 or 3 identifiers"), "{e:?}");
     }
 
     #[test]

@@ -88,7 +88,7 @@ impl<'scope> ThreadCtx<'scope> {
     ) {
         let base = range.start;
         let trip = range.end.saturating_sub(range.start) as u64;
-        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+        self.ws_for_normalized(trip, sched, nowait, move |lo, hi| {
             for i in lo..hi {
                 body(base + i as usize);
             }
@@ -107,7 +107,7 @@ impl<'scope> ThreadCtx<'scope> {
     ) {
         let base = range.start;
         let trip = range.end.saturating_sub(range.start) as u64;
-        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+        self.ws_for_normalized(trip, sched, nowait, move |lo, hi| {
             body(base + lo as usize..base + hi as usize);
         });
     }
@@ -136,16 +136,26 @@ impl<'scope> ThreadCtx<'scope> {
         } else {
             0
         };
-        self.ws_norm(trip, sched, nowait, move |lo, hi| {
+        self.ws_for_normalized(trip, sched, nowait, move |lo, hi| {
             for k in lo..hi {
                 body(start + (k as i64) * step);
             }
         });
     }
 
-    /// Normalized driver: distribute `0..trip` per `sched`, invoking
-    /// `chunk_body(lo, hi)` for each chunk this thread claims.
-    pub(crate) fn ws_norm(
+    /// Normalized worksharing driver: distribute the dense `u64` space
+    /// `0..trip` according to `sched`, invoking `chunk_body(lo, hi)` for
+    /// each chunk this thread claims. Implies an end barrier unless
+    /// `nowait`.
+    ///
+    /// This is the single entry every loop shape funnels through:
+    /// [`ws_for`](Self::ws_for), [`ws_for_chunks`](Self::ws_for_chunks)
+    /// and [`ws_for_step`](Self::ws_for_step) normalize their iteration
+    /// spaces to a trip count and map chunks back; `romp-core`'s
+    /// `IterSpace` lowering does the same for strided/signed/collapsed
+    /// spaces. All trip accounting is `u64`, so collapsed spaces larger
+    /// than `usize` loops still schedule correctly.
+    pub fn ws_for_normalized(
         &self,
         trip: u64,
         sched: Schedule,

@@ -3,16 +3,20 @@
 //! iteration) written directly against the directive layer rather than
 //! ported from Fortran/C.
 //!
-//! The stencil sweep is the archetypal OpenMP loop nest: a `parallel`
-//! region around the time loop, a worksharing loop over rows per sweep,
-//! a max-residual reduction every few steps, and a buffer swap guarded
-//! by a barrier.
+//! The stencil sweep is the archetypal OpenMP loop nest: each sweep is
+//! a worksharing loop over interior rows whose `dst[i][j] = …` writes
+//! go through the **safe**
+//! [`write_chunks_into`](romp::core::ParFor::write_chunks_into) output
+//! layer — each thread owns whole output rows as exclusive `&mut`
+//! subslices, while the source buffer is read through a plain shared
+//! borrow. No `unsafe`, no `SharedSlice` escape hatch: the fork-join
+//! around each sweep is the barrier pair, and the borrow checker sees
+//! it.
 //!
 //! ```text
 //! cargo run --release --example heat [-- <n> <steps>]
 //! ```
 
-use romp::core::slice::SharedSlice;
 use romp::prelude::*;
 
 fn serial_sweeps(grid: &mut Vec<f64>, next: &mut Vec<f64>, n: usize, steps: usize) -> f64 {
@@ -56,51 +60,40 @@ fn main() {
     let serial_res = serial_sweeps(&mut g_serial, &mut scratch, n, steps);
     let t_serial = omp_get_wtime() - t0;
 
-    // Parallel version: one region for the whole time loop; each sweep
-    // is a worksharing loop over interior rows with a max-residual
-    // reduction; the swap happens on the master between barriers.
+    // Parallel version: one fork per sweep. The interior rows of the
+    // destination buffer (`dst[n .. n*(n-1)]`, rows 1..n-1) are the
+    // safe mutable output: `write_chunks_into` hands each thread its
+    // claimed rows as an exclusive `&mut` subslice while `src` is read
+    // through an ordinary shared borrow.
     let mut grid = init(n);
     let mut next = grid.clone();
-    let residual = std::sync::Mutex::new(0.0f64);
     let t0 = omp_get_wtime();
-    {
-        let g = SharedSlice::new(&mut grid);
-        let x = SharedSlice::new(&mut next);
-        omp_parallel!(|ctx| {
-            for step in 0..steps {
-                // Which buffer is current this step? (Swap by parity —
-                // all threads compute the same answer, no master swap
-                // needed.)
-                let (src, dst) = if step % 2 == 0 { (&g, &x) } else { (&x, &g) };
-                let mut res = 0.0f64;
-                omp_for!(ctx, schedule(static), reduction(max : res), for i in (1..n - 1) {
-                    for j in 1..n - 1 {
+    for _ in 0..steps {
+        let (src, dst) = (&grid, &mut next);
+        let src: &[f64] = src;
+        par_for(1..n - 1)
+            .schedule(Schedule::static_block())
+            .write_chunks_into(&mut dst[n..n * (n - 1)], |rows, out| {
+                for (i, row_out) in rows.zip(out.chunks_mut(n)) {
+                    for (j, cell) in row_out.iter_mut().enumerate().take(n - 1).skip(1) {
                         let idx = i * n + j;
-                        // SAFETY: row i belongs to exactly one thread;
-                        // src was fully written before the previous
-                        // barrier.
-                        unsafe {
-                            let v = 0.25
-                                * (src.read(idx - 1)
-                                    + src.read(idx + 1)
-                                    + src.read(idx - n)
-                                    + src.read(idx + n));
-                            dst.write(idx, v);
-                            res = res.max((v - src.read(idx)).abs());
-                        }
+                        *cell = 0.25 * (src[idx - 1] + src[idx + 1] + src[idx - n] + src[idx + n]);
                     }
-                });
-                if step == steps - 1 {
-                    omp_master!(ctx, {
-                        *residual.lock().unwrap() = res;
-                    });
                 }
-            }
-        });
+            });
+        std::mem::swap(&mut grid, &mut next);
     }
+    // Final residual: max |last - previous| over the interior (the
+    // last sweep wrote `grid`; `next` still holds the field before it).
+    let par_res = {
+        let (last, prev): (&[f64], &[f64]) = (&grid, &next);
+        par_for_2d(1..n - 1, 1..n - 1).reduce(MaxOp, 0.0f64, |(i, j), acc| {
+            let idx = i * n + j;
+            *acc = acc.max((last[idx] - prev[idx]).abs());
+        })
+    };
     let t_par = omp_get_wtime() - t0;
-    let par_res = *residual.lock().unwrap();
-    let result = if steps % 2 == 1 { &next } else { &grid };
+    let result = &grid;
 
     // Compare full fields.
     let max_diff = result
