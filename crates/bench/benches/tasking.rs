@@ -1,0 +1,122 @@
+//! BENCH — tasking overheads: spawn/steal cost, the dependence-table
+//! tax, and the blocked-wavefront workload across team sizes.
+//!
+//! Three questions, pinned against each other:
+//!
+//! 1. What does one task cost end to end (spawn → steal → execute →
+//!    retire)? `spawn_drain` floods one spawner's deque and drains it
+//!    through the team.
+//! 2. What does the dependence table add? `chain_dependent` runs the
+//!    `spawn_drain/4` task count through a single `inout` chain
+//!    (maximum table pressure, zero available parallelism), and
+//!    `taskloop_plain` is the worksharing-shaped baseline the
+//!    dependence-table overhead is pinned against.
+//! 3. Does the graph scale a real irregular workload? The class-S
+//!    wavefront at 1/2/4 threads.
+//!
+//! The task statistics banner is printed at the end so stealing and
+//! stall behavior is visible next to the timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use romp_core::prelude::*;
+use romp_npb::sw;
+use romp_npb::Class;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const TASKS: usize = 2_000;
+
+fn bench_spawn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_spawn");
+    g.sample_size(15);
+
+    for threads in [1usize, 4] {
+        g.bench_function(BenchmarkId::new("spawn_drain", threads), |bch| {
+            bch.iter(|| {
+                let hits = AtomicU64::new(0);
+                let hits = &hits;
+                omp_parallel!(num_threads(threads), |ctx| {
+                    omp_single!(ctx, nowait, {
+                        for _ in 0..TASKS {
+                            omp_task!(ctx, {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                });
+                assert_eq!(hits.load(Ordering::Relaxed), TASKS as u64);
+            })
+        });
+    }
+
+    g.bench_function(BenchmarkId::from_parameter("taskloop_plain_4t"), |bch| {
+        bch.iter(|| {
+            let hits = AtomicU64::new(0);
+            let hits = &hits;
+            omp_parallel!(num_threads(4), |ctx| {
+                omp_single!(ctx, {
+                    omp_taskloop!(
+                        ctx,
+                        num_tasks(TASKS),
+                        for _i in (0..TASKS) {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    );
+                });
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), TASKS as u64);
+        })
+    });
+    g.finish();
+}
+
+fn bench_dependence_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("task_deps");
+    g.sample_size(15);
+
+    // The no-dependence baseline for this group is
+    // `task_spawn/spawn_drain/4` above: identical spawner, team and
+    // task count, zero table traffic.
+    g.bench_function(BenchmarkId::from_parameter("chain_dependent"), |bch| {
+        bch.iter(|| {
+            let hits = AtomicU64::new(0);
+            let token = 0u8;
+            let (hits, token) = (&hits, &token);
+            omp_parallel!(num_threads(4), |ctx| {
+                omp_single!(ctx, nowait, {
+                    for _ in 0..TASKS {
+                        omp_task!(ctx, depend(inout: *token), {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            });
+            hits.load(Ordering::Relaxed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_wavefront(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wavefront_class_s");
+    g.sample_size(10);
+    let want = sw::expected_checksum(Class::S);
+    for threads in [1usize, 2, 4] {
+        g.bench_function(BenchmarkId::new("task_graph", threads), |bch| {
+            bch.iter(|| {
+                let sum = sw::compute_tasks_macro(Class::S, threads);
+                assert_eq!(sum, want);
+                sum
+            })
+        });
+    }
+    g.finish();
+    println!("{}", romp_runtime::stats::display_stats());
+}
+
+criterion_group!(
+    benches,
+    bench_spawn,
+    bench_dependence_table,
+    bench_wavefront
+);
+criterion_main!(benches);

@@ -21,7 +21,7 @@
 
 use crate::space::{collapse2, Collapse2, IterSpace};
 use romp_runtime::reduction::RedVar;
-use romp_runtime::{fork, ForkSpec, ReduceOp, Schedule, ThreadCtx};
+use romp_runtime::{fork, ForkSpec, ReduceOp, Schedule, TaskSpec, ThreadCtx};
 use std::ops::Range;
 
 /// Builder for a bare `parallel` region.
@@ -65,12 +65,97 @@ impl Parallel {
         self.spec
     }
 
-    /// Execute the region: `body` runs once on every team thread.
-    pub fn run<F>(self, body: F)
+    /// Execute the region: `body` runs once on every team thread. The
+    /// `'env` lifetime is [`fork`]'s: task closures created inside may
+    /// borrow anything that outlives this call.
+    pub fn run<'env, F>(self, body: F)
     where
-        F: for<'s> Fn(&ThreadCtx<'s>) + Sync,
+        F: Fn(&ThreadCtx<'env>) + Sync,
     {
         fork(self.spec, body);
+    }
+}
+
+/// Builder for a `task` construct inside a parallel region: the typed
+/// equivalent of `omp_task!` clauses, and what the `//#omp task`
+/// translator output desugars into. Dependences order the task against
+/// sibling tasks per the OpenMP serialization rules (see
+/// [`romp_runtime::TaskDeps`]).
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+///
+/// // c = a + b as a diamond-shaped task graph: the sum task cannot
+/// // start before both producers finish, on any thread.
+/// let (a, b, c) = (AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0));
+/// parallel().num_threads(4).run(|ctx| {
+///     ctx.single(true, || {
+///         task(ctx).depend_out(&a).spawn(|| a.store(1, Relaxed));
+///         task(ctx).depend_out(&b).spawn(|| b.store(2, Relaxed));
+///         task(ctx)
+///             .depend_in(&a)
+///             .depend_in(&b)
+///             .depend_out(&c)
+///             .spawn(|| c.store(a.load(Relaxed) + b.load(Relaxed), Relaxed));
+///     });
+/// });
+/// assert_eq!(c.load(Relaxed), 3);
+/// ```
+#[must_use = "a task builder does nothing until .spawn(body)"]
+#[derive(Debug)]
+pub struct Task<'c, 'scope> {
+    ctx: &'c ThreadCtx<'scope>,
+    spec: TaskSpec,
+}
+
+/// Start building a `task` construct on `ctx`.
+pub fn task<'c, 'scope>(ctx: &'c ThreadCtx<'scope>) -> Task<'c, 'scope> {
+    Task {
+        ctx,
+        spec: TaskSpec::new(),
+    }
+}
+
+impl<'scope> Task<'_, 'scope> {
+    /// `depend(in: x)`: run after the last task that wrote `x`.
+    pub fn depend_in<T: ?Sized>(mut self, x: &T) -> Self {
+        self.spec = self.spec.input(x);
+        self
+    }
+
+    /// `depend(out: x)`: run after the last writer of `x` and every
+    /// reader since; become `x`'s last writer.
+    pub fn depend_out<T: ?Sized>(mut self, x: &T) -> Self {
+        self.spec = self.spec.output(x);
+        self
+    }
+
+    /// `depend(inout: x)`: same ordering as [`depend_out`](Self::depend_out).
+    pub fn depend_inout<T: ?Sized>(mut self, x: &T) -> Self {
+        self.spec = self.spec.inout(x);
+        self
+    }
+
+    /// The `if` clause: `false` executes the task undeferred on the
+    /// encountering thread (after its dependences are satisfied).
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.spec = self.spec.if_clause(cond);
+        self
+    }
+
+    /// The `final` clause: `true` makes this task and all its
+    /// descendants execute undeferred (included tasks).
+    pub fn final_clause(mut self, cond: bool) -> Self {
+        self.spec = self.spec.final_clause(cond);
+        self
+    }
+
+    /// Create the task. The closure may borrow anything outliving the
+    /// region (`'scope`); dependence addresses were captured when the
+    /// `depend_*` calls ran.
+    pub fn spawn<F: FnOnce() + Send + 'scope>(self, f: F) {
+        self.ctx.task_spec(self.spec, f);
     }
 }
 

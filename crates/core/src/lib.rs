@@ -63,7 +63,7 @@ pub mod prelude;
 pub mod slice;
 pub mod space;
 
-pub use builder::{par_for, par_for_2d, parallel, ParFor, ParFor2, Parallel};
+pub use builder::{par_for, par_for_2d, parallel, task, ParFor, ParFor2, Parallel, Task};
 pub use space::{collapse2, collapse3, Collapse2, Collapse3, IterSpace, StridedRange};
 
 // Re-export the runtime surface the macros and translated code use, so a
@@ -75,5 +75,6 @@ pub use romp_runtime::{
     omp_get_team_size, omp_get_thread_limit, omp_get_thread_num, omp_get_wtick, omp_get_wtime,
     omp_in_parallel, omp_set_dynamic, omp_set_max_active_levels, omp_set_num_threads,
     omp_set_schedule, BarrierKind, BitAndOp, BitOrOp, BitXorOp, ForkSpec, LogAndOp, LogOrOp, MaxOp,
-    MinOp, NestLock, OmpLock, ProdOp, ReduceOp, Schedule, SumOp, ThreadCtx,
+    MinOp, NestLock, OmpLock, ProdOp, ReduceOp, Schedule, SumOp, TaskDeps, TaskSpec, TaskloopSpec,
+    ThreadCtx,
 };

@@ -18,6 +18,8 @@
 //! | `#pragma omp barrier` | `omp_barrier!(ctx)` |
 //! | `#pragma omp sections` | `omp_sections!(ctx, { … } { … })` |
 //! | `#pragma omp task` / `taskwait` | `omp_task!(ctx, { … })` / `omp_taskwait!(ctx)` |
+//! | `#pragma omp task depend(in: a) depend(out: b) final(f) if(c)` | `omp_task!(ctx, depend(in: a; out: b), final(f), if(c), { … })` |
+//! | `#pragma omp taskloop grainsize(g) num_tasks(n) nogroup` | `omp_taskloop!(ctx, grainsize(g), num_tasks(n), nogroup, for i in (r) { … })` |
 //!
 //! ## Data environment
 //!
@@ -640,15 +642,96 @@ macro_rules! __omp_sections_dispatch {
 
 /// `task` construct: defer the block for execution by any team thread.
 /// Captures by move (OpenMP tasks default to `firstprivate` capture).
-/// `omp_task!(ctx, if(cond), { … })` runs undeferred when `cond` is
-/// false.
+///
+/// Clauses, in any order before the body:
+///
+/// * `if(cond)` — undeferred (run immediately on the encountering
+///   thread) when `cond` is false;
+/// * `final(cond)` — when `cond`, this task and everything it spawns
+///   run undeferred (included tasks);
+/// * `depend(in: a, b; out: c; inout: d)` — order against sibling
+///   tasks naming the same storage: `out`/`inout` serialize against
+///   every earlier dependence on the address, `in` only against the
+///   last `out`/`inout`. Groups may be split across several `depend`
+///   clauses; addresses are taken (`&expr`) when the task is created.
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+///
+/// let acc = AtomicU64::new(1);
+/// let acc = &acc; // task bodies capture by move; move the reference
+/// omp_parallel!(num_threads(4), |ctx| {
+///     omp_single!(ctx, nowait, {
+///         // A chain: each task must observe its predecessor's update.
+///         omp_task!(ctx, depend(inout: acc), { acc.fetch_add(1, Relaxed); });
+///         omp_task!(ctx, depend(inout: acc), {
+///             let v = acc.load(Relaxed);
+///             assert_eq!(v, 2);
+///             acc.store(v * 10, Relaxed);
+///         });
+///         omp_task!(ctx, depend(in: acc), if(false), {
+///             assert_eq!(acc.load(Relaxed), 20);
+///         });
+///     });
+/// });
+/// assert_eq!(acc.load(Relaxed), 20);
+/// ```
 #[macro_export]
 macro_rules! omp_task {
-    ($ctx:ident, if($e:expr), $body:block) => {
-        $ctx.task_if($e, move || $body)
+    ($ctx:ident, $($t:tt)*) => {
+        $crate::__omp_task!(@ $ctx {$crate::runtime::TaskSpec::new()} ; $($t)*)
     };
-    ($ctx:ident, $body:block) => {
-        $ctx.task(move || $body)
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_task {
+    // --- clauses, any order ---
+    (@ $ctx:ident {$spec:expr} ; if($e:expr), $($rest:tt)*) => {
+        $crate::__omp_task!(@ $ctx {$spec.if_clause($e)} ; $($rest)*)
+    };
+    (@ $ctx:ident {$spec:expr} ; final($e:expr), $($rest:tt)*) => {
+        $crate::__omp_task!(@ $ctx {$spec.final_clause($e)} ; $($rest)*)
+    };
+    (@ $ctx:ident {$spec:expr} ; depend($($d:tt)*), $($rest:tt)*) => {
+        $crate::__omp_task!(@ $ctx {$crate::__omp_depend!({$spec} $($d)*)} ; $($rest)*)
+    };
+    // --- terminal: the task body ---
+    (@ $ctx:ident {$spec:expr} ; $body:block) => {
+        $ctx.task_spec($spec, move || $body)
+    };
+}
+
+/// Accumulate one `depend(...)` clause onto a `TaskSpec`: semicolon-
+/// separated `in:`/`out:`/`inout:` groups of comma-separated lvalue
+/// expressions.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_depend {
+    ({$spec:expr}) => { $spec };
+    ({$spec:expr} in : $($rest:tt)*) => {
+        $crate::__omp_depend_list!(input {$spec} $($rest)*)
+    };
+    ({$spec:expr} out : $($rest:tt)*) => {
+        $crate::__omp_depend_list!(output {$spec} $($rest)*)
+    };
+    ({$spec:expr} inout : $($rest:tt)*) => {
+        $crate::__omp_depend_list!(inout {$spec} $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_depend_list {
+    ($kind:ident {$spec:expr} $v:expr) => {
+        $spec.$kind(&$v)
+    };
+    ($kind:ident {$spec:expr} $v:expr, $($rest:tt)*) => {
+        $crate::__omp_depend_list!($kind {$spec.$kind(&$v)} $($rest)*)
+    };
+    ($kind:ident {$spec:expr} $v:expr ; $($rest:tt)*) => {
+        $crate::__omp_depend!({$spec.$kind(&$v)} $($rest)*)
     };
 }
 
@@ -670,15 +753,49 @@ macro_rules! omp_taskgroup {
 
 /// `taskloop` construct: the encountering thread carves the range into
 /// tasks executed by the whole team, with an implicit taskgroup.
-/// `omp_taskloop!(ctx, [grainsize(g),] for i in (range) { … })`.
-/// The body captures by move (task semantics).
+/// `omp_taskloop!(ctx, [clauses,] for i in (range) { … })`; the body
+/// captures by move (task semantics). Clauses, in any order:
+/// `grainsize(g)` (iterations per task), `num_tasks(n)` (task count —
+/// wins over `grainsize`), `nogroup` (skip the implicit taskgroup; pair
+/// with `omp_taskwait!` or a barrier).
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+///
+/// let total = AtomicU64::new(0);
+/// let total = &total; // task bodies capture by move; move the reference
+/// omp_parallel!(num_threads(4), |ctx| {
+///     omp_single!(ctx, nowait, {
+///         omp_taskloop!(ctx, num_tasks(8), for i in (0..100) {
+///             total.fetch_add(i as u64, Relaxed);
+///         });
+///         // The implicit taskgroup already waited:
+///         assert_eq!(total.load(Relaxed), 4950);
+///     });
+/// });
+/// ```
 #[macro_export]
 macro_rules! omp_taskloop {
-    ($ctx:ident, grainsize($g:expr), for $i:ident in ($range:expr) $body:block) => {
-        $ctx.taskloop($range, $g, move |$i| $body)
+    ($ctx:ident, $($t:tt)*) => {
+        $crate::__omp_taskloop!(@ $ctx {$crate::runtime::TaskloopSpec::new()} ; $($t)*)
     };
-    ($ctx:ident, for $i:ident in ($range:expr) $body:block) => {
-        $ctx.taskloop($range, 0, move |$i| $body)
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_taskloop {
+    (@ $ctx:ident {$spec:expr} ; grainsize($e:expr), $($rest:tt)*) => {
+        $crate::__omp_taskloop!(@ $ctx {$spec.grainsize($e)} ; $($rest)*)
+    };
+    (@ $ctx:ident {$spec:expr} ; num_tasks($e:expr), $($rest:tt)*) => {
+        $crate::__omp_taskloop!(@ $ctx {$spec.num_tasks($e)} ; $($rest)*)
+    };
+    (@ $ctx:ident {$spec:expr} ; nogroup, $($rest:tt)*) => {
+        $crate::__omp_taskloop!(@ $ctx {$spec.nogroup()} ; $($rest)*)
+    };
+    (@ $ctx:ident {$spec:expr} ; for $i:ident in ($range:expr) $body:block) => {
+        $ctx.taskloop_spec($range, $spec, move |$i| $body)
     };
 }
 

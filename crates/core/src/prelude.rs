@@ -1,6 +1,6 @@
 //! One-stop import for romp programs: `use romp_core::prelude::*;`.
 
-pub use crate::builder::{par_for, par_for_2d, parallel};
+pub use crate::builder::{par_for, par_for_2d, parallel, task};
 pub use crate::space::{collapse2, collapse3, IterSpace, StridedRange};
 pub use crate::{
     omp_barrier, omp_critical, omp_for, omp_master, omp_ordered, omp_parallel, omp_parallel_for,
@@ -10,5 +10,5 @@ pub use romp_runtime::{
     critical, critical_named, fork, omp_get_max_threads, omp_get_num_procs, omp_get_num_threads,
     omp_get_thread_num, omp_get_wtime, omp_in_parallel, omp_set_num_threads, BitAndOp, BitOrOp,
     BitXorOp, ForkSpec, LogAndOp, LogOrOp, MaxOp, MinOp, NestLock, OmpLock, ProdOp, ReduceOp,
-    Schedule, SumOp, ThreadCtx,
+    Schedule, SumOp, TaskDeps, TaskSpec, TaskloopSpec, ThreadCtx,
 };

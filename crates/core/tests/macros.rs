@@ -671,3 +671,209 @@ fn step_with_reduction_inside_region() {
         assert_eq!(sum, (0..47).step_by(5).sum::<usize>() as i64);
     });
 }
+
+// ---------------------------------------------------------------------
+// Task dependence clauses
+// ---------------------------------------------------------------------
+
+#[test]
+fn task_depend_chain_serializes() {
+    let log = Mutex::new(Vec::new());
+    let log = &log;
+    let token = 0u8;
+    let token = &token;
+    omp_parallel!(num_threads(4), |ctx| {
+        omp_single!(ctx, nowait, {
+            for step in 0..20 {
+                omp_task!(ctx, depend(inout: *token), {
+                    log.lock().unwrap().push(step);
+                });
+            }
+        });
+    });
+    assert_eq!(*log.lock().unwrap(), (0..20).collect::<Vec<_>>());
+}
+
+#[test]
+fn task_depend_in_out_groups_in_one_clause() {
+    let a = AtomicUsize::new(0);
+    let b = AtomicUsize::new(0);
+    let c = AtomicUsize::new(0);
+    let (a, b, c) = (&a, &b, &c);
+    omp_parallel!(num_threads(4), |ctx| {
+        omp_single!(ctx, nowait, {
+            omp_task!(ctx, depend(out: *a), { a.store(5, Ordering::Relaxed); });
+            omp_task!(ctx, depend(out: *b), { b.store(7, Ordering::Relaxed); });
+            omp_task!(ctx, depend(in: *a, *b; out: *c), {
+                c.store(
+                    a.load(Ordering::Relaxed) + b.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+            });
+        });
+    });
+    assert_eq!(c.load(Ordering::Relaxed), 12);
+}
+
+#[test]
+fn task_depend_separate_clauses_accumulate() {
+    let x = AtomicUsize::new(0);
+    let y = AtomicUsize::new(0);
+    let (x, y) = (&x, &y);
+    omp_parallel!(num_threads(2), |ctx| {
+        omp_single!(ctx, nowait, {
+            omp_task!(ctx, depend(out: *x), { x.store(1, Ordering::Relaxed); });
+            omp_task!(ctx, depend(out: *y), { y.store(2, Ordering::Relaxed); });
+            omp_task!(ctx, depend(in: *x), depend(in: *y), if(false), {
+                // Undeferred reader: both writers must already be done.
+                assert_eq!(x.load(Ordering::Relaxed), 1);
+                assert_eq!(y.load(Ordering::Relaxed), 2);
+            });
+        });
+    });
+}
+
+#[test]
+fn task_final_runs_inline() {
+    let ran = AtomicUsize::new(usize::MAX);
+    let ran = &ran;
+    omp_parallel!(num_threads(4), |ctx| {
+        omp_single!(ctx, nowait, {
+            let me = omp_get_thread_num();
+            omp_task!(ctx, final(true), {
+                ran.store(omp_get_thread_num(), Ordering::Relaxed);
+            });
+            assert_eq!(
+                ran.load(Ordering::Relaxed),
+                me,
+                "final task executes undeferred on the encountering thread"
+            );
+        });
+    });
+}
+
+#[test]
+fn final_task_descendants_are_included() {
+    // A task created while a final task executes must itself run
+    // undeferred, even through a nested region's fresh context.
+    let order = Mutex::new(Vec::new());
+    let order = &order;
+    omp_parallel!(num_threads(2), |ctx| {
+        omp_single!(ctx, nowait, {
+            omp_task!(ctx, final(true), {
+                omp_parallel!(num_threads(1), |inner| {
+                    omp_task!(inner, {
+                        order.lock().unwrap().push("child");
+                    });
+                    // An included child completed synchronously; a merely
+                    // deferred one would drain only at the region end.
+                    order.lock().unwrap().push("after-spawn");
+                });
+            });
+        });
+    });
+    assert_eq!(*order.lock().unwrap(), vec!["child", "after-spawn"]);
+}
+
+#[test]
+fn taskloop_num_tasks_controls_grain() {
+    // Team of one: the implicit taskgroup drains the just-spawned tasks
+    // LIFO from the spawner's own deque, so the recorded iteration
+    // order exposes the task boundaries directly — num_tasks(4) over
+    // 0..1000 must carve exactly 4 tasks of 250 contiguous iterations.
+    let order = Mutex::new(Vec::new());
+    let order = &order;
+    omp_parallel!(num_threads(1), |ctx| {
+        omp_single!(ctx, {
+            omp_taskloop!(
+                ctx,
+                num_tasks(4),
+                for i in (0..1000) {
+                    order.lock().unwrap().push(i);
+                }
+            );
+        });
+    });
+    let want: Vec<usize> = (750..1000)
+        .chain(500..750)
+        .chain(250..500)
+        .chain(0..250)
+        .collect();
+    assert_eq!(*order.lock().unwrap(), want);
+}
+
+#[test]
+fn taskloop_nogroup_defers_to_taskwait() {
+    let total = AtomicUsize::new(0);
+    let total = &total;
+    omp_parallel!(num_threads(4), |ctx| {
+        omp_single!(ctx, nowait, {
+            omp_taskloop!(
+                ctx,
+                grainsize(16),
+                nogroup,
+                for i in (0..256) {
+                    total.fetch_add(i, Ordering::Relaxed);
+                }
+            );
+            omp_taskwait!(ctx);
+            assert_eq!(total.load(Ordering::Relaxed), (0..256).sum::<usize>());
+        });
+    });
+}
+
+#[test]
+fn builder_task_graph_diamond() {
+    use romp_core::builder::task;
+    let a = AtomicUsize::new(0);
+    let b = AtomicUsize::new(0);
+    let c = AtomicUsize::new(0);
+    let (a, b, c) = (&a, &b, &c);
+    parallel().num_threads(4).run(|ctx| {
+        ctx.single(true, || {
+            task(ctx)
+                .depend_out(a)
+                .spawn(|| a.store(3, Ordering::Relaxed));
+            task(ctx)
+                .depend_out(b)
+                .spawn(|| b.store(4, Ordering::Relaxed));
+            task(ctx).depend_in(a).depend_in(b).depend_out(c).spawn(|| {
+                c.store(
+                    a.load(Ordering::Relaxed) * b.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                )
+            });
+        });
+    });
+    assert_eq!(c.load(Ordering::Relaxed), 12);
+}
+
+#[test]
+fn final_inclusion_crosses_nested_region_threads() {
+    // A final task forks a nested region of two threads; tasks spawned
+    // by *either* inner thread must be included (run synchronously on
+    // their spawner), because every implicit task of a region forked
+    // from a final task is itself final.
+    let exec_thread: [AtomicUsize; 2] =
+        [AtomicUsize::new(usize::MAX), AtomicUsize::new(usize::MAX)];
+    let exec_thread = &exec_thread;
+    omp_parallel!(num_threads(2), |ctx| {
+        omp_single!(ctx, nowait, {
+            omp_task!(ctx, final(true), {
+                romp_core::omp_set_max_active_levels(2);
+                omp_parallel!(num_threads(2), |inner| {
+                    let me = inner.thread_num();
+                    omp_task!(inner, {
+                        exec_thread[me].store(romp_core::omp_get_thread_num(), Ordering::SeqCst);
+                    });
+                    assert_eq!(
+                        exec_thread[me].load(Ordering::SeqCst),
+                        me,
+                        "task spawned by inner thread {me} was deferred, not included"
+                    );
+                });
+                romp_core::omp_set_max_active_levels(1);
+            });
+        });
+    });
+}

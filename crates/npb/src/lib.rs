@@ -2,8 +2,9 @@
 //!
 //! Rust implementations of the NPB kernels the paper evaluates — CG
 //! (Conjugate Gradient), EP (Embarrassingly Parallel), IS (Integer
-//! Sort) — plus its Mandelbrot set benchmark, in the paper's two
-//! configurations each:
+//! Sort) — plus its Mandelbrot set benchmark and a blocked
+//! Smith-Waterman-style wavefront ([`sw`], the task-dependence-graph
+//! workload), in the paper's two configurations each:
 //!
 //! * **`reference`** — a direct translation of the NPB reference code
 //!   structure. CG and EP (Fortran originals) are invoked through the
@@ -32,6 +33,7 @@ pub mod ep;
 pub mod is;
 pub mod mandelbrot;
 pub mod rng;
+pub mod sw;
 pub mod verify;
 
 pub use classes::Class;

@@ -1,0 +1,364 @@
+//! SW — a blocked Smith-Waterman-style wavefront, the task-graph
+//! workload.
+//!
+//! Local-alignment scoring of two NPB-`randlc`-generated pseudo-random
+//! sequences: `H[i][j] = max(0, H[i-1][j-1] + s(a_i, b_j),
+//! H[i-1][j] - GAP, H[i][j-1] - GAP)`. Every cell depends on its north,
+//! west and north-west neighbours, so the matrix can only be filled
+//! along anti-diagonal wavefronts — the canonical *irregular*
+//! parallelism that flat worksharing loops cannot express and
+//! dependent tasks can: the matrix is carved into rectangular blocks
+//! and block `(bi, bj)` becomes one task with
+//! `depend(in: tok[bi-1][bj], tok[bi][bj-1]) depend(out: tok[bi][bj])`.
+//! The runtime's dependence graph then discovers the wavefront by
+//! itself, keeping every anti-diagonal's blocks runnable in parallel
+//! while successive diagonals pipeline through the work-stealing
+//! deques.
+//!
+//! The parallel variants write the shared `H` matrix through
+//! [`SharedSlice`]; the exclusivity obligation is discharged by the
+//! dependence graph (a block's task is the unique writer of its cells,
+//! and every cross-block read targets a predecessor block). Integer
+//! scores make the result bit-exact, so verification is equality of a
+//! position-weighted checksum with the sequential reference.
+//!
+//! Three front ends produce the task graph — the `omp_task!` macro
+//! ([`compute_tasks_macro`]), the [`romp_core::builder::task`] builder
+//! ([`compute_tasks_builder`]), and the `//#omp` translator (the
+//! `wavefront` fixture under `tests/fixtures/`) — and must agree
+//! exactly; `tests/task_graph.rs` and the NPB verification matrix pin
+//! that down.
+
+use crate::classes::Class;
+use crate::rng::{Randlc, SEED_CG};
+use crate::verify::{KernelResult, Variant};
+use romp_core::prelude::*;
+use romp_core::slice::SharedSlice;
+
+/// Match reward of the scoring function.
+pub const MATCH: i64 = 3;
+/// Mismatch penalty (applied as `+ MISMATCH`).
+pub const MISMATCH: i64 = -1;
+/// Gap penalty (applied as `- GAP`).
+pub const GAP: i64 = 2;
+
+/// Problem dimensions per class: `(rows, cols, block)`.
+pub fn dims(class: Class) -> (usize, usize, usize) {
+    match class {
+        Class::S => (256, 256, 32),
+        Class::W => (512, 512, 32),
+        Class::A => (1024, 1024, 64),
+        Class::B => (2048, 2048, 64),
+        Class::C => (4096, 4096, 128),
+    }
+}
+
+/// The two sequences over a 4-letter alphabet, from the NPB `randlc`
+/// stream (seeded like CG) — deterministic across threads and variants.
+pub fn sequences(class: Class) -> (Vec<u8>, Vec<u8>) {
+    let (n, m, _) = dims(class);
+    let mut rng = Randlc::new(SEED_CG);
+    let mut gen = |len: usize| -> Vec<u8> {
+        (0..len)
+            .map(|_| ((rng.next_f64() * 4.0) as u8).min(3))
+            .collect()
+    };
+    let a = gen(n);
+    let b = gen(m);
+    (a, b)
+}
+
+/// Score one cell pair.
+#[inline]
+fn score(x: u8, y: u8) -> i64 {
+    if x == y {
+        MATCH
+    } else {
+        MISMATCH
+    }
+}
+
+/// Fill the block `rows × cols = [i0, i1) × [j0, j1)` of the `H` matrix
+/// (1-based cells over a `(len(a)+1) × (len(b)+1)` row-major grid).
+///
+/// The writes go through a [`SharedSlice`]; exclusivity is discharged
+/// by the task dependence graph: this block's task is the sole writer
+/// of its cells, and every read outside the block (row `i0 - 1`, column
+/// `j0 - 1`) targets cells of the north/west/north-west predecessor
+/// blocks, whose tasks completed before this one was released (the
+/// diagonal is ordered transitively through either neighbour).
+pub fn process_block(
+    h: &SharedSlice<i64>,
+    a: &[u8],
+    b: &[u8],
+    (i0, i1): (usize, usize),
+    (j0, j1): (usize, usize),
+) {
+    let stride = b.len() + 1;
+    for i in i0..i1 {
+        for j in j0..j1 {
+            // SAFETY: see the function docs — the dependence graph
+            // guarantees the read cells are final and the written cell
+            // is exclusively ours.
+            unsafe {
+                let diag = h.read((i - 1) * stride + (j - 1)) + score(a[i - 1], b[j - 1]);
+                let up = h.read((i - 1) * stride + j) - GAP;
+                let left = h.read(i * stride + (j - 1)) - GAP;
+                h.write(i * stride + j, diag.max(up).max(left).max(0));
+            }
+        }
+    }
+}
+
+/// Serial reference fill of one block (plain `&mut` access).
+fn process_block_serial(
+    h: &mut [i64],
+    a: &[u8],
+    b: &[u8],
+    range_i: (usize, usize),
+    range_j: (usize, usize),
+) {
+    let stride = b.len() + 1;
+    for i in range_i.0..range_i.1 {
+        for j in range_j.0..range_j.1 {
+            let diag = h[(i - 1) * stride + (j - 1)] + score(a[i - 1], b[j - 1]);
+            let up = h[(i - 1) * stride + j] - GAP;
+            let left = h[i * stride + (j - 1)] - GAP;
+            h[i * stride + j] = diag.max(up).max(left).max(0);
+        }
+    }
+}
+
+/// Position-weighted checksum of the scoring matrix: sensitive to any
+/// misplaced, lost or reordered cell, and exactly reproducible (integer
+/// arithmetic, below 2^53 so the `KernelResult` field is lossless).
+pub fn checksum(h: &[i64]) -> i64 {
+    const P: i64 = 1_000_000_007;
+    let mut best = 0i64;
+    let mut acc = 0i64;
+    for (k, &v) in h.iter().enumerate() {
+        best = best.max(v);
+        acc = (acc + v * ((k % 8191) as i64 + 1)) % P;
+    }
+    best * P + acc
+}
+
+/// Serial wavefront: fill the whole matrix row-major and checksum it.
+pub fn compute_serial(class: Class) -> i64 {
+    let (n, m, _) = dims(class);
+    let (a, b) = sequences(class);
+    let mut h = vec![0i64; (n + 1) * (m + 1)];
+    process_block_serial(&mut h, &a, &b, (1, n + 1), (1, m + 1));
+    checksum(&h)
+}
+
+/// Expected checksum per class, memoized (the analogue of the official
+/// NPB verification values; computed from the sequential reference).
+pub fn expected_checksum(class: Class) -> i64 {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<Class, i64>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&v) = cache.lock().unwrap().get(&class) {
+        return v;
+    }
+    let v = compute_serial(class);
+    cache.lock().unwrap().insert(class, v);
+    v
+}
+
+/// Block-task geometry shared by all parallel variants: block bounds
+/// and the halo-padded dependence-token index (`(bi+1, bj+1)` in a
+/// `(nbi+1) × (nbj+1)` grid, so edge blocks depend on never-written
+/// halo tokens — no edges, no special cases).
+struct Blocking {
+    nbi: usize,
+    nbj: usize,
+    block: usize,
+}
+
+impl Blocking {
+    fn new(class: Class) -> (Self, usize, usize) {
+        let (n, m, block) = dims(class);
+        (
+            Blocking {
+                nbi: n.div_ceil(block),
+                nbj: m.div_ceil(block),
+                block,
+            },
+            n,
+            m,
+        )
+    }
+
+    fn token_grid(&self) -> Vec<u8> {
+        vec![0u8; (self.nbi + 1) * (self.nbj + 1)]
+    }
+
+    /// Token index of block `(bi, bj)` in the halo-padded grid.
+    fn tok(&self, bi: usize, bj: usize) -> usize {
+        (bi + 1) * (self.nbj + 1) + (bj + 1)
+    }
+
+    /// Cell bounds of block `(bi, bj)` for an `n × m` problem.
+    fn bounds(&self, bi: usize, bj: usize, n: usize, m: usize) -> ((usize, usize), (usize, usize)) {
+        let i0 = 1 + bi * self.block;
+        let j0 = 1 + bj * self.block;
+        (
+            (i0, (i0 + self.block).min(n + 1)),
+            (j0, (j0 + self.block).min(m + 1)),
+        )
+    }
+}
+
+/// Task-graph wavefront through the `omp_task!` macro front end.
+pub fn compute_tasks_macro(class: Class, threads: usize) -> i64 {
+    let (bl, n, m) = Blocking::new(class);
+    let (a, b) = sequences(class);
+    let mut h = vec![0i64; (n + 1) * (m + 1)];
+    let tokens = bl.token_grid();
+    {
+        let view = SharedSlice::new(&mut h);
+        let (view, a, b, bl, tokens) = (&view, &a, &b, &bl, &tokens);
+        omp_parallel!(num_threads(threads), |ctx| {
+            omp_single!(ctx, nowait, {
+                for bi in 0..bl.nbi {
+                    for bj in 0..bl.nbj {
+                        let (ri, rj) = bl.bounds(bi, bj, n, m);
+                        let (up, left, me) = (
+                            bl.tok(bi, bj) - (bl.nbj + 1),
+                            bl.tok(bi, bj) - 1,
+                            bl.tok(bi, bj),
+                        );
+                        omp_task!(
+                            ctx,
+                            depend(in: tokens[up], tokens[left]; out: tokens[me]),
+                            { process_block(view, a, b, ri, rj); }
+                        );
+                    }
+                }
+            });
+            // The implicit region-end barrier drains the task graph.
+        });
+    }
+    checksum(&h)
+}
+
+/// Task-graph wavefront through the typed [`task`] builder front end.
+pub fn compute_tasks_builder(class: Class, threads: usize) -> i64 {
+    let (bl, n, m) = Blocking::new(class);
+    let (a, b) = sequences(class);
+    let mut h = vec![0i64; (n + 1) * (m + 1)];
+    let tokens = bl.token_grid();
+    {
+        let view = SharedSlice::new(&mut h);
+        let (view, a, b, bl, tokens) = (&view, &a, &b, &bl, &tokens);
+        parallel().num_threads(threads).run(|ctx| {
+            ctx.single(true, || {
+                for bi in 0..bl.nbi {
+                    for bj in 0..bl.nbj {
+                        let (ri, rj) = bl.bounds(bi, bj, n, m);
+                        let me = bl.tok(bi, bj);
+                        task(ctx)
+                            .depend_in(&tokens[me - (bl.nbj + 1)])
+                            .depend_in(&tokens[me - 1])
+                            .depend_out(&tokens[me])
+                            .spawn(move || process_block(view, a, b, ri, rj));
+                    }
+                }
+            });
+        });
+    }
+    checksum(&h)
+}
+
+fn result(class: Class, variant: Variant, threads: usize, secs: f64, sum: i64) -> KernelResult {
+    let (n, m, _) = dims(class);
+    KernelResult {
+        name: "SW",
+        class,
+        variant,
+        threads,
+        time_s: secs,
+        // "Operations" = cell updates of the scoring recurrence.
+        mops: (n as f64 * m as f64) / secs / 1e6,
+        verified: sum == expected_checksum(class),
+        checksum: sum as f64,
+    }
+}
+
+/// Serial run with NPB-style timing and verification.
+pub fn run_serial(class: Class) -> KernelResult {
+    let (sum, secs) = romp_runtime::wtime::timed(|| compute_serial(class));
+    result(class, Variant::Serial, 1, secs, sum)
+}
+
+/// The romp configuration: the dependence-graph wavefront.
+pub mod romp {
+    use super::*;
+
+    /// Run the macro-front-end task graph on `threads` threads.
+    pub fn run(class: Class, threads: usize) -> KernelResult {
+        let (sum, secs) = romp_runtime::wtime::timed(|| compute_tasks_macro(class, threads));
+        result(class, Variant::Romp, threads, secs, sum)
+    }
+
+    /// Run on the ICV-resolved default team size (`OMP_NUM_THREADS`) —
+    /// what the CI env-pinned jobs exercise.
+    pub fn run_env(class: Class) -> KernelResult {
+        run(class, romp_runtime::omp_get_max_threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_checksum_is_stable() {
+        assert_eq!(compute_serial(Class::S), compute_serial(Class::S));
+        // Matrix has nonzero content (the sequences do align somewhere).
+        assert!(expected_checksum(Class::S) > 0);
+    }
+
+    #[test]
+    fn macro_variant_matches_serial_at_various_thread_counts() {
+        let want = expected_checksum(Class::S);
+        for threads in [1, 2, 4, 16] {
+            assert_eq!(compute_tasks_macro(Class::S, threads), want, "t={threads}");
+        }
+    }
+
+    #[test]
+    fn builder_variant_matches_serial() {
+        let want = expected_checksum(Class::S);
+        for threads in [1, 4] {
+            assert_eq!(
+                compute_tasks_builder(Class::S, threads),
+                want,
+                "t={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_result_verifies() {
+        let r = romp::run(Class::S, 4);
+        assert!(r.verified, "{r}");
+        assert_eq!(r.name, "SW");
+    }
+
+    #[test]
+    fn dependence_stalls_actually_happen() {
+        // The wavefront must exercise the dependence table: with one
+        // spawner racing ahead of the workers, later blocks stall.
+        let before = romp_runtime::stats::stats().snapshot();
+        compute_tasks_macro(Class::S, 4);
+        let d = before.delta(&romp_runtime::stats::stats().snapshot());
+        assert!(d.tasks_spawned >= 64, "64 blocks = 64 tasks: {d:?}");
+        assert!(
+            d.tasks_dep_stalled > 0,
+            "a wavefront without stalls did not test the graph: {d:?}"
+        );
+    }
+}

@@ -98,6 +98,7 @@ fn emit_directive(
             | DirectiveKind::Barrier
             | DirectiveKind::Sections
             | DirectiveKind::Task
+            | DirectiveKind::Taskloop
             | DirectiveKind::Taskwait
     );
     if needs_ctx && ctx.is_none() {
@@ -145,6 +146,9 @@ fn emit_directive(
                     emit_wrapped(cx, out, d, fd, &construct, ctx, depth, "omp_master")
                 }
                 DirectiveKind::Task => emit_task(cx, out, d, fd, &construct, ctx.unwrap(), depth),
+                DirectiveKind::Taskloop => {
+                    emit_taskloop(cx, out, d, fd, &construct, ctx.unwrap(), depth)
+                }
                 DirectiveKind::Critical | DirectiveKind::Atomic => {
                     emit_critical(cx, out, d, fd, &construct, ctx, depth)
                 }
@@ -585,29 +589,84 @@ fn emit_task(
         return block_span(c).1 + 1;
     };
     let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
-    let if_clause = d.clauses.iter().find_map(|cl| match cl {
-        Clause::If(e) => Some(e.clone()),
-        _ => None,
-    });
-    // firstprivate on a task: clone *before* the capture so the outer
-    // variable is not consumed by the move.
+    // Clause text in source order; the macro muncher accepts any order.
+    let mut clause_txt = String::new();
+    for cl in &d.clauses {
+        match cl {
+            Clause::Depend(ty, items) => {
+                clause_txt.push_str(&format!("depend({}: {}), ", ty.keyword(), items.join(", ")));
+            }
+            Clause::Final(e) => clause_txt.push_str(&format!("final({e}), ")),
+            Clause::If(e) => clause_txt.push_str(&format!("if({e}), ")),
+            _ => {}
+        }
+    }
+    // firstprivate on a task: clone into a mangled temp *before* the
+    // capture (so the outer variable is not consumed by the move) and
+    // rebind the original name *inside* the body. The indirection
+    // matters with `depend`: dependence addresses are taken at task
+    // creation, outside the closure, and must name the ORIGINAL
+    // variable's storage — a same-named shadowing clone would register
+    // a fresh address per task and silently drop all ordering.
     let mut pre = String::new();
+    let mut rebind = String::new();
     for cl in &d.clauses {
         if let Clause::Firstprivate(vars) = cl {
             for v in vars {
-                pre.push_str(&format!("let {v} = ::std::clone::Clone::clone(&{v}); "));
+                pre.push_str(&format!(
+                    "let __omp_fp_{v} = ::std::clone::Clone::clone(&{v}); "
+                ));
+                rebind.push_str(&format!(
+                    "#[allow(unused_mut)] let mut {v} = __omp_fp_{v}; "
+                ));
             }
         }
     }
-    let inner = match if_clause {
-        Some(e) => format!("romp_core::omp_task!({ctx}, if({e}), {{{body}}});"),
-        None => format!("romp_core::omp_task!({ctx}, {{{body}}});"),
-    };
+    let inner = format!("romp_core::omp_task!({ctx}, {clause_txt}{{{rebind}{body}}});");
     if pre.is_empty() {
         out.push_str(&inner);
     } else {
         out.push_str(&format!("{{ {pre}{inner} }}"));
     }
+    close + 1
+}
+
+fn emit_taskloop(
+    cx: &mut Cx<'_>,
+    out: &mut String,
+    d: &Directive,
+    fd: &FoundDirective,
+    c: &NextConstruct,
+    ctx: &str,
+    depth: usize,
+) -> usize {
+    let Some((pat, iter, open, close)) = expect_loop(cx, c, fd.end, "taskloop") else {
+        return block_span(c).1 + 1;
+    };
+    if pat.starts_with('(') {
+        cx.diag(fd.start, "`taskloop` expects a single loop variable");
+        return close + 1;
+    }
+    if iter.contains(".step_by(") {
+        cx.diag(
+            fd.start,
+            "`taskloop` does not support `.step_by(..)` headers",
+        );
+        return close + 1;
+    }
+    let mut clause_txt = String::new();
+    for cl in &d.clauses {
+        match cl {
+            Clause::Grainsize(e) => clause_txt.push_str(&format!("grainsize({e}), ")),
+            Clause::NumTasks(e) => clause_txt.push_str(&format!("num_tasks({e}), ")),
+            Clause::Nogroup => clause_txt.push_str("nogroup, "),
+            _ => {}
+        }
+    }
+    let body = transform_range(cx, open + 1, close, Some(ctx), depth + 1);
+    out.push_str(&format!(
+        "romp_core::omp_taskloop!({ctx}, {clause_txt}for {pat} in ({iter}) {{{body}}});"
+    ));
     close + 1
 }
 
@@ -820,10 +879,91 @@ mod tests {
     fn task_with_firstprivate_clones_before_move() {
         let out = t("//#omp parallel\n{\n//#omp task firstprivate(v)\n{ use_it(v); }\n}");
         assert!(
-            out.contains("let v = ::std::clone::Clone::clone(&v);"),
+            out.contains("let __omp_fp_v = ::std::clone::Clone::clone(&v);"),
+            "{out}"
+        );
+        assert!(
+            out.contains("#[allow(unused_mut)] let mut v = __omp_fp_v;"),
             "{out}"
         );
         assert!(out.contains("romp_core::omp_task!(__omp_ctx_0,"), "{out}");
+    }
+
+    #[test]
+    fn task_depend_with_firstprivate_keeps_original_address() {
+        // The dependence list must name the ORIGINAL variable (the
+        // clause is outside the closure); the clone only rebinds inside
+        // the body.
+        let out = t("//#omp parallel\n{\n//#omp task depend(inout: acc) firstprivate(acc)\n{ use_it(acc); }\n}");
+        assert!(out.contains("depend(inout: acc)"), "{out}");
+        assert!(
+            out.contains("let __omp_fp_acc = ::std::clone::Clone::clone(&acc);"),
+            "{out}"
+        );
+        let dep_pos = out.find("depend(inout: acc)").unwrap();
+        let rebind_pos = out.find("let mut acc = __omp_fp_acc").unwrap();
+        assert!(
+            rebind_pos > dep_pos,
+            "rebinding must happen inside the body, after the clause: {out}"
+        );
+    }
+
+    #[test]
+    fn task_depend_final_if_forwarded() {
+        let out = t(
+            "//#omp parallel\n{\n//#omp task depend(in: a, tok[idx(i, j)]) \
+             depend(out: b) final(d > 3) if(n > 10)\n{ go(); }\n}",
+        );
+        assert!(
+            out.contains(
+                "romp_core::omp_task!(__omp_ctx_0, depend(in: a, tok[idx(i, j)]), \
+                 depend(out: b), final(d > 3), if(n > 10), { go(); });"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn task_depend_inout_forwarded() {
+        let out = t("//#omp parallel\n{\n//#omp task depend(inout: acc)\n{ bump(); }\n}");
+        assert!(
+            out.contains("romp_core::omp_task!(__omp_ctx_0, depend(inout: acc), { bump(); });"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn taskloop_clauses_forwarded() {
+        let out = t(
+            "//#omp parallel\n{\n//#omp taskloop num_tasks(4 * nt) nogroup\n\
+             for i in 0..n { f(i); }\n}",
+        );
+        assert!(
+            out.contains(
+                "romp_core::omp_taskloop!(__omp_ctx_0, num_tasks(4 * nt), nogroup, \
+                 for i in (0..n) { f(i); });"
+            ),
+            "{out}"
+        );
+        let out =
+            t("//#omp parallel\n{\n//#omp taskloop grainsize(16)\nfor i in 0..n { f(i); }\n}");
+        assert!(
+            out.contains(
+                "romp_core::omp_taskloop!(__omp_ctx_0, grainsize(16), for i in (0..n) { f(i); });"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn taskloop_requires_region_and_simple_loop() {
+        let e = translate("//#omp taskloop\nfor i in 0..3 { f(i); }").unwrap_err();
+        assert!(e[0].message.contains("nested inside"), "{e:?}");
+        let e = translate(
+            "//#omp parallel\n{\n//#omp taskloop\nfor (i, j) in (0..n, 0..m) { f(i, j); }\n}",
+        )
+        .unwrap_err();
+        assert!(e[0].message.contains("single loop variable"), "{e:?}");
     }
 
     #[test]

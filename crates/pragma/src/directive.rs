@@ -33,6 +33,9 @@ pub enum DirectiveKind {
     Section,
     /// `task`.
     Task,
+    /// `taskloop` — the encountering thread carves the following loop
+    /// into tasks.
+    Taskloop,
     /// `taskwait` (stand-alone).
     Taskwait,
     /// `atomic` — lowered to a critical section (documented choice).
@@ -58,8 +61,32 @@ impl DirectiveKind {
             DirectiveKind::Sections => "sections",
             DirectiveKind::Section => "section",
             DirectiveKind::Task => "task",
+            DirectiveKind::Taskloop => "taskloop",
             DirectiveKind::Taskwait => "taskwait",
             DirectiveKind::Atomic => "atomic",
+        }
+    }
+}
+
+/// Dependence type of a `depend(...)` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependType {
+    /// `depend(in: …)` — ordered after the last writer.
+    In,
+    /// `depend(out: …)` — ordered after the last writer and all
+    /// readers since; becomes the last writer.
+    Out,
+    /// `depend(inout: …)` — same serialization as `out`.
+    Inout,
+}
+
+impl DependType {
+    /// The keyword as written in directive text and macro syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            DependType::In => "in",
+            DependType::Out => "out",
+            DependType::Inout => "inout",
         }
     }
 }
@@ -151,6 +178,17 @@ pub enum Clause {
     ProcBind(String),
     /// `(name)` on `critical`.
     CriticalName(String),
+    /// `depend(in|out|inout: list)` on `task` — items are lvalue
+    /// expressions whose addresses key the dependence table.
+    Depend(DependType, Vec<String>),
+    /// `final(expr)` on `task`.
+    Final(String),
+    /// `grainsize(expr)` on `taskloop`.
+    Grainsize(String),
+    /// `num_tasks(expr)` on `taskloop`.
+    NumTasks(String),
+    /// `nogroup` on `taskloop`.
+    Nogroup,
 }
 
 impl Clause {
@@ -169,6 +207,11 @@ impl Clause {
             Clause::Step(_) => "step",
             Clause::ProcBind(_) => "proc_bind",
             Clause::CriticalName(_) => "(name)",
+            Clause::Depend(..) => "depend",
+            Clause::Final(_) => "final",
+            Clause::Grainsize(_) => "grainsize",
+            Clause::NumTasks(_) => "num_tasks",
+            Clause::Nogroup => "nogroup",
         }
     }
 }
@@ -445,6 +488,7 @@ pub fn parse(text: &str) -> Result<Directive, ParseError> {
         "sections" => DirectiveKind::Sections,
         "section" => DirectiveKind::Section,
         "task" => DirectiveKind::Task,
+        "taskloop" => DirectiveKind::Taskloop,
         "taskwait" => DirectiveKind::Taskwait,
         "atomic" => DirectiveKind::Atomic,
         other => {
@@ -542,6 +586,51 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
             }
             Ok(Clause::Step(e))
         }
+        "final" => {
+            p.expect(Token::LParen, "`(` after final")?;
+            let e = p.raw_until_rparen()?;
+            if e.is_empty() {
+                return Err(p.err("empty expression in final clause"));
+            }
+            Ok(Clause::Final(e))
+        }
+        "grainsize" => {
+            p.expect(Token::LParen, "`(` after grainsize")?;
+            let e = p.raw_until_rparen()?;
+            if e.is_empty() {
+                return Err(p.err("empty expression in grainsize clause"));
+            }
+            Ok(Clause::Grainsize(e))
+        }
+        "num_tasks" => {
+            p.expect(Token::LParen, "`(` after num_tasks")?;
+            let e = p.raw_until_rparen()?;
+            if e.is_empty() {
+                return Err(p.err("empty expression in num_tasks clause"));
+            }
+            Ok(Clause::NumTasks(e))
+        }
+        "nogroup" => Ok(Clause::Nogroup),
+        "depend" => {
+            p.expect(Token::LParen, "`(` after depend")?;
+            let ty = match p.expect_ident()?.as_str() {
+                "in" => DependType::In,
+                "out" => DependType::Out,
+                "inout" => DependType::Inout,
+                other => {
+                    return Err(p.err(format!(
+                        "depend takes `in`, `out` or `inout`, found `{other}`"
+                    )));
+                }
+            };
+            p.expect(Token::Colon, "`:` after the dependence type")?;
+            let raw = p.raw_until_rparen()?;
+            let items = split_top_level_commas(&raw);
+            if items.is_empty() {
+                return Err(p.err("empty variable list in depend clause"));
+            }
+            Ok(Clause::Depend(ty, items))
+        }
         "schedule" => {
             p.expect(Token::LParen, "`(` after schedule")?;
             let kind = match p.expect_ident()?.as_str() {
@@ -586,6 +675,28 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
     }
 }
 
+/// Split a raw expression list on commas at bracket depth 0, so items
+/// like `tok[idx(i, j)]` survive intact.
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut items = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' | '[' | '{' => depth += 1,
+            ')' | ']' | '}' => depth -= 1,
+            ',' if depth == 0 => {
+                items.push(s[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(s[start..].trim().to_string());
+    items.retain(|it| !it.is_empty());
+    items
+}
+
 /// Clause/directive compatibility (OpenMP 5.2 table, restricted to our
 /// subset).
 fn validate(d: &Directive) -> Result<(), ParseError> {
@@ -623,7 +734,16 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
             "step",
         ],
         DirectiveKind::Single => &["private", "firstprivate", "nowait"],
-        DirectiveKind::Task => &["if", "default", "shared", "private", "firstprivate"],
+        DirectiveKind::Task => &[
+            "if",
+            "final",
+            "depend",
+            "default",
+            "shared",
+            "private",
+            "firstprivate",
+        ],
+        DirectiveKind::Taskloop => &["grainsize", "num_tasks", "nogroup", "default", "shared"],
         DirectiveKind::Critical => &["(name)"],
         DirectiveKind::Sections => &["private", "firstprivate", "reduction", "nowait"],
         DirectiveKind::Master
@@ -641,6 +761,17 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
                     c.name(),
                     d.kind.name()
                 ),
+            });
+        }
+    }
+    if d.kind == DirectiveKind::Taskloop {
+        let has_grain = d.clauses.iter().any(|c| matches!(c, Clause::Grainsize(_)));
+        let has_num = d.clauses.iter().any(|c| matches!(c, Clause::NumTasks(_)));
+        if has_grain && has_num {
+            return Err(ParseError {
+                offset: 0,
+                message: "`grainsize` and `num_tasks` are mutually exclusive on `taskloop`"
+                    .to_string(),
             });
         }
     }
@@ -676,6 +807,7 @@ mod tests {
             ("sections", DirectiveKind::Sections),
             ("section", DirectiveKind::Section),
             ("task", DirectiveKind::Task),
+            ("taskloop", DirectiveKind::Taskloop),
             ("taskwait", DirectiveKind::Taskwait),
             ("atomic", DirectiveKind::Atomic),
         ] {
@@ -805,5 +937,74 @@ mod tests {
     fn comma_separated_clauses_allowed() {
         let d = parse("parallel num_threads(4), if(true)").unwrap();
         assert_eq!(d.clauses.len(), 2);
+    }
+
+    #[test]
+    fn depend_clause_types_and_lists() {
+        let d = parse("task depend(in: a, b) depend(out: c) depend(inout: d)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Task);
+        assert_eq!(
+            d.clauses[0],
+            Clause::Depend(DependType::In, vec!["a".into(), "b".into()])
+        );
+        assert_eq!(
+            d.clauses[1],
+            Clause::Depend(DependType::Out, vec!["c".into()])
+        );
+        assert_eq!(
+            d.clauses[2],
+            Clause::Depend(DependType::Inout, vec!["d".into()])
+        );
+    }
+
+    #[test]
+    fn depend_items_keep_nested_commas() {
+        let d = parse("task depend(in: tok[idx(i, j)], row[i - 1])").unwrap();
+        assert_eq!(
+            d.clauses[0],
+            Clause::Depend(
+                DependType::In,
+                vec!["tok[idx(i, j)]".into(), "row[i - 1]".into()]
+            )
+        );
+    }
+
+    #[test]
+    fn depend_rejects_bad_type_and_empty_list() {
+        let e = parse("task depend(readwrite: x)").unwrap_err();
+        assert!(e.message.contains("depend takes"), "{e}");
+        let e = parse("task depend(in: )").unwrap_err();
+        assert!(e.message.contains("empty variable list"), "{e}");
+    }
+
+    #[test]
+    fn final_and_if_on_task() {
+        let d = parse("task final(depth > 4) if(n > 100)").unwrap();
+        assert_eq!(d.clauses[0], Clause::Final("depth > 4".into()));
+        assert_eq!(d.clauses[1], Clause::If("n > 100".into()));
+    }
+
+    #[test]
+    fn taskloop_clauses() {
+        let d = parse("taskloop grainsize(32)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Taskloop);
+        assert_eq!(d.clauses[0], Clause::Grainsize("32".into()));
+        let d = parse("taskloop num_tasks(4 * nt) nogroup").unwrap();
+        assert_eq!(d.clauses[0], Clause::NumTasks("4 * nt".into()));
+        assert_eq!(d.clauses[1], Clause::Nogroup);
+    }
+
+    #[test]
+    fn taskloop_grainsize_num_tasks_exclusive() {
+        let e = parse("taskloop grainsize(8) num_tasks(4)").unwrap_err();
+        assert!(e.message.contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
+    fn depend_not_valid_on_loops() {
+        let e = parse("parallel for depend(in: x)").unwrap_err();
+        assert!(e.message.contains("not valid"), "{e}");
+        let e = parse("taskloop depend(in: x)").unwrap_err();
+        assert!(e.message.contains("not valid"), "{e}");
     }
 }

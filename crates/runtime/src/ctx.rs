@@ -13,7 +13,10 @@
 
 use crate::barrier::BarrierLocal;
 use crate::lock::os_thread_id;
-use crate::task::{current_children, current_groups, make_raw_task, TaskHooks, GROUP_STACK};
+use crate::task::{
+    current_children, current_groups, in_final, make_raw_task, FinalGuard, TaskDeps, TaskHooks,
+    GROUP_STACK,
+};
 use crate::team::Team;
 use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
@@ -65,6 +68,129 @@ pub(crate) fn with_current<R>(f: impl FnOnce(&RegionInfo) -> R, default: impl Fn
 /// Marker payload used to unwind sibling threads when one team member
 /// panics; the master rethrows the original payload, not this one.
 pub struct SiblingPanic;
+
+/// Clause record of one `task` construct: `depend(in/out/inout: …)`,
+/// `if(expr)` and `final(expr)`. The directive front ends accumulate
+/// clauses into this and hand it to [`ThreadCtx::task_spec`].
+///
+/// ```
+/// use romp_runtime::{fork, ForkSpec, TaskSpec};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let stages = AtomicUsize::new(0);
+/// let token = 0u8; // any storage location works as a dependence token
+/// fork(ForkSpec::with_num_threads(2), |ctx| {
+///     if ctx.is_master() {
+///         // Writer before reader, whichever thread runs them.
+///         ctx.task_spec(TaskSpec::new().output(&token), || {
+///             stages.fetch_add(1, Ordering::SeqCst);
+///         });
+///         ctx.task_spec(TaskSpec::new().input(&token), || {
+///             assert_eq!(stages.load(Ordering::SeqCst), 1);
+///             stages.fetch_add(1, Ordering::SeqCst);
+///         });
+///     }
+/// });
+/// assert_eq!(stages.load(Ordering::SeqCst), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TaskSpec {
+    /// The accumulated `depend` clauses.
+    pub deps: TaskDeps,
+    /// `if(expr)`: `Some(false)` makes the task undeferred (executed
+    /// immediately by the encountering thread, after its dependences
+    /// are satisfied).
+    pub if_clause: Option<bool>,
+    /// `final(expr)`: `Some(true)` makes the task final — it executes
+    /// undeferred, and every task created during its execution is an
+    /// included task (undeferred and itself final). The cut-off idiom:
+    /// `final(depth >= CUTOFF)` stops paying deferral overhead below
+    /// the cut-off.
+    ///
+    /// **Divergence from OpenMP**: the spec keeps the final task itself
+    /// deferrable and only *descendants* included. In romp a task body
+    /// cannot reach the region context (`&ThreadCtx` is not `Send`), so
+    /// descendants are spawned by code running on the encountering
+    /// thread — which is exactly what executing the final task inline
+    /// achieves. Code that needs the spawn to stay asynchronous at the
+    /// cut-off level should guard with `if` instead of `final`.
+    pub final_clause: Option<bool>,
+}
+
+impl TaskSpec {
+    /// Empty spec: a plain deferred task.
+    pub fn new() -> Self {
+        TaskSpec::default()
+    }
+
+    /// Add a `depend(in: x)` dependence.
+    pub fn input<T: ?Sized>(mut self, x: &T) -> Self {
+        self.deps = self.deps.input(x);
+        self
+    }
+
+    /// Add a `depend(out: x)` dependence.
+    pub fn output<T: ?Sized>(mut self, x: &T) -> Self {
+        self.deps = self.deps.output(x);
+        self
+    }
+
+    /// Add a `depend(inout: x)` dependence.
+    pub fn inout<T: ?Sized>(mut self, x: &T) -> Self {
+        self.deps = self.deps.inout(x);
+        self
+    }
+
+    /// The `if` clause.
+    pub fn if_clause(mut self, cond: bool) -> Self {
+        self.if_clause = Some(cond);
+        self
+    }
+
+    /// The `final` clause.
+    pub fn final_clause(mut self, cond: bool) -> Self {
+        self.final_clause = Some(cond);
+        self
+    }
+}
+
+/// Clause record of one `taskloop` construct.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TaskloopSpec {
+    /// `grainsize(g)`: iterations per task; 0 = implementation default.
+    pub grainsize: usize,
+    /// `num_tasks(n)`: create (at most) `n` tasks; 0 = unset. Wins over
+    /// `grainsize` when both are given.
+    pub num_tasks: usize,
+    /// `nogroup`: skip the implicit taskgroup (the encountering thread
+    /// does not wait for the generated tasks).
+    pub nogroup: bool,
+}
+
+impl TaskloopSpec {
+    /// Default spec: implementation-chosen grainsize, implicit taskgroup.
+    pub fn new() -> Self {
+        TaskloopSpec::default()
+    }
+
+    /// The `grainsize` clause.
+    pub fn grainsize(mut self, g: usize) -> Self {
+        self.grainsize = g;
+        self
+    }
+
+    /// The `num_tasks` clause.
+    pub fn num_tasks(mut self, n: usize) -> Self {
+        self.num_tasks = n;
+        self
+    }
+
+    /// The `nogroup` clause.
+    pub fn nogroup(mut self) -> Self {
+        self.nogroup = true;
+        self
+    }
+}
 
 /// The per-thread handle to a parallel region.
 ///
@@ -157,12 +283,13 @@ impl<'scope> ThreadCtx<'scope> {
         }
     }
 
-    /// Explicit barrier (`#pragma omp barrier`): drains pending explicit
-    /// tasks, then synchronizes the team. No thread proceeds until all
-    /// threads have arrived *and* every deferred task has completed.
+    /// Explicit barrier (`#pragma omp barrier`): helps execute pending
+    /// explicit tasks, then synchronizes the team. No thread proceeds
+    /// until all threads have arrived *and* every deferred task has
+    /// completed.
     pub fn barrier(&self) {
         loop {
-            self.drain_tasks();
+            self.help_tasks_while_pending();
             self.team_barrier();
             // After the episode, task counts are stable: creations
             // happen-before the barrier, so all threads agree.
@@ -177,7 +304,7 @@ impl<'scope> ThreadCtx<'scope> {
     /// is ending anyway and the master rethrows the real payload).
     pub(crate) fn end_of_region_barrier(&self) {
         loop {
-            self.drain_tasks();
+            self.help_tasks_while_pending();
             let ok = self.team.barrier.wait(
                 self.thread_num,
                 &mut self.barrier_local.borrow_mut(),
@@ -192,10 +319,20 @@ impl<'scope> ThreadCtx<'scope> {
         }
     }
 
-    /// Execute available tasks until none can be found.
-    pub(crate) fn drain_tasks(&self) {
+    /// Help retire the team's task graph: execute (and steal) tasks
+    /// while *any* task is live team-wide, not merely until our deques
+    /// look empty. Waiting threads must not park in the barrier while a
+    /// dependence graph is still producing work — a stalled task is
+    /// released onto its *finisher's* deque, so a parked sibling would
+    /// otherwise never pick it up and the graph would drain serially on
+    /// one thread. (`work_until` backs off to a sleep when nothing is
+    /// stealable, so waiting on one long task does not burn the core.)
+    /// Bails out on team abort (the barrier wait reports it).
+    fn help_tasks_while_pending(&self) {
         let mut seed = self.steal_seed.get();
-        self.team.tasks.drain(self.thread_num, &mut seed);
+        self.team.tasks.work_until(self.thread_num, &mut seed, || {
+            self.team.tasks.pending() == 0 || self.team.abort.load(Ordering::Relaxed)
+        });
         self.steal_seed.set(seed);
     }
 
@@ -301,24 +438,62 @@ impl<'scope> ThreadCtx<'scope> {
     /// `task` construct: defer `f` for execution by any team thread.
     /// The closure may borrow anything outliving the region (`'scope`).
     pub fn task<F: FnOnce() + Send + 'scope>(&self, f: F) {
-        let hooks = TaskHooks {
-            parent_children: current_children(&self.implicit_children),
-            groups: current_groups(),
-        };
-        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
-        // SAFETY: the region-end implicit barrier drains every deferred
-        // task before `fork` returns, and `'scope` data outlives `fork`.
-        let raw = unsafe { make_raw_task(boxed, hooks) };
-        unsafe { self.team.tasks.push(self.thread_num, raw) };
+        self.task_spec(TaskSpec::new(), f);
     }
 
     /// `task if(cond)`: deferred when `cond`, undeferred (run immediately
     /// on this thread) otherwise.
     pub fn task_if<F: FnOnce() + Send + 'scope>(&self, cond: bool, f: F) {
-        if cond {
-            self.task(f);
+        self.task_spec(TaskSpec::new().if_clause(cond), f);
+    }
+
+    /// `task depend(…)`: defer `f`, ordered against sibling tasks per
+    /// the dependence record (see [`TaskDeps`]).
+    pub fn task_depend<F: FnOnce() + Send + 'scope>(&self, deps: TaskDeps, f: F) {
+        self.task_spec(
+            TaskSpec {
+                deps,
+                ..TaskSpec::default()
+            },
+            f,
+        );
+    }
+
+    /// `task` with the full clause record: `depend(in/out/inout)`,
+    /// `if`, `final`. Deferred tasks go through the team's
+    /// dependence-graph scheduler; undeferred tasks (`if(false)`,
+    /// `final`, or created inside a final task) run on the encountering
+    /// thread — after helping with other tasks until their
+    /// dependences are satisfied — so they still take their place in
+    /// the dependence graph.
+    pub fn task_spec<F: FnOnce() + Send + 'scope>(&self, spec: TaskSpec, f: F) {
+        let hooks = TaskHooks {
+            parent_children: current_children(&self.implicit_children),
+            groups: current_groups(),
+        };
+        let make_final = spec.final_clause.unwrap_or(false) || in_final();
+        let deferred = spec.if_clause.unwrap_or(true) && !make_final;
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = if make_final {
+            Box::new(move || {
+                let _final = FinalGuard::enter();
+                f();
+            })
         } else {
-            f();
+            Box::new(f)
+        };
+        // SAFETY: the region-end implicit barrier drains every deferred
+        // task before `fork` returns, and `'scope` data outlives `fork`.
+        let raw = unsafe { make_raw_task(boxed, hooks) };
+        if deferred {
+            unsafe { self.team.tasks.push(self.thread_num, raw, spec.deps) };
+        } else {
+            let mut seed = self.steal_seed.get();
+            unsafe {
+                self.team
+                    .tasks
+                    .run_undeferred(self.thread_num, &mut seed, raw, spec.deps)
+            };
+            self.steal_seed.set(seed);
         }
     }
 
@@ -327,21 +502,10 @@ impl<'scope> ThreadCtx<'scope> {
     pub fn taskwait(&self) {
         let children = current_children(&self.implicit_children);
         let mut seed = self.steal_seed.get();
-        let mut idle_spins = 0u32;
-        while children.load(Ordering::Acquire) > 0 {
+        self.team.tasks.work_until(self.thread_num, &mut seed, || {
             self.panic_if_aborted();
-            if let Some(t) = self.team.tasks.pop_or_steal(self.thread_num, &mut seed) {
-                self.team.tasks.execute(t);
-                idle_spins = 0;
-            } else {
-                idle_spins += 1;
-                if idle_spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-        }
+            children.load(Ordering::Acquire) == 0
+        });
         self.steal_seed.set(seed);
     }
 
@@ -353,17 +517,29 @@ impl<'scope> ThreadCtx<'scope> {
     where
         F: Fn(usize) + Send + Sync + 'scope,
     {
+        self.taskloop_spec(range, TaskloopSpec::new().grainsize(grainsize), body);
+    }
+
+    /// `taskloop` with the full clause record: `grainsize`, `num_tasks`
+    /// (which wins when both are set), and `nogroup` (skip the implicit
+    /// taskgroup — pair with [`taskwait`](Self::taskwait) or a barrier).
+    pub fn taskloop_spec<F>(&self, range: std::ops::Range<usize>, spec: TaskloopSpec, body: F)
+    where
+        F: Fn(usize) + Send + Sync + 'scope,
+    {
         let trip = range.end.saturating_sub(range.start);
         if trip == 0 {
             return;
         }
-        let grain = if grainsize == 0 {
-            (trip / (8 * self.num_threads())).max(1)
+        let grain = if spec.num_tasks > 0 {
+            trip.div_ceil(spec.num_tasks).max(1)
+        } else if spec.grainsize > 0 {
+            spec.grainsize
         } else {
-            grainsize
+            (trip / (8 * self.num_threads())).max(1)
         };
         let body = std::sync::Arc::new(body);
-        self.taskgroup(|| {
+        let generate = || {
             let mut lo = range.start;
             while lo < range.end {
                 let hi = (lo + grain).min(range.end);
@@ -375,7 +551,12 @@ impl<'scope> ThreadCtx<'scope> {
                 });
                 lo = hi;
             }
-        });
+        };
+        if spec.nogroup {
+            generate();
+        } else {
+            self.taskgroup(generate);
+        }
     }
 
     /// `taskgroup`: run `f`, then wait for all tasks created inside it
@@ -396,21 +577,10 @@ impl<'scope> ThreadCtx<'scope> {
             f()
         };
         let mut seed = self.steal_seed.get();
-        let mut idle_spins = 0u32;
-        while counter.load(Ordering::Acquire) > 0 {
+        self.team.tasks.work_until(self.thread_num, &mut seed, || {
             self.panic_if_aborted();
-            if let Some(t) = self.team.tasks.pop_or_steal(self.thread_num, &mut seed) {
-                self.team.tasks.execute(t);
-                idle_spins = 0;
-            } else {
-                idle_spins += 1;
-                if idle_spins > 64 {
-                    std::thread::yield_now();
-                } else {
-                    std::hint::spin_loop();
-                }
-            }
-        }
+            counter.load(Ordering::Acquire) == 0
+        });
         self.steal_seed.set(seed);
         out
     }

@@ -187,6 +187,9 @@ pub fn display_env(icvs: &Icvs) -> String {
     );
     let _ = writeln!(out, "  ROMP_BARRIER = '{:?}'", icvs.barrier_kind);
     let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT END");
+    // Task-scheduler counters ride along so one banner shows both the
+    // configuration and what the tasking machinery actually did.
+    out.push_str(&crate::stats::display_stats());
     out
 }
 

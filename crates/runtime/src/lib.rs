@@ -25,8 +25,11 @@
 //!   ([`reduction`]).
 //! * **Synchronization** — `omp_lock`/`omp_nest_lock` equivalents,
 //!   named `critical` sections ([`lock`], [`mod@critical`]).
-//! * **Tasking** — explicit tasks with per-worker deques and work
-//!   stealing, `taskwait`, `taskgroup` ([`task`]).
+//! * **Tasking** — explicit tasks with per-worker deques, work
+//!   stealing, a `depend(in/out/inout)` dependence-graph scheduler,
+//!   `taskwait`, `taskgroup`, `taskloop` with
+//!   `grainsize`/`num_tasks`/`nogroup`, and the `if(false)`/`final`
+//!   undeferred path ([`task`]).
 //! * **ICVs and environment** — `OMP_NUM_THREADS`, `OMP_SCHEDULE`,
 //!   `OMP_DYNAMIC`, `OMP_WAIT_POLICY`, … ([`icv`], [`mod@env`]).
 //! * **User API** — `omp_get_thread_num` and friends ([`api`]).
@@ -71,7 +74,7 @@ pub use api::*;
 pub use atomic::AtomicF64;
 pub use barrier::BarrierKind;
 pub use critical::{critical, critical_named};
-pub use ctx::{SiblingPanic, ThreadCtx};
+pub use ctx::{SiblingPanic, TaskSpec, TaskloopSpec, ThreadCtx};
 pub use env::display_env;
 pub use icv::{Icvs, ProcBind, WaitPolicy};
 pub use lock::{NestLock, OmpLock};
@@ -81,4 +84,5 @@ pub use reduction::{
     BitAndOp, BitOrOp, BitXorOp, LogAndOp, LogOrOp, MaxOp, MinOp, ProdOp, ReduceOp, SumOp,
 };
 pub use sched::Schedule;
+pub use task::TaskDeps;
 pub use wtime::{get_wtick, get_wtime};

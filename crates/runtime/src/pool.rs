@@ -228,6 +228,10 @@ fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
             thread_num,
         })
     });
+    // A region forked from a final task is executed by final implicit
+    // tasks on *every* team thread: re-establish the TLS flag here so
+    // tasks spawned by any member come out included (undeferred).
+    let _final = team.parent_final.then(crate::task::FinalGuard::enter);
     let ctx: ThreadCtx<'_> = ThreadCtx::new(team.clone(), thread_num);
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // SAFETY: the master blocks in `join` until every team thread has
@@ -271,6 +275,7 @@ where
         crate::ctx::with_current(|r| icvs.run_sched = r.team.run_sched, || ());
     }
     let (level, active_level, ancestors) = forking_position();
+    let parent_final = crate::task::in_final();
     let mut n = match spec.if_clause {
         Some(false) => 1,
         _ => spec
@@ -294,6 +299,7 @@ where
             icvs.wait_policy,
             ancestors,
             icvs.run_sched,
+            parent_final,
         ));
         run_region(&team, 0, job);
         rethrow(&team);
@@ -322,6 +328,7 @@ where
         wait_policy,
         ancestors,
         icvs.run_sched,
+        parent_final,
     ));
     for (i, w) in workers.iter().enumerate() {
         let mut mb = w.mailbox.lock();

@@ -4,7 +4,11 @@
 //! code paths fire. The ablation benchmarks (`romp-bench`) and several
 //! tests use these to assert that the intended machinery actually ran
 //! (e.g. that a `schedule(dynamic)` loop really went through the shared
-//! dispatcher, or that task stealing occurred under imbalance).
+//! dispatcher, or that task stealing occurred under imbalance). The
+//! tasking counters — spawned / executed / inline / stolen /
+//! dependence-stalled — make the dependence-graph scheduler observable:
+//! [`display_stats`] renders them in the style of the
+//! `OMP_DISPLAY_ENV` banner ([`crate::env::display_env`] appends it).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -19,10 +23,18 @@ pub struct Stats {
     pub barriers: AtomicU64,
     /// Chunks handed out by dynamic/guided dispatchers.
     pub dispatched_chunks: AtomicU64,
+    /// Explicit tasks created (deferred or undeferred).
+    pub tasks_spawned: AtomicU64,
     /// Explicit tasks executed.
     pub tasks_executed: AtomicU64,
+    /// Explicit tasks executed undeferred on the encountering thread
+    /// (`if(false)`, `final`, included tasks).
+    pub tasks_inline: AtomicU64,
     /// Tasks executed by a thread other than the one that created them.
     pub tasks_stolen: AtomicU64,
+    /// Tasks held back by the dependence graph (unmet `depend`
+    /// predecessors at creation time).
+    pub tasks_dep_stalled: AtomicU64,
     /// Worker threads ever spawned by the pool.
     pub workers_spawned: AtomicU64,
     /// Lock acquisitions that had to spin (contended).
@@ -34,8 +46,11 @@ static STATS: Stats = Stats {
     serialized_forks: AtomicU64::new(0),
     barriers: AtomicU64::new(0),
     dispatched_chunks: AtomicU64::new(0),
+    tasks_spawned: AtomicU64::new(0),
     tasks_executed: AtomicU64::new(0),
+    tasks_inline: AtomicU64::new(0),
     tasks_stolen: AtomicU64::new(0),
+    tasks_dep_stalled: AtomicU64::new(0),
     workers_spawned: AtomicU64::new(0),
     contended_locks: AtomicU64::new(0),
 };
@@ -56,10 +71,16 @@ pub struct Snapshot {
     pub barriers: u64,
     /// See [`Stats::dispatched_chunks`].
     pub dispatched_chunks: u64,
+    /// See [`Stats::tasks_spawned`].
+    pub tasks_spawned: u64,
     /// See [`Stats::tasks_executed`].
     pub tasks_executed: u64,
+    /// See [`Stats::tasks_inline`].
+    pub tasks_inline: u64,
     /// See [`Stats::tasks_stolen`].
     pub tasks_stolen: u64,
+    /// See [`Stats::tasks_dep_stalled`].
+    pub tasks_dep_stalled: u64,
     /// See [`Stats::workers_spawned`].
     pub workers_spawned: u64,
     /// See [`Stats::contended_locks`].
@@ -74,8 +95,11 @@ impl Stats {
             serialized_forks: self.serialized_forks.load(Ordering::Relaxed),
             barriers: self.barriers.load(Ordering::Relaxed),
             dispatched_chunks: self.dispatched_chunks.load(Ordering::Relaxed),
+            tasks_spawned: self.tasks_spawned.load(Ordering::Relaxed),
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_inline: self.tasks_inline.load(Ordering::Relaxed),
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
+            tasks_dep_stalled: self.tasks_dep_stalled.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             contended_locks: self.contended_locks.load(Ordering::Relaxed),
         }
@@ -90,12 +114,37 @@ impl Snapshot {
             serialized_forks: later.serialized_forks - self.serialized_forks,
             barriers: later.barriers - self.barriers,
             dispatched_chunks: later.dispatched_chunks - self.dispatched_chunks,
+            tasks_spawned: later.tasks_spawned - self.tasks_spawned,
             tasks_executed: later.tasks_executed - self.tasks_executed,
+            tasks_inline: later.tasks_inline - self.tasks_inline,
             tasks_stolen: later.tasks_stolen - self.tasks_stolen,
+            tasks_dep_stalled: later.tasks_dep_stalled - self.tasks_dep_stalled,
             workers_spawned: later.workers_spawned - self.workers_spawned,
             contended_locks: later.contended_locks - self.contended_locks,
         }
     }
+}
+
+/// Render a snapshot's task-scheduler counters as a banner in the
+/// `OMP_DISPLAY_ENV` style. The benchmark harness prints this after a
+/// run so scheduler behavior (stealing, dependence stalls, inlining) is
+/// visible next to the timings.
+pub fn display_stats_snapshot(s: &Snapshot) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ROMP TASK STATISTICS BEGIN");
+    let _ = writeln!(out, "  tasks_spawned = '{}'", s.tasks_spawned);
+    let _ = writeln!(out, "  tasks_executed = '{}'", s.tasks_executed);
+    let _ = writeln!(out, "  tasks_inline = '{}'", s.tasks_inline);
+    let _ = writeln!(out, "  tasks_stolen = '{}'", s.tasks_stolen);
+    let _ = writeln!(out, "  tasks_dep_stalled = '{}'", s.tasks_dep_stalled);
+    let _ = writeln!(out, "ROMP TASK STATISTICS END");
+    out
+}
+
+/// [`display_stats_snapshot`] over the live global counters.
+pub fn display_stats() -> String {
+    display_stats_snapshot(&stats().snapshot())
 }
 
 #[inline]
@@ -117,5 +166,19 @@ mod tests {
         let d = before.delta(&after);
         assert!(d.forks >= 2);
         assert!(d.barriers >= 1);
+    }
+
+    #[test]
+    fn display_stats_lists_all_task_counters() {
+        let banner = display_stats();
+        for key in [
+            "tasks_spawned",
+            "tasks_executed",
+            "tasks_inline",
+            "tasks_stolen",
+            "tasks_dep_stalled",
+        ] {
+            assert!(banner.contains(key), "missing {key} in:\n{banner}");
+        }
     }
 }

@@ -218,6 +218,11 @@ pub struct Team {
     /// every team thread, so the resolution source is bound to the team
     /// (per OpenMP ICV inheritance), not read per-thread mid-loop.
     pub(crate) run_sched: crate::sched::Schedule,
+    /// Was this region forked from inside a `final` task? Then every
+    /// team thread's implicit task is final too (descendants of a final
+    /// task are included tasks), which each worker re-establishes in
+    /// its own TLS when it runs the region.
+    pub(crate) parent_final: bool,
 }
 
 impl std::fmt::Debug for Team {
@@ -232,6 +237,7 @@ impl std::fmt::Debug for Team {
 
 impl Team {
     /// Build a team of `size` threads at nesting `level`.
+    #[allow(clippy::too_many_arguments)] // fork-time snapshot, one call site
     pub(crate) fn new(
         size: usize,
         level: usize,
@@ -240,6 +246,7 @@ impl Team {
         wait_policy: WaitPolicy,
         ancestors: Vec<(usize, usize)>,
         run_sched: crate::sched::Schedule,
+        parent_final: bool,
     ) -> Self {
         Team {
             size,
@@ -257,6 +264,7 @@ impl Team {
             reduce_cells: [Mutex::new(RedCell::new()), Mutex::new(RedCell::new())],
             ancestors,
             run_sched,
+            parent_final,
         }
     }
 
@@ -295,6 +303,7 @@ mod tests {
             WaitPolicy::Hybrid,
             vec![(0, 1)],
             crate::sched::Schedule::default(),
+            false,
         )
     }
 

@@ -288,3 +288,59 @@ fn fork_team_size(requested: usize) -> usize {
     });
     got.load(Ordering::Relaxed).max(1)
 }
+
+/// Dependence chains under work stealing: several independent
+/// `depend(inout)` chains spawned interleaved from one thread; every
+/// link must observe its predecessor's update, while the other threads
+/// steal across chains and the taskgroup waits for the whole graph.
+#[test]
+fn dependent_chains_under_stealing() {
+    use romp_runtime::TaskDeps;
+    const CHAINS: usize = 8;
+    const LINKS: u64 = 25;
+    for _ in 0..10 {
+        let progress: Vec<AtomicU64> = (0..CHAINS).map(|_| AtomicU64::new(0)).collect();
+        let tokens: Vec<u8> = vec![0; CHAINS];
+        let (progress, tokens) = (&progress, &tokens);
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            if ctx.thread_num() == 0 {
+                ctx.taskgroup(|| {
+                    for k in 0..LINKS {
+                        for c in 0..CHAINS {
+                            ctx.task_depend(TaskDeps::new().inout(&tokens[c]), move || {
+                                let prev = progress[c].swap(k + 1, Ordering::SeqCst);
+                                assert_eq!(prev, k, "chain {c} link {k} ran out of order");
+                            });
+                        }
+                    }
+                });
+                for (c, p) in progress.iter().enumerate() {
+                    assert_eq!(p.load(Ordering::SeqCst), LINKS, "chain {c} incomplete");
+                }
+            }
+        });
+    }
+}
+
+/// The barrier's task-draining path must also retire *stalled* tasks:
+/// a dependence chain spawned right before the implicit region-end
+/// barrier, with no taskwait/taskgroup, completes before `fork` returns.
+#[test]
+fn region_end_barrier_drains_stalled_dependents() {
+    for _ in 0..20 {
+        let hits = AtomicU64::new(0);
+        let token = 0u8;
+        let (hits, token) = (&hits, &token);
+        fork(ForkSpec::with_num_threads(4), |ctx| {
+            if ctx.thread_num() == 0 {
+                for _ in 0..50 {
+                    ctx.task_depend(romp_runtime::TaskDeps::new().inout(token), move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            }
+            // No explicit wait: the implicit barrier owns the drain.
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 50);
+    }
+}

@@ -1,0 +1,46 @@
+//! Blocked Smith-Waterman-style wavefront through the task dependence
+//! graph: block `(i, j)` depends on `(i-1, j)` and `(i, j-1)`, so the
+//! scheduler discovers the anti-diagonal wavefront by itself.
+//!
+//! ```sh
+//! OMP_NUM_THREADS=4 cargo run --release --example wavefront [-- --class S]
+//! ```
+
+use romp::npb::{sw, Class};
+
+fn main() {
+    let class = std::env::args()
+        .skip_while(|a| a != "--class")
+        .nth(1)
+        .and_then(|c| match c.as_str() {
+            "S" => Some(Class::S),
+            "W" => Some(Class::W),
+            "A" => Some(Class::A),
+            _ => None,
+        })
+        .unwrap_or(Class::S);
+    let threads = romp::runtime::omp_get_max_threads();
+    let (n, m, block) = sw::dims(class);
+    println!(
+        "SW wavefront class {class}: {n}x{m} cells, {block}x{block} blocks, team of {threads}"
+    );
+
+    let before = romp::runtime::stats::stats().snapshot();
+    let serial = sw::run_serial(class);
+    println!("  {serial}");
+    for r in [
+        sw::romp::run(class, threads),
+        sw::romp::run(class, 2 * threads),
+    ] {
+        println!("  {r}");
+        assert_eq!(
+            r.checksum, serial.checksum,
+            "task graph diverged from the sequential reference"
+        );
+    }
+    let after = romp::runtime::stats::stats().snapshot();
+    print!(
+        "{}",
+        romp::runtime::stats::display_stats_snapshot(&before.delta(&after))
+    );
+}

@@ -1,0 +1,51 @@
+//! Fixture: the blocked-wavefront task graph written with `//#omp`
+//! comment directives, translated by `rompcc` into
+//! `wavefront_translated.rs` (checked in; the translator test asserts
+//! the translation is reproduced byte-for-byte, and the translated
+//! module is compiled and must produce results identical to the macro
+//! and builder front ends).
+
+use romp_core::slice::SharedSlice;
+use romp_npb::sw;
+use romp_npb::Class;
+
+/// Smith-Waterman-style blocked wavefront: block `(bi, bj)` is one
+/// task depending on its north and west neighbours through dependence
+/// tokens (halo-padded so edge blocks need no special cases).
+pub fn wavefront(class: Class, threads: usize) -> i64 {
+    let (n, m, block) = sw::dims(class);
+    let nbi = n.div_ceil(block);
+    let nbj = m.div_ceil(block);
+    let (a, b) = sw::sequences(class);
+    let mut h = vec![0i64; (n + 1) * (m + 1)];
+    let tokens = vec![0u8; (nbi + 1) * (nbj + 1)];
+    {
+        let view = SharedSlice::new(&mut h);
+        let view = &view;
+        let a = &a;
+        let b = &b;
+        let tokens = &tokens;
+        //#omp parallel num_threads(threads)
+        {
+            //#omp single nowait
+            {
+                for bi in 0..nbi {
+                    for bj in 0..nbj {
+                        let i0 = 1 + bi * block;
+                        let j0 = 1 + bj * block;
+                        let ri = (i0, (i0 + block).min(n + 1));
+                        let rj = (j0, (j0 + block).min(m + 1));
+                        let me = (bi + 1) * (nbj + 1) + (bj + 1);
+                        let up = me - (nbj + 1);
+                        let left = me - 1;
+                        //#omp task depend(in: tokens[up], tokens[left]) depend(out: tokens[me])
+                        {
+                            sw::process_block(view, a, b, ri, rj);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sw::checksum(&h)
+}

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the NPB kernels through the `romp` facade —
 //! serial/parallel/reference agreement and official verification.
 
-use romp::npb::{cg, ep, is, mandelbrot, Class};
+use romp::npb::{cg, ep, is, mandelbrot, sw, Class};
 
 #[test]
 fn ep_all_variants_agree_and_verify() {
@@ -106,6 +106,7 @@ fn class_s_verification_single_and_multi_threaded() {
                 "mandelbrot/reference",
                 mandelbrot::reference::run(Class::S, threads),
             ),
+            ("sw/romp", sw::romp::run(Class::S, threads)),
         ] {
             assert!(
                 result.verified,
@@ -117,6 +118,31 @@ fn class_s_verification_single_and_multi_threaded() {
             );
         }
     }
+}
+
+#[test]
+fn sw_wavefront_agrees_with_serial_and_verifies() {
+    let serial = sw::run_serial(Class::S);
+    assert!(serial.verified, "{serial}");
+    for threads in [1usize, 2, 4] {
+        let r = sw::romp::run(Class::S, threads);
+        assert!(r.verified, "{r}");
+        assert_eq!(r.checksum, serial.checksum, "threads={threads}");
+    }
+}
+
+/// The env-pinned path CI exercises at 1 and 4 threads: the team size
+/// comes from `OMP_NUM_THREADS`, so both the all-inline and the
+/// stealing schedulers run the same dependence graph.
+#[test]
+fn sw_wavefront_env_resolved_threads() {
+    let r = sw::romp::run_env(Class::S);
+    assert!(r.verified, "{r}");
+    assert_eq!(
+        r.threads,
+        romp::runtime::omp_get_max_threads(),
+        "run_env must use the ICV-resolved team size"
+    );
 }
 
 #[test]

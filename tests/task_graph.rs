@@ -1,0 +1,232 @@
+//! Task-dependence-graph end-to-end tests: the three directive front
+//! ends (macro, builder, `//#omp` translator) must produce identical,
+//! verified wavefront results on every team shape, and randomly
+//! generated dependence sets must always execute in a legal topological
+//! order, exactly once, under work stealing and on the serial
+//! `if(false)` path.
+
+// `rustfmt::skip`: the golden file must stay byte-identical to rompcc
+// output; formatting it would break `wavefront_translation_matches_golden`.
+#[rustfmt::skip]
+#[path = "fixtures/wavefront_translated.rs"]
+mod translated;
+
+use proptest::prelude::*;
+use romp::prelude::*;
+use romp_npb::sw;
+use romp_npb::Class;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const ANNOTATED: &str = include_str!("fixtures/wavefront_annotated.rs");
+const GOLDEN: &str = include_str!("fixtures/wavefront_translated.rs");
+
+#[test]
+fn wavefront_translation_matches_golden() {
+    let out = romp_pragma::translate(ANNOTATED).expect("wavefront fixture translates cleanly");
+    assert_eq!(
+        out, GOLDEN,
+        "rompcc output drifted from tests/fixtures/wavefront_translated.rs; \
+         regenerate with `cargo run -p romp-pragma --bin rompcc -- \
+         tests/fixtures/wavefront_annotated.rs -o tests/fixtures/wavefront_translated.rs`"
+    );
+}
+
+/// The acceptance bar of the tasking refactor: macro, builder and
+/// translator front ends produce bit-identical, verified results at
+/// 1/2/4/oversubscribed threads.
+#[test]
+fn wavefront_front_ends_agree_at_every_team_shape() {
+    let want = sw::expected_checksum(Class::S);
+    let oversubscribed = 2 * romp::runtime::omp_get_num_procs().max(2);
+    for threads in [1, 2, 4, oversubscribed] {
+        assert_eq!(
+            sw::compute_tasks_macro(Class::S, threads),
+            want,
+            "macro front end diverged at {threads} threads"
+        );
+        assert_eq!(
+            sw::compute_tasks_builder(Class::S, threads),
+            want,
+            "builder front end diverged at {threads} threads"
+        );
+        assert_eq!(
+            translated::wavefront(Class::S, threads),
+            want,
+            "translated front end diverged at {threads} threads"
+        );
+    }
+}
+
+/// One splitmix64 step — the deterministic source of the random
+/// dependence sets below (reproducible per proptest case).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Per-task dependence choice derived from the seed stream.
+struct TaskPlan {
+    ins: Vec<usize>,
+    outs: Vec<usize>,
+    undeferred: bool,
+}
+
+fn make_plans(seed: u64, ntasks: usize, naddr: usize, with_undeferred: bool) -> Vec<TaskPlan> {
+    let mut s = seed | 1;
+    (0..ntasks)
+        .map(|_| {
+            let r = splitmix(&mut s);
+            TaskPlan {
+                ins: (0..naddr).filter(|a| (r >> a) & 1 == 1).collect(),
+                outs: (0..naddr).filter(|a| (r >> (a + 8)) & 1 == 1).collect(),
+                undeferred: with_undeferred && (r >> 16) & 3 == 0,
+            }
+        })
+        .collect()
+}
+
+/// The OpenMP serialization rules, applied sequentially: the ordered
+/// pairs `(pred, succ)` the scheduler must honor.
+fn expected_orderings(plans: &[TaskPlan], naddr: usize) -> Vec<(usize, usize)> {
+    let mut last_writer: Vec<Option<usize>> = vec![None; naddr];
+    let mut readers: Vec<Vec<usize>> = vec![Vec::new(); naddr];
+    let mut pairs = Vec::new();
+    for (t, plan) in plans.iter().enumerate() {
+        for &a in &plan.ins {
+            if let Some(w) = last_writer[a] {
+                pairs.push((w, t));
+            }
+            readers[a].push(t);
+        }
+        for &a in &plan.outs {
+            if let Some(w) = last_writer[a] {
+                pairs.push((w, t));
+            }
+            for &r in &readers[a] {
+                if r != t {
+                    pairs.push((r, t));
+                }
+            }
+            last_writer[a] = Some(t);
+            readers[a].clear();
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Random dependence sets over (address pool × threads × deferral
+    /// mix) always run exactly once, and every serialization pair
+    /// finishes-before-starts in the global event order.
+    #[test]
+    fn random_dependence_sets_execute_legally(
+        seed in 0u64..1_000_000_000,
+        ntasks in 1usize..24,
+        naddr in 1usize..6,
+        threads in 1usize..5,
+        with_undeferred in proptest::bool::ANY,
+    ) {
+        let plans = make_plans(seed, ntasks, naddr, with_undeferred);
+        let expected = expected_orderings(&plans, naddr);
+
+        // One global event clock; each task stamps its start and end.
+        let clock = AtomicUsize::new(1);
+        let starts: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+        let ends: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+        let runs: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+        let tokens: Vec<u8> = vec![0; naddr];
+        {
+            let (clock, starts, ends, runs, tokens, plans) =
+                (&clock, &starts, &ends, &runs, &tokens, &plans);
+            omp_parallel!(num_threads(threads), |ctx| {
+                omp_single!(ctx, nowait, {
+                    for (t, plan) in plans.iter().enumerate() {
+                        let mut spec = TaskSpec::new();
+                        for &a in &plan.ins {
+                            spec = spec.input(&tokens[a]);
+                        }
+                        for &a in &plan.outs {
+                            spec = spec.output(&tokens[a]);
+                        }
+                        if plan.undeferred {
+                            spec = spec.if_clause(false);
+                        }
+                        ctx.task_spec(spec, move || {
+                            starts[t].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                            runs[t].fetch_add(1, Ordering::SeqCst);
+                            ends[t].store(clock.fetch_add(1, Ordering::SeqCst), Ordering::SeqCst);
+                        });
+                    }
+                });
+            });
+        }
+
+        for (t, r) in runs.iter().enumerate() {
+            prop_assert_eq!(r.load(Ordering::SeqCst), 1, "task {} ran wrong number of times", t);
+        }
+        for &(p, s) in &expected {
+            let (pe, ss) = (ends[p].load(Ordering::SeqCst), starts[s].load(Ordering::SeqCst));
+            prop_assert!(
+                pe < ss,
+                "serialization violated: task {} (end event {}) must finish before task {} \
+                 (start event {}) — seed {}, {} threads",
+                p, pe, s, ss, seed, threads
+            );
+        }
+    }
+
+    /// The all-undeferred (`if(false)`) path is fully sequential in
+    /// spawn order, dependences or not.
+    #[test]
+    fn undeferred_path_is_sequential(
+        seed in 0u64..1_000_000_000,
+        ntasks in 1usize..16,
+        naddr in 1usize..4,
+    ) {
+        let plans = make_plans(seed, ntasks, naddr, false);
+        let order = std::sync::Mutex::new(Vec::new());
+        let tokens: Vec<u8> = vec![0; naddr];
+        {
+            let (order, tokens, plans) = (&order, &tokens, &plans);
+            omp_parallel!(num_threads(2), |ctx| {
+                omp_single!(ctx, nowait, {
+                    for (t, plan) in plans.iter().enumerate() {
+                        let mut spec = TaskSpec::new().if_clause(false);
+                        for &a in &plan.ins {
+                            spec = spec.input(&tokens[a]);
+                        }
+                        for &a in &plan.outs {
+                            spec = spec.output(&tokens[a]);
+                        }
+                        ctx.task_spec(spec, move || {
+                            order.lock().unwrap().push(t);
+                        });
+                    }
+                });
+            });
+        }
+        let got = order.into_inner().unwrap();
+        prop_assert_eq!(got, (0..ntasks).collect::<Vec<_>>());
+    }
+}
+
+/// Dependence stalls show up in the exported stats when a wavefront
+/// actually runs through the graph.
+#[test]
+fn task_stats_observe_the_dependence_graph() {
+    let before = romp::runtime::stats::stats().snapshot();
+    let _ = sw::compute_tasks_macro(Class::S, 4);
+    let after = romp::runtime::stats::stats().snapshot();
+    let d = before.delta(&after);
+    assert!(d.tasks_spawned >= 64, "{d:?}");
+    assert!(d.tasks_executed >= 64, "{d:?}");
+    let banner = romp::runtime::stats::display_stats();
+    assert!(banner.contains("tasks_dep_stalled"), "{banner}");
+}
