@@ -1,0 +1,249 @@
+//! EPCC-style synchronization-overhead suite (syncbench).
+//!
+//! Measures the per-invocation overhead of romp's synchronization
+//! constructs — empty `parallel`, `for`, `barrier`, `single`,
+//! `critical`, `reduction` — at 1/2/4 threads, in the style of the
+//! EPCC OpenMP microbenchmarks: each construct is executed with an
+//! empty body in a tight inner loop and the mean time per construct is
+//! reported.
+//!
+//! The `parallel` rows are measured twice: with the **hot-team** fast
+//! path enabled (the default) and with `ROMP_HOT_TEAMS=0` semantics
+//! (the cold pool path, toggled hermetically in-process), so the
+//! fork/join fast path is pinned against its own baseline. Results are
+//! printed as a table and written as machine-readable JSON (default
+//! `BENCH_syncbench.json`) to seed the perf trajectory; the JSON's
+//! `summary` block carries the headline `parallel@4` cold/hot ratio.
+//!
+//! Usage: `syncbench [--reps N] [--outer N] [--out PATH]`.
+
+use romp_bench::{render_table, Args};
+use romp_core::prelude::*;
+use romp_runtime::stats::stats;
+use romp_runtime::{critical, display_env, icv, SumOp};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured cell.
+struct Cell {
+    construct: &'static str,
+    threads: usize,
+    mode: &'static str,
+    per_construct_us: f64,
+}
+
+fn set_hot_teams(enabled: bool) {
+    icv::with_global_mut(|i| i.hot_teams = enabled);
+}
+
+/// Mean seconds per inner repetition of `body`, over `outer` trials.
+fn time_mean(outer: usize, reps: usize, mut body: impl FnMut(usize)) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..outer {
+        let t0 = Instant::now();
+        body(reps);
+        total += t0.elapsed().as_secs_f64() / reps as f64;
+    }
+    total / outer as f64
+}
+
+/// Overhead of an empty `parallel` region: one fork/join per rep.
+fn bench_parallel(threads: usize, outer: usize, reps: usize) -> f64 {
+    // Warm: build the team (hot) / the pool (cold) outside the timing.
+    for _ in 0..20 {
+        fork(ForkSpec::with_num_threads(threads), |_| {});
+    }
+    time_mean(outer, reps, |n| {
+        for _ in 0..n {
+            fork(ForkSpec::with_num_threads(threads), |_| {});
+        }
+    })
+}
+
+/// Overhead of an in-region construct: one fork whose body executes
+/// `reps` constructs on every thread; the fork cost amortizes away.
+fn bench_in_region(
+    threads: usize,
+    outer: usize,
+    reps: usize,
+    construct: impl Fn(&romp_runtime::ThreadCtx<'_>) + Sync,
+) -> f64 {
+    for _ in 0..20 {
+        fork(ForkSpec::with_num_threads(threads), |_| {});
+    }
+    time_mean(outer, reps, |n| {
+        fork(ForkSpec::with_num_threads(threads), |ctx| {
+            for _ in 0..n {
+                construct(ctx);
+            }
+        });
+    })
+}
+
+fn json_escape_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args
+        .value_of("reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000);
+    let outer: usize = args
+        .value_of("outer")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let out_path = args.value_of("out").unwrap_or("BENCH_syncbench.json");
+
+    let thread_counts = [1usize, 2, 4];
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &mode in &["cold", "hot"] {
+        set_hot_teams(mode == "hot");
+        for &t in &thread_counts {
+            cells.push(Cell {
+                construct: "parallel",
+                threads: t,
+                mode,
+                per_construct_us: bench_parallel(t, outer, reps) * 1e6,
+            });
+            let in_region: [(&'static str, f64); 5] = [
+                (
+                    "for",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        ctx.ws_for(0..t, Schedule::static_block(), false, |_| {});
+                    }),
+                ),
+                (
+                    "barrier",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        ctx.barrier();
+                    }),
+                ),
+                (
+                    "single",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        ctx.single(false, || ());
+                    }),
+                ),
+                (
+                    "critical",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        let _ = ctx; // critical is team-agnostic (named lock)
+                        critical(|| ());
+                    }),
+                ),
+                (
+                    "reduction",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        let _ = ctx.reduce_value(SumOp, 1u64);
+                    }),
+                ),
+            ];
+            for (construct, secs) in in_region {
+                cells.push(Cell {
+                    construct,
+                    threads: t,
+                    mode,
+                    per_construct_us: secs * 1e6,
+                });
+            }
+        }
+    }
+    set_hot_teams(true);
+
+    // ---------------- table ----------------
+    let lookup = |construct: &str, threads: usize, mode: &str| {
+        cells
+            .iter()
+            .find(|c| c.construct == construct && c.threads == threads && c.mode == mode)
+            .map(|c| c.per_construct_us)
+            .unwrap_or(f64::NAN)
+    };
+    let constructs = [
+        "parallel",
+        "for",
+        "barrier",
+        "single",
+        "critical",
+        "reduction",
+    ];
+    let mut rows = Vec::new();
+    for construct in constructs {
+        for &t in &thread_counts {
+            let cold = lookup(construct, t, "cold");
+            let hot = lookup(construct, t, "hot");
+            rows.push(vec![
+                construct.to_string(),
+                t.to_string(),
+                format!("{cold:.2}"),
+                format!("{hot:.2}"),
+                format!("{:.2}x", cold / hot),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "syncbench — per-construct overhead (us), cold pool vs hot team",
+            &["construct", "threads", "cold (us)", "hot (us)", "cold/hot"],
+            &rows,
+        )
+    );
+    let s = stats().snapshot();
+    println!(
+        "hot-team counters: hits={} misses={} resizes={}",
+        s.hot_team_hits, s.hot_team_misses, s.hot_team_resizes
+    );
+    println!("{}", display_env(&icv::current()));
+
+    // ---------------- JSON ----------------
+    let p4_cold = lookup("parallel", 4, "cold");
+    let p4_hot = lookup("parallel", 4, "hot");
+    let ratio = p4_cold / p4_hot;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"syncbench\",");
+    let _ = writeln!(json, "  \"hardware_threads\": {},", icv::hardware_threads());
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"outer\": {outer},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"construct\": \"{}\", \"threads\": {}, \"mode\": \"{}\", \"per_construct_us\": {}}}{comma}",
+            c.construct,
+            c.threads,
+            c.mode,
+            json_escape_f(c.per_construct_us)
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"parallel_4t_cold_us\": {},",
+        json_escape_f(p4_cold)
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_4t_hot_us\": {},",
+        json_escape_f(p4_hot)
+    );
+    let _ = writeln!(
+        json,
+        "    \"parallel_4t_cold_over_hot\": {},",
+        json_escape_f(ratio)
+    );
+    let _ = writeln!(json, "    \"hot_team_5x_target_met\": {}", ratio >= 5.0);
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(out_path, &json).expect("write BENCH_syncbench.json");
+    println!("wrote {out_path}");
+}

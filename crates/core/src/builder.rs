@@ -21,7 +21,7 @@
 
 use crate::space::{collapse2, Collapse2, IterSpace};
 use romp_runtime::reduction::RedVar;
-use romp_runtime::{fork, ForkSpec, ReduceOp, Schedule, TaskSpec, ThreadCtx};
+use romp_runtime::{fork, ForkSpec, ProcBind, ReduceOp, Schedule, TaskSpec, ThreadCtx};
 use std::ops::Range;
 
 /// Builder for a bare `parallel` region.
@@ -57,6 +57,13 @@ impl Parallel {
     /// The `if` clause: `false` serializes the region.
     pub fn if_clause(mut self, cond: bool) -> Self {
         self.spec.if_clause = Some(cond);
+        self
+    }
+
+    /// The `proc_bind` clause: recorded on the team and reported through
+    /// `omp_get_proc_bind` (affinity enforcement is advisory in romp).
+    pub fn proc_bind(mut self, bind: ProcBind) -> Self {
+        self.spec.proc_bind = Some(bind);
         self
     }
 
@@ -227,6 +234,13 @@ impl<S: IterSpace> ParFor<S> {
         self
     }
 
+    /// The `proc_bind` clause (recorded and reported; see
+    /// [`Parallel::proc_bind`]).
+    pub fn proc_bind(mut self, bind: ProcBind) -> Self {
+        self.spec.proc_bind = Some(bind);
+        self
+    }
+
     /// Merge a whole fork spec (used by the macro front end, which
     /// accumulates `num_threads`/`if` clauses into a [`ForkSpec`]).
     /// Clauses set in `spec` win; clauses it leaves unset keep whatever
@@ -238,6 +252,9 @@ impl<S: IterSpace> ParFor<S> {
         }
         if spec.if_clause.is_some() {
             self.spec.if_clause = spec.if_clause;
+        }
+        if spec.proc_bind.is_some() {
+            self.spec.proc_bind = spec.proc_bind;
         }
         self
     }

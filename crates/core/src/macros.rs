@@ -127,7 +127,7 @@ macro_rules! __omp_parallel {
         $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
     };
     (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; proc_bind($k:ident), $($rest:tt)*) => {
-        $crate::__omp_parallel!(@ {$spec} [$($fp)*] [$($pv)*] ; $($rest)*)
+        $crate::__omp_parallel!(@ {$spec.proc_bind($crate::__omp_proc_bind!($k))} [$($fp)*] [$($pv)*] ; $($rest)*)
     };
     (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
         $crate::__omp_parallel!(@ {$spec} [$($fp)* $($v)*] [$($pv)*] ; $($rest)*)
@@ -206,6 +206,29 @@ macro_rules! __omp_for {
         $crate::__omp_loop_body!($ctx, $sched, true, {$($step)*}, $($loop)*);
         $( $var = $ctx.reduce_value($crate::__red_op!($op), $var); )+
     }};
+}
+
+/// Map a `proc_bind(kind)` clause argument onto the runtime's
+/// [`ProcBind`](crate::runtime::ProcBind) policy at expansion time
+/// (unknown kinds are a compile error, like in a real front end).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_proc_bind {
+    (master) => {
+        $crate::runtime::ProcBind::Master
+    };
+    (primary) => {
+        $crate::runtime::ProcBind::Master
+    };
+    (close) => {
+        $crate::runtime::ProcBind::Close
+    };
+    (spread) => {
+        $crate::runtime::ProcBind::Spread
+    };
+    ($other:ident) => {
+        compile_error!("proc_bind(kind) supports master, primary, close or spread")
+    };
 }
 
 /// Validate a `collapse(n)` clause argument at expansion time. The
@@ -309,9 +332,10 @@ macro_rules! __omp_loop_body {
 }
 
 /// Combined `parallel for`. Clauses: `num_threads(e)`, `if(e)`,
-/// `schedule(..)`, `default(..)`, `shared(..)`, `firstprivate(..)`,
-/// `reduction(op : var = init, …)`, `step(e)`, `collapse(2|3)` (see the
-/// module docs for the strided/collapsed loop headers).
+/// `proc_bind(kind)`, `schedule(..)`, `default(..)`, `shared(..)`,
+/// `firstprivate(..)`, `reduction(op : var = init, …)`, `step(e)`,
+/// `collapse(2|3)` (see the module docs for the strided/collapsed loop
+/// headers).
 ///
 /// With a `reduction` clause the macro **returns the combined values as
 /// a tuple** (one element per variable, in clause order):
@@ -356,6 +380,9 @@ macro_rules! __omp_parallel_for {
         $crate::__omp_collapse_ok!($n);
         $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     }};
+    (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; proc_bind($k:ident), $($rest:tt)*) => {
+        $crate::__omp_parallel_for!(@ {$spec.proc_bind($crate::__omp_proc_bind!($k))} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
+    };
     (@ {$spec:expr} {$sched:expr} {$($step:tt)*} [$($fp:ident)*] [$($red:tt)*] ; default($k:ident), $($rest:tt)*) => {
         $crate::__omp_parallel_for!(@ {$spec} {$sched} {$($step)*} [$($fp)*] [$($red)*] ; $($rest)*)
     };

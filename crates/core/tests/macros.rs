@@ -877,3 +877,39 @@ fn final_inclusion_crosses_nested_region_threads() {
         });
     });
 }
+
+#[test]
+fn proc_bind_clause_recorded_through_all_front_ends() {
+    use romp_core::builder::parallel;
+    use romp_core::runtime::{omp_get_proc_bind, ProcBind};
+
+    // Macro front end (bare parallel and combined parallel-for).
+    omp_parallel!(num_threads(2), proc_bind(spread), |_ctx| {
+        assert_eq!(omp_get_proc_bind(), ProcBind::Spread);
+    });
+    omp_parallel_for!(
+        num_threads(2),
+        proc_bind(close),
+        for _i in 0..8 {
+            assert_eq!(omp_get_proc_bind(), ProcBind::Close);
+        }
+    );
+    // `primary` is the modern spelling of `master`.
+    omp_parallel!(proc_bind(primary), num_threads(2), |_ctx| {
+        assert_eq!(omp_get_proc_bind(), ProcBind::Master);
+    });
+
+    // Builder front end; the clause is also visible on the context.
+    parallel()
+        .num_threads(2)
+        .proc_bind(ProcBind::Close)
+        .run(|ctx| {
+            assert_eq!(ctx.proc_bind(), ProcBind::Close);
+            assert_eq!(omp_get_proc_bind(), ProcBind::Close);
+        });
+
+    // Without a clause, the bind-var ICV (default: false) shows through.
+    omp_parallel!(num_threads(2), |ctx| {
+        assert_eq!(ctx.proc_bind(), ProcBind::False);
+    });
+}

@@ -490,6 +490,7 @@ fn emit_parallel_for(
                 "default(none), "
             }),
             Clause::Shared(vars) => clause_txt.push_str(&format!("shared({}), ", vars.join(", "))),
+            Clause::ProcBind(kind) => clause_txt.push_str(&format!("proc_bind({kind}), ")),
             Clause::Firstprivate(vars) => {
                 clause_txt.push_str(&format!("firstprivate({}), ", vars.join(", ")))
             }
@@ -788,6 +789,22 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("after();"));
+    }
+
+    #[test]
+    fn parallel_proc_bind_clause_forwarded() {
+        let out = t("//#omp parallel num_threads(2) proc_bind(spread)
+{ work(); }");
+        assert!(
+            out.contains("proc_bind(spread), "),
+            "proc_bind must reach the macro clause list: {out}"
+        );
+        let out = t("//#omp parallel for proc_bind(close)
+for i in 0..n { a(i); }");
+        assert!(
+            out.contains("proc_bind(close), "),
+            "combined parallel for must forward proc_bind: {out}"
+        );
     }
 
     #[test]

@@ -566,6 +566,9 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
         "proc_bind" => {
             p.expect(Token::LParen, "`(` after proc_bind")?;
             let v = p.expect_ident()?;
+            if !matches!(v.as_str(), "master" | "primary" | "close" | "spread") {
+                return Err(p.err("proc_bind takes master, primary, close or spread"));
+            }
             p.expect(Token::RParen, "`)`")?;
             Ok(Clause::ProcBind(v))
         }

@@ -123,7 +123,15 @@ pub fn omp_get_schedule() -> Schedule {
     if let Some(s) = icv::tls_run_sched_override() {
         return s;
     }
-    with_current(|r| Some(r.team.run_sched), || None).unwrap_or_else(|| icv::current().run_sched)
+    with_current(|r| Some(r.team.run_sched()), || None).unwrap_or_else(|| icv::current().run_sched)
+}
+
+/// `omp_get_proc_bind`: the thread-affinity policy of the current
+/// region — the fork's `proc_bind` clause if one was given, else the
+/// `bind-var` ICV (`OMP_PROC_BIND`). romp records and reports the
+/// policy; core pinning itself is advisory.
+pub fn omp_get_proc_bind() -> crate::icv::ProcBind {
+    with_current(|r| Some(r.team.proc_bind()), || None).unwrap_or_else(|| icv::current().proc_bind)
 }
 
 /// `omp_get_wtime` (re-exported from [`crate::wtime`]).

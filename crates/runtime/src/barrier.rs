@@ -92,6 +92,25 @@ impl TeamBarrier {
         self.size
     }
 
+    /// Return the barrier to its just-constructed state so a recycled
+    /// hot team can reuse it with fresh per-thread [`BarrierLocal`]s
+    /// (every region hands its threads default locals: `sense = true`,
+    /// `epoch = 0`, so the shared side must match).
+    ///
+    /// Contract: no thread is inside [`wait`](Self::wait). The hot-team
+    /// master calls this between its join (all workers signalled region
+    /// completion, which happens only after they left their last
+    /// episode) and the next doorbell ring (which publishes the stores).
+    pub(crate) fn reset(&self) {
+        self.count.store(self.size, Ordering::Relaxed);
+        self.sense.store(true, Ordering::Relaxed);
+        for round in &self.flags {
+            for f in round {
+                f.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Wait at the barrier. Returns `true` when the episode completed and
     /// `false` when `abort` was raised by a sibling (callers then unwind).
     #[must_use]
@@ -248,6 +267,37 @@ mod tests {
         let mut local = BarrierLocal::default();
         for _ in 0..100 {
             assert!(barrier.wait(0, &mut local, &abort));
+        }
+    }
+
+    #[test]
+    fn reset_restores_fresh_local_compatibility() {
+        for kind in [BarrierKind::Central, BarrierKind::Dissemination] {
+            let barrier = Arc::new(TeamBarrier::new(3, kind, WaitPolicy::Hybrid));
+            // Run an odd number of episodes so central's sense is
+            // flipped and dissemination's epochs are non-zero.
+            exercise_shared(&barrier, 3);
+            barrier.reset();
+            // Fresh locals (the per-region state) must work again.
+            exercise_shared(&barrier, 2);
+        }
+    }
+
+    fn exercise_shared(barrier: &Arc<TeamBarrier>, episodes: u32) {
+        let abort = Arc::new(AtomicBool::new(false));
+        let mut handles = vec![];
+        for t in 0..barrier.size() {
+            let barrier = barrier.clone();
+            let abort = abort.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = BarrierLocal::default();
+                for _ in 0..episodes {
+                    assert!(barrier.wait(t, &mut local, &abort));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
         }
     }
 

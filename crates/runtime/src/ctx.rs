@@ -34,20 +34,31 @@ thread_local! {
     pub(crate) static REGION_STACK: RefCell<Vec<RegionInfo>> = const { RefCell::new(Vec::new()) };
 }
 
-/// `(level, active_level, ancestor chain)` seen by a `parallel` construct
-/// starting on the current thread. The chain lists
-/// `(thread_num, team_size)` from the initial implicit task down to the
-/// current position; its length is the nesting level of a region forked
-/// from here.
-pub(crate) fn forking_position() -> (usize, usize, Vec<(usize, usize)>) {
+/// `(level, active_level)` seen by a `parallel` construct starting on
+/// the current thread.
+pub(crate) fn forking_position() -> (usize, usize) {
     REGION_STACK.with(|s| {
         let stack = s.borrow();
         match stack.last() {
-            None => (0, 0, vec![(0, 1)]),
+            None => (0, 0),
+            Some(top) => (top.team.level, top.team.active_level),
+        }
+    })
+}
+
+/// Ancestor chain for a team forked from the current position:
+/// `(thread_num, team_size)` from the initial implicit task down to
+/// here. Separate from [`forking_position`] so the hot fast path never
+/// pays the clone — only cold team construction needs the chain.
+pub(crate) fn forking_ancestors() -> Vec<(usize, usize)> {
+    REGION_STACK.with(|s| {
+        let stack = s.borrow();
+        match stack.last() {
+            None => vec![(0, 1)],
             Some(top) => {
                 let mut chain = top.team.ancestors.clone();
                 chain.push((top.thread_num, top.team.size()));
-                (top.team.level, top.team.active_level, chain)
+                chain
             }
         }
     })
@@ -204,8 +215,10 @@ pub struct ThreadCtx<'scope> {
     ws_gen: Cell<u64>,
     barrier_local: RefCell<BarrierLocal>,
     /// Children of this thread's *implicit* task (targets of `taskwait`
-    /// outside any explicit task).
-    implicit_children: Arc<AtomicUsize>,
+    /// outside any explicit task). Lazily allocated: regions that never
+    /// spawn tasks — the overwhelming fast path — skip the heap
+    /// round-trip per thread per region.
+    implicit_children: std::sync::OnceLock<Arc<AtomicUsize>>,
     steal_seed: Cell<u64>,
     /// Per-thread reduction-construct counter (see
     /// [`reduce_value`](Self::reduce_value)).
@@ -221,7 +234,7 @@ impl<'scope> ThreadCtx<'scope> {
             thread_num,
             ws_gen: Cell::new(0),
             barrier_local: RefCell::new(BarrierLocal::default()),
-            implicit_children: Arc::new(AtomicUsize::new(0)),
+            implicit_children: std::sync::OnceLock::new(),
             steal_seed: Cell::new(os_thread_id() | 1),
             red_gen: Cell::new(0),
             _scope: PhantomData,
@@ -253,8 +266,22 @@ impl<'scope> ThreadCtx<'scope> {
         self.team.level
     }
 
+    /// The region's effective thread-affinity request
+    /// (`omp_get_proc_bind`): the fork's `proc_bind` clause if one was
+    /// given, else the `bind-var` ICV. Recorded and reported; actual
+    /// core pinning is advisory in romp.
+    pub fn proc_bind(&self) -> crate::icv::ProcBind {
+        self.team.proc_bind()
+    }
+
     pub(crate) fn team(&self) -> &Arc<Team> {
         &self.team
+    }
+
+    /// The implicit task's children counter (allocated on first use).
+    fn implicit_children(&self) -> &Arc<AtomicUsize> {
+        self.implicit_children
+            .get_or_init(|| Arc::new(AtomicUsize::new(0)))
     }
 
     /// Next worksharing-construct generation for this thread.
@@ -302,7 +329,19 @@ impl<'scope> ThreadCtx<'scope> {
     /// The implicit barrier at the end of the region body; unlike
     /// [`barrier`](Self::barrier) it does not panic on abort (the region
     /// is ending anyway and the master rethrows the real payload).
+    ///
+    /// **Hot teams** skip the closing barrier episode entirely: each
+    /// thread drains the task graph and leaves; the master's join on
+    /// `Team::remaining` is the region-end rendezvous (no thread can
+    /// observe the region as finished before every thread has signalled
+    /// completion), and the next fork's doorbell ring is the release.
+    /// That saves one full barrier episode — with its wake-everyone
+    /// broadcast — per parallel region on the fast path.
     pub(crate) fn end_of_region_barrier(&self) {
+        if self.team.hot {
+            self.help_tasks_while_pending();
+            return;
+        }
         loop {
             self.help_tasks_while_pending();
             let ok = self.team.barrier.wait(
@@ -468,7 +507,7 @@ impl<'scope> ThreadCtx<'scope> {
     /// the dependence graph.
     pub fn task_spec<F: FnOnce() + Send + 'scope>(&self, spec: TaskSpec, f: F) {
         let hooks = TaskHooks {
-            parent_children: current_children(&self.implicit_children),
+            parent_children: current_children(self.implicit_children()),
             groups: current_groups(),
         };
         let make_final = spec.final_clause.unwrap_or(false) || in_final();
@@ -500,7 +539,7 @@ impl<'scope> ThreadCtx<'scope> {
     /// `taskwait`: block until all children of the current task have
     /// completed, helping to execute queued tasks meanwhile.
     pub fn taskwait(&self) {
-        let children = current_children(&self.implicit_children);
+        let children = current_children(self.implicit_children());
         let mut seed = self.steal_seed.get();
         self.team.tasks.work_until(self.thread_num, &mut seed, || {
             self.panic_if_aborted();

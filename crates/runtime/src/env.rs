@@ -15,6 +15,7 @@
 //! | `OMP_PROC_BIND` | `bind-var` | `true/false/close/spread/master` |
 //! | `OMP_STACKSIZE` | `stacksize-var` | `n[B|K|M|G]` (default KiB) |
 //! | `ROMP_BARRIER` | barrier algorithm | `central`/`dissemination` |
+//! | `ROMP_HOT_TEAMS` | hot-team caching | `true`/`false` (default true) |
 //!
 //! Malformed values are ignored (with the spec-sanctioned fallback to the
 //! default), never fatal: an HPC batch job must not die because of a typo
@@ -135,6 +136,9 @@ pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
     if let Some(v) = get("ROMP_BARRIER").as_deref().and_then(parse_barrier_kind) {
         icvs.barrier_kind = v;
     }
+    if let Some(v) = get("ROMP_HOT_TEAMS").as_deref().and_then(parse_bool) {
+        icvs.hot_teams = v;
+    }
     icvs
 }
 
@@ -186,6 +190,7 @@ pub fn display_env(icvs: &Icvs) -> String {
             .unwrap_or_else(|| "default".into())
     );
     let _ = writeln!(out, "  ROMP_BARRIER = '{:?}'", icvs.barrier_kind);
+    let _ = writeln!(out, "  ROMP_HOT_TEAMS = '{}'", icvs.hot_teams);
     let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT END");
     // Task-scheduler counters ride along so one banner shows both the
     // configuration and what the tasking machinery actually did.
@@ -250,6 +255,7 @@ mod tests {
             ("OMP_PROC_BIND", "spread"),
             ("OMP_STACKSIZE", "8M"),
             ("ROMP_BARRIER", "dissemination"),
+            ("ROMP_HOT_TEAMS", "false"),
         ]);
         assert_eq!(icvs.nthreads, vec![4, 2]);
         assert!(icvs.dynamic);
@@ -260,6 +266,7 @@ mod tests {
         assert_eq!(icvs.proc_bind, ProcBind::Spread);
         assert_eq!(icvs.stacksize, Some(8 * 1024 * 1024));
         assert_eq!(icvs.barrier_kind, BarrierKind::Dissemination);
+        assert!(!icvs.hot_teams);
     }
 
     #[test]
@@ -299,6 +306,7 @@ mod tests {
             "OMP_PROC_BIND",
             "OMP_STACKSIZE",
             "ROMP_BARRIER",
+            "ROMP_HOT_TEAMS",
         ] {
             assert!(banner.contains(key), "missing {key} in:\n{banner}");
         }

@@ -83,13 +83,25 @@ pub struct Icvs {
     /// Which barrier algorithm teams use (romp extension,
     /// `ROMP_BARRIER=central|dissemination`).
     pub barrier_kind: BarrierKind,
+    /// May the runtime cache **hot teams** — the master's last team,
+    /// kept bound to its workers between consecutive parallel regions
+    /// so a fork is a doorbell ring instead of a pool round-trip (romp
+    /// extension, `ROMP_HOT_TEAMS=true|false`, default true; the
+    /// analogue of libomp's `KMP_HOT_TEAMS_MODE`).
+    pub hot_teams: bool,
 }
 
-/// Hardware concurrency with a sane floor.
+/// Hardware concurrency with a sane floor. Cached: the runtime consults
+/// this on every fork (team sizing, oversubscription heuristics), and
+/// `std::thread::available_parallelism` re-reads the cgroup quota files
+/// on every call — ~10µs of syscalls that would dwarf a hot fork.
 pub fn hardware_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
 }
 
 impl Default for Icvs {
@@ -104,6 +116,7 @@ impl Default for Icvs {
             proc_bind: ProcBind::False,
             stacksize: None,
             barrier_kind: BarrierKind::Central,
+            hot_teams: true,
         }
     }
 }

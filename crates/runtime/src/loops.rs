@@ -331,7 +331,7 @@ impl<'scope> ThreadCtx<'scope> {
     pub fn resolve_schedule(&self, sched: Schedule) -> Schedule {
         match sched {
             Schedule::Runtime => {
-                let s = self.team().run_sched;
+                let s = self.team().run_sched();
                 match s {
                     Schedule::Runtime | Schedule::Auto => Schedule::default(),
                     other => other,

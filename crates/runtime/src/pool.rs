@@ -1,9 +1,45 @@
-//! The worker pool and the fork/join entry point.
+//! The worker pool, the hot-team cache, and the fork/join entry point.
 //!
 //! [`fork`] is romp's `__kmpc_fork_call`: the directive layer outlines a
 //! parallel region into a closure and passes it here; the calling thread
-//! becomes thread 0 of a fresh team whose other members are drawn from a
+//! becomes thread 0 of a team whose other members are drawn from a
 //! lazily-grown, process-global pool of parked worker threads.
+//!
+//! ## The hot-team fast path
+//!
+//! The paper's whole premise is that the fork call is cheap enough to
+//! wrap *every* loop. Re-acquiring workers from the process-global pool
+//! under a lock and handing them assignments through per-worker
+//! mutex+condvar mailboxes — the **cold path** below — is not that: it
+//! pays a pool round-trip, a fresh `Arc<Team>` allocation (task deques,
+//! barrier, worksharing slots) and a mailbox dance per worker per
+//! region. Like libomp's *hot teams* (`KMP_HOT_TEAMS_MODE`), the master
+//! therefore caches its last team: workers stay **bound** between
+//! regions, parked at a per-worker `HotChannel` doorbell, and a
+//! consecutive fork of the same shape is
+//!
+//! 1. `Team::recycle` — reset the previous region's barrier,
+//!    worksharing-slot, reduction and task-graph state in place;
+//! 2. a doorbell **ring** per worker — publish the new job pointer and
+//!    bump the channel epoch (spin-then-park wait on the worker side,
+//!    gated by `OMP_WAIT_POLICY`);
+//! 3. the master's own trip through the region;
+//! 4. `hot_join` — wait for the workers' completion signals, helping
+//!    with any still-pending tasks.
+//!
+//! Hot teams also drop the closing barrier episode: the join counter
+//! *is* the region-end rendezvous (no thread can leave [`fork`] before
+//! every member signalled completion) and the next ring is the release,
+//! saving a wake-everyone broadcast per region.
+//!
+//! The cache lives in a thread-local on the master (`HOT_TEAM`) and is
+//! invalidated — workers released back to the pool — when the requested
+//! team shape changes (`num_threads`, wait policy, barrier kind,
+//! `dyn-var`), when a region panics, when `ROMP_HOT_TEAMS` is turned
+//! off, or when the master thread exits (TLS drop). Nested forks and
+//! forks from inside a `final` task always take the cold path. The cold
+//! path is kept fully intact both as the fallback and as the measured
+//! baseline for the syncbench overhead suite (`ROMP_HOT_TEAMS=0`).
 //!
 //! ## Safety of the lifetime erasure
 //!
@@ -14,7 +50,9 @@
 //! and everything it borrows — strictly outlives all worker access.
 //! The paper's Zig implementation relies on the identical contract when
 //! it passes function pointers plus pointers into the enclosing stack
-//! frame to the LLVM OpenMP runtime.
+//! frame to the LLVM OpenMP runtime. The hot path preserves the
+//! contract: a bound worker reads the job pointer only between a ring
+//! and its completion signal, and the master rings only between joins.
 //!
 //! ## Panic handling
 //!
@@ -22,14 +60,19 @@
 //! team abort flag; sibling threads waiting at barriers or dispatch slots
 //! observe the flag and unwind with a [`SiblingPanic`] marker. After the
 //! join, the master rethrows the first real payload, so a panic inside a
-//! parallel region behaves like a panic in serial code.
+//! parallel region behaves like a panic in serial code. A panic also
+//! invalidates the hot team — the next fork rebuilds from the pool — so
+//! a poisoned cache can never serve a later region.
 
-use crate::ctx::{forking_position, RegionInfo, SiblingPanic, ThreadCtx, REGION_STACK};
-use crate::icv::{self, Icvs};
+use crate::ctx::{
+    forking_ancestors, forking_position, RegionInfo, SiblingPanic, ThreadCtx, REGION_STACK,
+};
+use crate::icv::{self, Icvs, ProcBind, WaitPolicy};
 use crate::stats::{bump, stats};
-use crate::team::Team;
+use crate::team::{ForkSnap, Team};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::{Cell, RefCell, UnsafeCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// How a `parallel` construct is launched; carries the clause values the
@@ -41,6 +84,10 @@ pub struct ForkSpec {
     /// `if(expr)` clause; `Some(false)` forces a serialized (team-of-one)
     /// region.
     pub if_clause: Option<bool>,
+    /// `proc_bind(kind)` clause; `None` = use the `bind-var` ICV. The
+    /// effective policy is recorded on the team and reported through
+    /// `omp_get_proc_bind`; core pinning itself is advisory in romp.
+    pub proc_bind: Option<ProcBind>,
 }
 
 impl ForkSpec {
@@ -53,7 +100,7 @@ impl ForkSpec {
     pub fn with_num_threads(n: usize) -> Self {
         ForkSpec {
             num_threads: Some(n),
-            if_clause: None,
+            ..ForkSpec::default()
         }
     }
 
@@ -66,6 +113,12 @@ impl ForkSpec {
     /// Attach a `num_threads` clause.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = Some(n);
+        self
+    }
+
+    /// Attach a `proc_bind` clause.
+    pub fn proc_bind(mut self, bind: ProcBind) -> Self {
+        self.proc_bind = Some(bind);
         self
     }
 }
@@ -106,10 +159,18 @@ where
     }
 }
 
-struct Assignment {
-    team: Arc<Team>,
-    thread_num: usize,
-    job: Job,
+/// What a pooled worker finds in its mailbox.
+enum Assignment {
+    /// Cold path: run one region as `thread_num` of `team`, then return
+    /// to the pool.
+    Run {
+        team: Arc<Team>,
+        thread_num: usize,
+        job: Job,
+    },
+    /// Hot path: bind to a master's cached team and serve regions from
+    /// the channel's doorbell until released.
+    Bind(Arc<HotChannel>),
 }
 
 struct WorkerSlot {
@@ -196,31 +257,53 @@ fn worker_main(slot: Arc<WorkerSlot>) {
                 slot.cv.wait(&mut mb);
             }
         };
-        let Assignment {
-            team,
-            thread_num,
-            job,
-        } = assignment;
-        // Fresh implicit-task data environment: `omp_set_*` overrides
-        // from regions this worker served earlier must not leak in.
-        icv::tls_clear_overrides();
-        run_region(&team, thread_num, job);
-        // Signal completion, then return to the pool. Nothing after the
-        // decrement may touch the job or team borrows.
-        let prev = team.remaining.fetch_sub(1, Ordering::AcqRel);
-        if prev == 1 {
+        match assignment {
+            Assignment::Run {
+                team,
+                thread_num,
+                job,
+            } => {
+                // Fresh implicit-task data environment: `omp_set_*`
+                // overrides from regions this worker served earlier must
+                // not leak in.
+                icv::tls_clear_overrides();
+                run_region(&team, thread_num, job);
+                // Signal completion, then return to the pool. Nothing
+                // after the decrement may touch the job or team borrows.
+                signal_completion(&team);
+                drop(team);
+            }
+            Assignment::Bind(channel) => {
+                hot_worker_loop(&channel);
+                drop(channel);
+            }
+        }
+        pool().release(slot.clone());
+    }
+}
+
+/// Decrement the team's outstanding-worker count and wake the joining
+/// master if this was the last one. Hot teams use the master's park
+/// token (`hot_join` idles through [`IdleWait`]); cold teams use the
+/// join condvar.
+fn signal_completion(team: &Team) {
+    let prev = team.remaining.fetch_sub(1, Ordering::AcqRel);
+    if prev == 1 {
+        if team.hot {
+            team.master.unpark();
+        } else {
             let _g = team.join_lock.lock();
             drop(_g);
             team.join_cv.notify_one();
         }
-        drop(team);
-        pool().release(slot.clone());
     }
 }
 
 /// Run a region body as `thread_num` of `team` on the current thread:
 /// maintain the region TLS stack, catch panics into the team, and execute
-/// the implicit end-of-region barrier (which drains deferred tasks).
+/// the implicit end-of-region barrier (which drains deferred tasks; for
+/// hot teams it degenerates to the task drain — see
+/// `ThreadCtx::end_of_region_barrier`).
 fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
     REGION_STACK.with(|s| {
         s.borrow_mut().push(RegionInfo {
@@ -248,6 +331,439 @@ fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
     });
 }
 
+// ---------------------------------------------------------------------
+// Hot-team machinery
+// ---------------------------------------------------------------------
+
+/// Spin → yield → park idle ladder, derived from `OMP_WAIT_POLICY`.
+///
+/// The yield rung is what makes hot teams fast on oversubscribed hosts:
+/// a yielding thread donates its timeslice to whichever sibling it is
+/// waiting for (master at the join, workers at their doorbells) without
+/// the futex round trip that parking costs, and without the timeslice
+/// theft that spinning costs. `active` spins indefinitely; `passive`
+/// parks almost immediately, as the spec intends; the default hybrid
+/// policy climbs all three rungs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IdleWait {
+    /// Busy-spin rounds before yielding (`u32::MAX` = spin forever).
+    spin: u32,
+    /// `yield_now` rounds before parking.
+    yields: u32,
+}
+
+impl IdleWait {
+    /// Ladder for a worker idling at its doorbell. On an oversubscribed
+    /// host the worker parks almost immediately: a freshly-woken worker
+    /// has the lowest virtual runtime, so any post-completion yield
+    /// phase keeps the CPU away from the master that is trying to reach
+    /// the next ring (measured: one such region costs ~20µs instead of
+    /// ~3µs), while a park/unpark round trip is cheap.
+    fn doorbell(policy: WaitPolicy, oversubscribed: bool) -> Self {
+        match policy {
+            // Spin-forever only when a core is actually free for it:
+            // oversubscribed active degrades to a yield loop (same
+            // heuristic the barrier applies), or it would burn whole
+            // timeslices the master needs.
+            WaitPolicy::Active if oversubscribed => IdleWait {
+                spin: 64,
+                yields: u32::MAX,
+            },
+            WaitPolicy::Active => IdleWait {
+                spin: u32::MAX,
+                yields: 0,
+            },
+            WaitPolicy::Passive => IdleWait { spin: 8, yields: 0 },
+            WaitPolicy::Hybrid if oversubscribed => IdleWait {
+                spin: 8,
+                yields: 32,
+            },
+            WaitPolicy::Hybrid => IdleWait {
+                spin: 512,
+                yields: 256,
+            },
+        }
+    }
+
+    /// Ladder for the master's join. The master *wants* to donate its
+    /// timeslice to the workers it waits for, so the hybrid ladder
+    /// leans on yields (cheap directed switches on an oversubscribed
+    /// host) with the park only as a backstop for long regions.
+    fn join(policy: WaitPolicy, oversubscribed: bool) -> Self {
+        match policy {
+            WaitPolicy::Active if oversubscribed => IdleWait {
+                spin: 64,
+                yields: u32::MAX,
+            },
+            WaitPolicy::Active => IdleWait {
+                spin: u32::MAX,
+                yields: 0,
+            },
+            WaitPolicy::Passive => IdleWait { spin: 8, yields: 0 },
+            WaitPolicy::Hybrid => IdleWait {
+                spin: if oversubscribed { 0 } else { 512 },
+                yields: 4096,
+            },
+        }
+    }
+
+    /// Execute idle round number `idle` (1-based, saturating).
+    ///
+    /// `timed_park` selects the park rung's flavor: the doorbell uses
+    /// an untimed `park` (pure token protocol — the ring's epoch bump
+    /// happens before its `unpark`, and the worker re-checks the epoch
+    /// around every park, so a wakeup can never be lost; timed parks
+    /// were measured to cost tens of µs in timer bookkeeping on some
+    /// kernels). The join keeps a timed park as a liveness backstop:
+    /// a dependence release can land work on a busy worker's deque,
+    /// and the master must wake up to steal it even though no
+    /// completion signal fires.
+    fn wait(&self, idle: u32, timed_park: bool) {
+        if self.spin == u32::MAX || idle < self.spin {
+            std::hint::spin_loop();
+        } else if idle - self.spin < self.yields {
+            std::thread::yield_now();
+        } else if timed_park {
+            std::thread::park_timeout(std::time::Duration::from_millis(1));
+        } else {
+            std::thread::park();
+        }
+    }
+}
+
+/// Per-bound-worker doorbell: the channel a hot master rings to
+/// dispatch the next region to a worker that stays attached between
+/// regions.
+///
+/// Protocol: the master writes `job`, then bumps `epoch` (release), then
+/// `unpark`s the worker. The worker idles on `epoch` through the wait
+/// policy's spin → yield → park ladder ([`IdleWait`]); `unpark`'s token
+/// semantics make the park/ring race benign without any lock — an
+/// unpark delivered while the worker is still running simply makes its
+/// next park return immediately, and the worker re-checks the epoch
+/// around every park anyway. (A mutex+condvar doorbell was measured to
+/// cost a full context-switch round trip per ring on an oversubscribed
+/// host: the master blocks on the lock the about-to-park worker holds.)
+struct HotChannel {
+    team: Arc<Team>,
+    thread_num: usize,
+    /// Doorbell generation; bumped once per dispatched region.
+    epoch: AtomicU64,
+    /// Master orders the worker back to the global pool.
+    release: AtomicBool,
+    /// The region closure for the current epoch. Written by the master
+    /// strictly between joins; read by the worker strictly between a
+    /// ring and its completion signal.
+    job: UnsafeCell<Option<Job>>,
+    /// The bound worker's thread handle, registered when it first
+    /// services the channel; `ring` unparks it. (The first region's job
+    /// is pre-armed before the `Bind` is mailed, so the master never
+    /// needs to ring before registration.)
+    worker: OnceLock<std::thread::Thread>,
+    /// The next sibling in the team's **wake chain**: the master
+    /// unparks only the first worker, and each worker forwards the wake
+    /// before running its own share of the region. Wake syscalls thus
+    /// ride on threads that are about to park anyway instead of
+    /// preempting the master once per worker (which serialized the ring
+    /// loop into per-worker context-switch round trips).
+    next: Option<Arc<HotChannel>>,
+    /// Idle ladder of the team's wait policy (`OMP_WAIT_POLICY`).
+    idle: IdleWait,
+}
+
+impl HotChannel {
+    /// Unpark the bound worker (token-based, cheap if it is not parked).
+    fn wake(&self) {
+        if let Some(w) = self.worker.get() {
+            w.unpark();
+        }
+    }
+}
+
+// SAFETY: the only non-Sync field is `job`; master writes and worker
+// reads are separated by the epoch/remaining handshake (the master
+// writes only after the previous join, the worker reads only after
+// observing the epoch bump), so accesses never overlap.
+unsafe impl Send for HotChannel {}
+unsafe impl Sync for HotChannel {}
+
+/// Publish the next region's job on a doorbell **without** waking the
+/// worker (the wake arrives via the chain, or from [`ring`]).
+fn prime(ch: &HotChannel, job: Option<Job>) {
+    // SAFETY: see `HotChannel::job` — the worker finished the previous
+    // region (the master joined) and has not yet observed the bump below,
+    // so no concurrent access to the cell exists.
+    unsafe {
+        *ch.job.get() = job;
+    }
+    ch.epoch.fetch_add(1, Ordering::Release);
+}
+
+/// Ring a bound worker's doorbell with the next region's job and wake it
+/// directly (used on the release path; normal forks prime every channel
+/// and let the wake chain propagate from the first worker).
+fn ring(ch: &HotChannel, job: Option<Job>) {
+    prime(ch, job);
+    ch.wake();
+}
+
+/// A bound worker's service loop: wait at the doorbell, run the region,
+/// signal completion, repeat — until released back to the pool.
+fn hot_worker_loop(ch: &HotChannel) {
+    let _ = ch.worker.set(std::thread::current());
+    // The channel arrives pre-armed: epoch 1 with the first region's job
+    // already published, so starting from 0 runs it immediately.
+    let mut seen = 0u64;
+    loop {
+        // Doorbell wait: the wait policy's spin → yield → park ladder.
+        let mut idle = 0u32;
+        loop {
+            let e = ch.epoch.load(Ordering::Acquire);
+            if e != seen {
+                seen = e;
+                break;
+            }
+            idle = idle.saturating_add(1);
+            ch.idle.wait(idle, false);
+        }
+        if ch.release.load(Ordering::SeqCst) {
+            return;
+        }
+        // Forward the wake down the chain before touching our own
+        // share, so siblings start (and, on a multicore host, run)
+        // concurrently with us.
+        if let Some(next) = &ch.next {
+            next.wake();
+        }
+        // SAFETY: the master published the job before the epoch bump we
+        // just observed and will not touch the cell again until we
+        // signal completion below.
+        let job = unsafe { (*ch.job.get()).expect("doorbell rang without a job") };
+        icv::tls_clear_overrides();
+        run_region(&ch.team, ch.thread_num, job);
+        signal_completion(&ch.team);
+    }
+}
+
+/// Cache key: the team shape. A fork whose shape differs rebuilds the
+/// hot team (counted as a resize).
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct HotKey {
+    /// Requested team size (post `if`/nesting/limit clamping).
+    n: usize,
+    barrier_kind: crate::barrier::BarrierKind,
+    /// Effective (oversubscription-adjusted) wait policy.
+    wait_policy: WaitPolicy,
+    /// `dyn-var`: a change re-evaluates team sizing, so it rebuilds.
+    dynamic: bool,
+}
+
+/// The master's cached team: the `Team` allocation plus the doorbells of
+/// the workers still bound to it.
+struct HotTeam {
+    key: HotKey,
+    team: Arc<Team>,
+    channels: Vec<Arc<HotChannel>>,
+}
+
+impl Drop for HotTeam {
+    /// Release every bound worker back to the global pool (on cache
+    /// invalidation, `ROMP_HOT_TEAMS=0`, or master thread exit).
+    fn drop(&mut self) {
+        for ch in &self.channels {
+            ch.release.store(true, Ordering::SeqCst);
+            ring(ch, None);
+        }
+    }
+}
+
+thread_local! {
+    /// This thread's cached hot team (populated on its first
+    /// outermost-level fork with hot teams enabled).
+    static HOT_TEAM: RefCell<Option<HotTeam>> = const { RefCell::new(None) };
+    /// Re-entrancy latch: set while this thread is between a hot ring
+    /// and the completion of the matching join. A `fork` issued from a
+    /// task the master executes while joining (nesting level 0 again)
+    /// must not recycle the team mid-region; it takes the cold path.
+    static HOT_BUSY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Effective wait policy for a team of `size`: oversubscribed teams
+/// (more threads than cores) park immediately — spinning at barriers
+/// steals the timeslice from the sibling that would release us (libomp
+/// applies the same heuristic).
+fn effective_wait_policy(size: usize, icvs: &Icvs) -> WaitPolicy {
+    if size > icv::hardware_threads() {
+        WaitPolicy::Passive
+    } else {
+        icvs.wait_policy
+    }
+}
+
+/// Fork through the hot-team cache (nesting level 0 only). Returns the
+/// team so the caller can rethrow a recorded panic.
+fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
+    // The barrier spins per the oversubscription-adjusted policy, but
+    // the key carries the *raw* ICV (the adjustment is a pure function
+    // of it), so an `OMP_WAIT_POLICY` change always rebuilds — even
+    // when oversubscription would mask it at the barrier.
+    let barrier_policy = effective_wait_policy(n, icvs);
+    let oversubscribed = n > icv::hardware_threads();
+    let bell = IdleWait::doorbell(icvs.wait_policy, oversubscribed);
+    let join_idle = IdleWait::join(icvs.wait_policy, oversubscribed);
+    let key = HotKey {
+        n,
+        barrier_kind: icvs.barrier_kind,
+        wait_policy: icvs.wait_policy,
+        dynamic: icvs.dynamic,
+    };
+    let team = HOT_TEAM.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        // A hit requires the cached team to have actually delivered the
+        // requested size: a team built while the pool was capped must
+        // not pin its shortfall — rebuilding retries acquisition on
+        // every fork, like the cold path does.
+        if let Some(ht) = cache
+            .as_ref()
+            .filter(|ht| ht.key == key && ht.team.size() == key.n)
+        {
+            // Hit: recycle in place and ring the doorbells.
+            bump(&stats().hot_team_hits);
+            ht.team.recycle(snap);
+            for ch in &ht.channels {
+                prime(ch, Some(job));
+            }
+            if let Some(first) = ht.channels.first() {
+                first.wake();
+            }
+            return ht.team.clone();
+        }
+        if cache.take().is_some() {
+            // Shape changed: drop the lease (workers return to the
+            // pool, possibly to be re-acquired two lines down).
+            bump(&stats().hot_team_resizes);
+        } else {
+            bump(&stats().hot_team_misses);
+        }
+        let workers = pool().acquire(n.saturating_sub(1), icvs);
+        let size = workers.len() + 1;
+        let team = Arc::new(Team::new(
+            size,
+            1,
+            if size > 1 { 1 } else { 0 },
+            icvs.barrier_kind,
+            barrier_policy,
+            vec![(0, 1)],
+            snap,
+            false,
+            true,
+        ));
+        // Built back to front so each channel can point at its wake-chain
+        // successor; the `Bind` mails (which wake every worker through
+        // its pool mailbox) then go out in any order.
+        let mut channels: Vec<Arc<HotChannel>> = Vec::with_capacity(workers.len());
+        let mut next: Option<Arc<HotChannel>> = None;
+        for (i, _) in workers.iter().enumerate().rev() {
+            // Pre-arm the doorbell with the first region's job so the
+            // worker starts it straight out of the `Bind`.
+            let ch = Arc::new(HotChannel {
+                team: team.clone(),
+                thread_num: i + 1,
+                epoch: AtomicU64::new(1),
+                release: AtomicBool::new(false),
+                job: UnsafeCell::new(Some(job)),
+                worker: OnceLock::new(),
+                next: next.take(),
+                idle: bell,
+            });
+            next = Some(ch.clone());
+            channels.push(ch);
+        }
+        channels.reverse();
+        for (w, ch) in workers.iter().zip(&channels) {
+            let mut mb = w.mailbox.lock();
+            *mb = Some(Assignment::Bind(ch.clone()));
+            drop(mb);
+            w.cv.notify_one();
+        }
+        *cache = Some(HotTeam {
+            key,
+            team: team.clone(),
+            channels,
+        });
+        team
+    });
+    if team.size() == 1 {
+        bump(&stats().serialized_forks);
+    }
+    run_region(&team, 0, job);
+    hot_join(&team, join_idle);
+    team
+}
+
+/// The hot master's join: wait until every bound worker has signalled
+/// completion *and* the task graph is drained, helping to execute
+/// pending tasks meanwhile (a worker may have left its share of the
+/// graph behind, and tasks the master spawned after the workers finished
+/// are its own to run). Doubles as the region-end rendezvous — hot
+/// regions have no closing barrier episode.
+fn hot_join(team: &Arc<Team>, idle: IdleWait) {
+    let mut seed = crate::lock::os_thread_id() | 1;
+    let mut rounds = 0u32;
+    loop {
+        let workers_done = team.remaining.load(Ordering::Acquire) == 0;
+        let pending = team.tasks.pending();
+        if workers_done && (pending == 0 || team.abort.load(Ordering::Relaxed)) {
+            break;
+        }
+        if pending > 0 {
+            if let Some(t) = team.tasks.pop_or_steal(0, &mut seed) {
+                execute_joining_task(team, t);
+                rounds = 0;
+                continue;
+            }
+        }
+        rounds = rounds.saturating_add(1);
+        // The last worker's completion signal is an `unpark`, so the
+        // ladder's park rung is woken promptly (and timed regardless).
+        idle.wait(rounds, true);
+    }
+}
+
+/// Run one task on the joining master. The region stack is re-pushed so
+/// the task observes itself inside the region (as it would when executed
+/// by any other team thread), and a panic is recorded rather than
+/// propagated — the join must still complete; `fork` rethrows after.
+fn execute_joining_task(team: &Arc<Team>, task: crate::task::RawTask) {
+    REGION_STACK.with(|s| {
+        s.borrow_mut().push(RegionInfo {
+            team: team.clone(),
+            thread_num: 0,
+        })
+    });
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        team.tasks.execute(0, task);
+    }));
+    REGION_STACK.with(|s| {
+        s.borrow_mut().pop();
+    });
+    if let Err(payload) = result {
+        team.record_panic(payload);
+    }
+}
+
+/// Drop this thread's hot-team lease, if any (releases the bound
+/// workers back to the global pool).
+fn drop_hot_lease() {
+    HOT_TEAM.with(|cell| {
+        cell.borrow_mut().take();
+    });
+}
+
+// ---------------------------------------------------------------------
+// fork
+// ---------------------------------------------------------------------
+
 /// Fork a parallel region: run `f` once per team thread, join, and
 /// propagate panics. The analogue of `__kmpc_fork_call`.
 ///
@@ -256,6 +772,11 @@ fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
 /// nesting beyond `max-active-levels` serializes; everything is clamped
 /// by `thread-limit-var` and by how many workers the pool can actually
 /// deliver.
+///
+/// Outermost-level forks go through the hot-team cache (see the module
+/// docs) unless `ROMP_HOT_TEAMS=0`; nested forks, forks from final
+/// tasks, and re-entrant forks from tasks executed during a hot join
+/// take the cold pool path.
 ///
 /// The `'env` lifetime plays the role of `std::thread::scope`'s
 /// environment lifetime: closures handed to
@@ -272,9 +793,9 @@ where
     // snapshot (not this OS thread's view of the global ICV), unless
     // this thread explicitly called `omp_set_schedule` in the region.
     if icv::tls_run_sched_override().is_none() {
-        crate::ctx::with_current(|r| icvs.run_sched = r.team.run_sched, || ());
+        crate::ctx::with_current(|r| icvs.run_sched = r.team.run_sched(), || ());
     }
-    let (level, active_level, ancestors) = forking_position();
+    let (level, active_level) = forking_position();
     let parent_final = crate::task::in_final();
     let mut n = match spec.if_clause {
         Some(false) => 1,
@@ -289,6 +810,45 @@ where
     bump(&stats().forks);
 
     let job = make_job(&f);
+    let snap = ForkSnap {
+        run_sched: icvs.run_sched,
+        proc_bind: spec.proc_bind.unwrap_or(icvs.proc_bind),
+    };
+
+    // Hot fast path: outermost-level forks of actual teams only (a
+    // bound worker set is per master thread; nested teams and
+    // final-task forks keep the one-shot path). Serialized regions
+    // (`if(false)`, `num_threads(1)`) fall through to the inline path
+    // below *without touching the cache* — evicting a multi-thread
+    // lease for a team of one would thrash workers on every
+    // serial/parallel alternation, and a serial region gains nothing
+    // from cached workers anyway.
+    if level == 0 && !parent_final && !HOT_BUSY.with(|b| b.get()) {
+        if icvs.hot_teams && n > 1 {
+            struct BusyGuard;
+            impl Drop for BusyGuard {
+                fn drop(&mut self) {
+                    HOT_BUSY.with(|b| b.set(false));
+                }
+            }
+            HOT_BUSY.with(|b| b.set(true));
+            let _busy = BusyGuard;
+            let team = hot_fork(n, &icvs, snap, job);
+            if team.abort.load(Ordering::Acquire) {
+                // Never reuse a team a panic tore through: release the
+                // workers and rebuild cold state on the next fork.
+                drop_hot_lease();
+                rethrow(&team);
+            }
+            return;
+        }
+        if !icvs.hot_teams {
+            // Hot teams were switched off between regions: stop
+            // hoarding the bound workers.
+            drop_hot_lease();
+        }
+    }
+
     if n == 1 {
         bump(&stats().serialized_forks);
         let team = Arc::new(Team::new(
@@ -297,9 +857,10 @@ where
             active_level,
             icvs.barrier_kind,
             icvs.wait_policy,
-            ancestors,
-            icvs.run_sched,
+            forking_ancestors(),
+            snap,
             parent_final,
+            false,
         ));
         run_region(&team, 0, job);
         rethrow(&team);
@@ -311,28 +872,21 @@ where
     if size == 1 {
         bump(&stats().serialized_forks);
     }
-    // Oversubscription heuristic (libomp does the same): when the team
-    // is larger than the hardware concurrency, spinning at barriers
-    // steals the timeslice from the sibling that would release us —
-    // park immediately instead.
-    let wait_policy = if size > crate::icv::hardware_threads() {
-        crate::icv::WaitPolicy::Passive
-    } else {
-        icvs.wait_policy
-    };
+    let wait_policy = effective_wait_policy(size, &icvs);
     let team = Arc::new(Team::new(
         size,
         level + 1,
         active_level + 1,
         icvs.barrier_kind,
         wait_policy,
-        ancestors,
-        icvs.run_sched,
+        forking_ancestors(),
+        snap,
         parent_final,
+        false,
     ));
     for (i, w) in workers.iter().enumerate() {
         let mut mb = w.mailbox.lock();
-        *mb = Some(Assignment {
+        *mb = Some(Assignment::Run {
             team: team.clone(),
             thread_num: i + 1,
             job,
@@ -345,7 +899,8 @@ where
     rethrow(&team);
 }
 
-/// Block until every worker of `team` has signalled completion.
+/// Block until every worker of `team` has signalled completion (the
+/// cold-path join; hot teams use [`hot_join`]).
 fn join(team: &Arc<Team>, icvs: &Icvs) {
     let spin_budget = icvs.wait_policy.spin_budget();
     let mut spins = 0u32;
@@ -438,6 +993,55 @@ mod tests {
     }
 
     #[test]
+    fn hot_team_consecutive_forks_hit_the_cache() {
+        // Run on a dedicated thread: the cache is per master thread, so
+        // the counters below can only be disturbed by *this* thread.
+        std::thread::spawn(|| {
+            fork(ForkSpec::with_num_threads(3), |_| {});
+            let before = stats().snapshot();
+            for _ in 0..20 {
+                fork(ForkSpec::with_num_threads(3), |_| {});
+            }
+            let d = before.delta(&stats().snapshot());
+            assert!(
+                d.hot_team_hits >= 20,
+                "20 same-shape forks should all hit, saw {}",
+                d.hot_team_hits
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn hot_team_disabled_takes_cold_path() {
+        std::thread::spawn(|| {
+            icv::TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
+            let disabled = Icvs {
+                hot_teams: false,
+                ..icv::current()
+            };
+            let before = stats().snapshot();
+            let hits = AtomicUsize::new(0);
+            // Drive the cold path hermetically through the global ICV.
+            let prev = icv::override_global(disabled);
+            for _ in 0..5 {
+                fork(ForkSpec::with_num_threads(2), |_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            icv::override_global(prev);
+            assert_eq!(hits.load(Ordering::SeqCst), 10);
+            let d = before.delta(&stats().snapshot());
+            // This thread contributed no hot activity; other test
+            // threads may have, so only check our own forks landed.
+            assert!(d.forks >= 5);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
     fn panic_in_region_propagates_to_caller() {
         let r = std::panic::catch_unwind(|| {
             fork(ForkSpec::with_num_threads(4), |ctx| {
@@ -505,5 +1109,48 @@ mod tests {
                 assert_eq!(x, i as u64);
             }
         }
+    }
+
+    #[test]
+    fn proc_bind_clause_is_recorded_and_reported() {
+        fork(
+            ForkSpec::with_num_threads(2).proc_bind(ProcBind::Spread),
+            |ctx| {
+                assert_eq!(ctx.proc_bind(), ProcBind::Spread);
+                assert_eq!(crate::api::omp_get_proc_bind(), ProcBind::Spread);
+            },
+        );
+        // Without the clause the bind-var ICV shows through.
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            assert_eq!(ctx.proc_bind(), icv::current().proc_bind);
+        });
+    }
+
+    #[test]
+    fn fork_from_task_during_hot_join_takes_cold_path() {
+        // A deferred task that itself forks: if the master picks it up
+        // while joining, the inner fork must not recycle the in-flight
+        // hot team. Wherever the task lands — a worker mid-region or
+        // the joining master — it observes itself at nesting level 1
+        // (the join-time executor re-pushes the region info), so the
+        // inner fork serializes identically everywhere.
+        std::thread::spawn(|| {
+            let inner_ran = AtomicUsize::new(0);
+            for _ in 0..10 {
+                fork(ForkSpec::with_num_threads(2), |ctx| {
+                    if ctx.is_master() {
+                        ctx.task(|| {
+                            fork(ForkSpec::with_num_threads(2), |inner| {
+                                assert_eq!(inner.num_threads(), 1);
+                                inner_ran.fetch_add(1, Ordering::SeqCst);
+                            });
+                        });
+                    }
+                });
+            }
+            assert_eq!(inner_ran.load(Ordering::SeqCst), 10);
+        })
+        .join()
+        .unwrap();
     }
 }

@@ -39,6 +39,13 @@ pub struct Stats {
     pub workers_spawned: AtomicU64,
     /// Lock acquisitions that had to spin (contended).
     pub contended_locks: AtomicU64,
+    /// Forks served by a cached hot team (doorbell fast path).
+    pub hot_team_hits: AtomicU64,
+    /// Forks that had to build a hot team from the pool (no cache).
+    pub hot_team_misses: AtomicU64,
+    /// Forks that rebuilt a cached hot team because `num_threads` or a
+    /// team-shape ICV (wait policy, barrier kind, `dyn-var`) changed.
+    pub hot_team_resizes: AtomicU64,
 }
 
 static STATS: Stats = Stats {
@@ -53,6 +60,9 @@ static STATS: Stats = Stats {
     tasks_dep_stalled: AtomicU64::new(0),
     workers_spawned: AtomicU64::new(0),
     contended_locks: AtomicU64::new(0),
+    hot_team_hits: AtomicU64::new(0),
+    hot_team_misses: AtomicU64::new(0),
+    hot_team_resizes: AtomicU64::new(0),
 };
 
 /// Access the global statistics block.
@@ -85,6 +95,12 @@ pub struct Snapshot {
     pub workers_spawned: u64,
     /// See [`Stats::contended_locks`].
     pub contended_locks: u64,
+    /// See [`Stats::hot_team_hits`].
+    pub hot_team_hits: u64,
+    /// See [`Stats::hot_team_misses`].
+    pub hot_team_misses: u64,
+    /// See [`Stats::hot_team_resizes`].
+    pub hot_team_resizes: u64,
 }
 
 impl Stats {
@@ -102,6 +118,9 @@ impl Stats {
             tasks_dep_stalled: self.tasks_dep_stalled.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
             contended_locks: self.contended_locks.load(Ordering::Relaxed),
+            hot_team_hits: self.hot_team_hits.load(Ordering::Relaxed),
+            hot_team_misses: self.hot_team_misses.load(Ordering::Relaxed),
+            hot_team_resizes: self.hot_team_resizes.load(Ordering::Relaxed),
         }
     }
 }
@@ -121,6 +140,9 @@ impl Snapshot {
             tasks_dep_stalled: later.tasks_dep_stalled - self.tasks_dep_stalled,
             workers_spawned: later.workers_spawned - self.workers_spawned,
             contended_locks: later.contended_locks - self.contended_locks,
+            hot_team_hits: later.hot_team_hits - self.hot_team_hits,
+            hot_team_misses: later.hot_team_misses - self.hot_team_misses,
+            hot_team_resizes: later.hot_team_resizes - self.hot_team_resizes,
         }
     }
 }
@@ -138,6 +160,9 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
     let _ = writeln!(out, "  tasks_inline = '{}'", s.tasks_inline);
     let _ = writeln!(out, "  tasks_stolen = '{}'", s.tasks_stolen);
     let _ = writeln!(out, "  tasks_dep_stalled = '{}'", s.tasks_dep_stalled);
+    let _ = writeln!(out, "  hot_team_hits = '{}'", s.hot_team_hits);
+    let _ = writeln!(out, "  hot_team_misses = '{}'", s.hot_team_misses);
+    let _ = writeln!(out, "  hot_team_resizes = '{}'", s.hot_team_resizes);
     let _ = writeln!(out, "ROMP TASK STATISTICS END");
     out
 }
@@ -177,6 +202,9 @@ mod tests {
             "tasks_inline",
             "tasks_stolen",
             "tasks_dep_stalled",
+            "hot_team_hits",
+            "hot_team_misses",
+            "hot_team_resizes",
         ] {
             assert!(banner.contains(key), "missing {key} in:\n{banner}");
         }

@@ -515,6 +515,23 @@ impl TaskSystem {
     pub(crate) fn pending(&self) -> usize {
         self.pending.load(Ordering::Acquire)
     }
+
+    /// Recycle the task system for a hot team's next region: evict the
+    /// dependence table's finished-task residue (addresses of dead
+    /// writers/readers accumulate across regions otherwise) and rewind
+    /// the node id counter. Deques are already empty — a region cannot
+    /// end with `pending > 0` — so only the graph needs clearing.
+    ///
+    /// Contract: caller is the hot-team master between join and ring
+    /// (no concurrent task activity).
+    pub(crate) fn recycle(&self) {
+        debug_assert_eq!(self.pending(), 0, "recycling a team with live tasks");
+        let mut g = self.deps.lock();
+        g.table.clear();
+        g.nodes.clear();
+        g.stalled.clear();
+        g.next_id = 0;
+    }
 }
 
 /// The dynamically enclosing explicit task (for `taskwait` semantics).

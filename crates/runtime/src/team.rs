@@ -28,9 +28,9 @@
 //! `g`, which requires `g` to be fully done).
 
 use crate::barrier::{BarrierKind, TeamBarrier};
-use crate::icv::WaitPolicy;
+use crate::icv::{ProcBind, WaitPolicy};
 use crate::task::TaskSystem;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
@@ -162,6 +162,16 @@ impl WsSlot {
     pub(crate) fn leave(&self) {
         self.done.fetch_add(1, Ordering::AcqRel);
     }
+
+    /// Return the slot to its just-constructed state for generation
+    /// `initial_gen`. Hot-team recycling: called by the master between
+    /// regions, while every team thread is parked at its doorbell, so
+    /// plain stores suffice (the doorbell ring publishes them).
+    pub(crate) fn reset(&self, initial_gen: u64) {
+        self.gen.store(initial_gen, Ordering::Relaxed);
+        self.state.store(STATE_FREE, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+    }
 }
 
 /// One generation-tagged reduction accumulator (see `Team::reduce_cells`).
@@ -180,6 +190,25 @@ impl RedCell {
             value: None,
         }
     }
+}
+
+/// Per-fork snapshot of the master's data environment: ICV-derived
+/// values that are fixed for the duration of one region but change from
+/// region to region. A cold team takes them at construction; a recycled
+/// hot team overwrites them at each fork ([`Team::recycle`]), which is
+/// why they live behind one `RwLock` instead of being plain fields.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ForkSnap {
+    /// `run-sched-var` snapshot from the master's data environment at
+    /// fork time: `schedule(runtime)` loops must resolve identically on
+    /// every team thread, so the resolution source is bound to the team
+    /// (per OpenMP ICV inheritance), not read per-thread mid-loop.
+    pub run_sched: crate::sched::Schedule,
+    /// Effective thread affinity request for this region: the
+    /// `proc_bind` clause if present, else the `bind-var` ICV. Recorded
+    /// and reported (`omp_get_proc_bind`); actual core pinning is
+    /// outside the scope of a portable runtime.
+    pub proc_bind: ProcBind,
 }
 
 /// Shared state of one parallel region's team.
@@ -213,16 +242,21 @@ pub struct Team {
     /// `(thread_num, team_size)` per enclosing level, index 0 = initial
     /// implicit task. Used by `omp_get_ancestor_thread_num`.
     pub(crate) ancestors: Vec<(usize, usize)>,
-    /// `run-sched-var` snapshot from the master's data environment at
-    /// fork time: `schedule(runtime)` loops must resolve identically on
-    /// every team thread, so the resolution source is bound to the team
-    /// (per OpenMP ICV inheritance), not read per-thread mid-loop.
-    pub(crate) run_sched: crate::sched::Schedule,
+    /// Per-fork ICV snapshot (see [`ForkSnap`]); rewritten on recycle.
+    pub(crate) snap: RwLock<ForkSnap>,
     /// Was this region forked from inside a `final` task? Then every
     /// team thread's implicit task is final too (descendants of a final
     /// task are included tasks), which each worker re-establishes in
     /// its own TLS when it runs the region.
     pub(crate) parent_final: bool,
+    /// Is this a cached **hot team** (workers bound to doorbells, state
+    /// recycled between regions)? Hot teams skip the closing barrier
+    /// episode at region end: the master's join on `remaining` is the
+    /// region-end rendezvous and the next doorbell ring is the release.
+    pub(crate) hot: bool,
+    /// The forking master's thread handle: hot-team workers `unpark` it
+    /// to signal region completion (the cold path uses the join condvar).
+    pub(crate) master: std::thread::Thread,
 }
 
 impl std::fmt::Debug for Team {
@@ -237,7 +271,7 @@ impl std::fmt::Debug for Team {
 
 impl Team {
     /// Build a team of `size` threads at nesting `level`.
-    #[allow(clippy::too_many_arguments)] // fork-time snapshot, one call site
+    #[allow(clippy::too_many_arguments)] // fork-time snapshot, two call sites
     pub(crate) fn new(
         size: usize,
         level: usize,
@@ -245,8 +279,9 @@ impl Team {
         barrier_kind: BarrierKind,
         wait_policy: WaitPolicy,
         ancestors: Vec<(usize, usize)>,
-        run_sched: crate::sched::Schedule,
+        snap: ForkSnap,
         parent_final: bool,
+        hot: bool,
     ) -> Self {
         Team {
             size,
@@ -263,14 +298,56 @@ impl Team {
             copy_cell: Mutex::new(None),
             reduce_cells: [Mutex::new(RedCell::new()), Mutex::new(RedCell::new())],
             ancestors,
-            run_sched,
+            snap: RwLock::new(snap),
             parent_final,
+            hot,
+            master: std::thread::current(),
         }
     }
 
     /// Team size.
     pub fn size(&self) -> usize {
         self.size
+    }
+
+    /// The team's `schedule(runtime)` resolution source (fork-time
+    /// snapshot of `run-sched-var`).
+    pub(crate) fn run_sched(&self) -> crate::sched::Schedule {
+        self.snap.read().run_sched
+    }
+
+    /// The region's effective `proc_bind` (clause, else `bind-var`).
+    pub(crate) fn proc_bind(&self) -> ProcBind {
+        self.snap.read().proc_bind
+    }
+
+    /// Recycle this hot team's shared state for the next region, in
+    /// place of a fresh allocation.
+    ///
+    /// Contract: the caller (the master, between its join and the next
+    /// doorbell ring) has verified that every worker finished the
+    /// previous region (`remaining == 0`) and that no task is pending,
+    /// so no other thread touches the team until the ring publishes
+    /// these writes.
+    pub(crate) fn recycle(&self, snap: ForkSnap) {
+        debug_assert!(self.hot, "recycle is a hot-team protocol");
+        debug_assert_eq!(self.remaining.load(Ordering::Acquire), 0);
+        self.abort.store(false, Ordering::Relaxed);
+        *self.panic_payload.lock() = None;
+        self.remaining
+            .store(self.size.saturating_sub(1), Ordering::Relaxed);
+        self.barrier.reset();
+        for (i, s) in self.slots.iter().enumerate() {
+            s.reset(i as u64);
+        }
+        self.tasks.recycle();
+        *self.copy_cell.lock() = None;
+        for cell in &self.reduce_cells {
+            let mut c = cell.lock();
+            c.gen = u64::MAX;
+            c.value = None;
+        }
+        *self.snap.write() = snap;
     }
 
     /// Slot for a construct generation.
@@ -302,8 +379,12 @@ mod tests {
             BarrierKind::Central,
             WaitPolicy::Hybrid,
             vec![(0, 1)],
-            crate::sched::Schedule::default(),
+            ForkSnap {
+                run_sched: crate::sched::Schedule::default(),
+                proc_bind: ProcBind::False,
+            },
             false,
+            true, // hot, so recycle() is exercisable
         )
     }
 
@@ -372,6 +453,40 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(installs.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn recycle_resets_slots_panic_state_and_snapshot() {
+        let team = test_team(2);
+        let abort = AtomicBool::new(false);
+        // Dirty the team: advance a slot generation, record a panic,
+        // poison a reduce cell, consume the join counter.
+        let slot = team.slot(0);
+        assert!(slot.enter(0, 2, &abort, |s| s.end.store(11, Ordering::Relaxed)));
+        slot.leave();
+        slot.leave();
+        team.record_panic(Box::new("boom"));
+        team.reduce_cells[0].lock().gen = 0;
+        team.remaining.store(0, Ordering::SeqCst);
+
+        team.recycle(ForkSnap {
+            run_sched: crate::sched::Schedule::dynamic_chunk(5),
+            proc_bind: ProcBind::Spread,
+        });
+
+        assert!(!team.abort.load(Ordering::SeqCst));
+        assert!(team.panic_payload.lock().is_none());
+        assert_eq!(team.remaining.load(Ordering::SeqCst), 1);
+        assert_eq!(team.run_sched(), crate::sched::Schedule::dynamic_chunk(5));
+        assert_eq!(team.proc_bind(), ProcBind::Spread);
+        assert_eq!(team.reduce_cells[0].lock().gen, u64::MAX);
+        // Slot generation is back at its initial value: a fresh thread
+        // (generation counter 0) can install again.
+        let slot = team.slot(0);
+        assert!(slot.enter(0, 2, &abort, |s| s.end.store(99, Ordering::Relaxed)));
+        assert_eq!(slot.end.load(Ordering::Relaxed), 99);
+        slot.leave();
+        slot.leave();
     }
 
     #[test]

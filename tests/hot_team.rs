@@ -1,0 +1,303 @@
+//! Hot-team cache conformance.
+//!
+//! The fork/join fast path caches the master's last team (workers stay
+//! bound to doorbells between regions — see `romp_runtime::pool`). That
+//! cache must be *observationally invisible*: `omp_get_num_threads`
+//! geometry stays exact when `omp_set_num_threads`, `OMP_DYNAMIC`, the
+//! wait policy or the barrier algorithm change between back-to-back
+//! regions (the team resizes or rebuilds), per-fork ICV snapshots
+//! (`schedule(runtime)` resolution, `proc_bind`) are re-taken on every
+//! recycle, and a panic inside a region must never poison the cached
+//! team — the next fork from the same master rebuilds cleanly.
+//!
+//! Each scenario runs on its own freshly-spawned thread: the hot-team
+//! cache is per master OS thread, so a dedicated thread gives a
+//! deterministic cold start and exercises the lease-release-on-exit
+//! (TLS drop) path as a bonus. Every scenario holds `ICV_LOCK` for its
+//! whole duration — several mutate process-global ICVs (wait policy,
+//! `dyn-var`, `hot_teams`) and several assert global stats-counter
+//! deltas, so scenarios must not interleave.
+
+use romp::runtime::stats::stats;
+use romp::runtime::{
+    fork, icv, omp_get_num_threads, omp_get_schedule, omp_set_num_threads, omp_set_schedule,
+    BarrierKind, ForkSpec, Schedule, WaitPolicy,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static ICV_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` on a dedicated OS thread (its own hot-team cache), holding
+/// the suite lock for the whole scenario. The suite is *about* the hot
+/// path, so it force-enables it even when the surrounding environment
+/// set `ROMP_HOT_TEAMS=0`.
+fn on_fresh_thread(f: impl FnOnce() + Send + 'static) {
+    let _g = ICV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    icv::with_global_mut(|i| i.hot_teams = true);
+    std::thread::Builder::new()
+        .name("hot-team-test-master".into())
+        .spawn(f)
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+/// Fork a team of `n` and assert exact geometry (every thread sees the
+/// requested size, all thread numbers distinct).
+fn assert_geometry(n: usize) {
+    let hits = AtomicUsize::new(0);
+    let seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+    fork(ForkSpec::with_num_threads(n), |ctx| {
+        assert_eq!(ctx.num_threads(), n, "team size must be exact");
+        assert_eq!(omp_get_num_threads(), n);
+        hits.fetch_add(1, Ordering::SeqCst);
+        seen.lock().unwrap().push(ctx.thread_num());
+    });
+    assert_eq!(hits.load(Ordering::SeqCst), n, "one body run per thread");
+    let mut tn = seen.into_inner().unwrap();
+    tn.sort_unstable();
+    assert_eq!(tn, (0..n).collect::<Vec<_>>(), "thread numbers 0..n once");
+}
+
+#[test]
+fn consecutive_same_shape_regions_hit_the_cache() {
+    on_fresh_thread(|| {
+        assert_geometry(3); // build
+        let before = stats().snapshot();
+        for _ in 0..25 {
+            assert_geometry(3);
+        }
+        let d = before.delta(&stats().snapshot());
+        // Other test threads can only add hits, never subtract.
+        assert!(
+            d.hot_team_hits >= 25,
+            "same-shape regions must reuse the team (hits: {})",
+            d.hot_team_hits
+        );
+    });
+}
+
+#[test]
+fn omp_set_num_threads_between_regions_resizes_exactly() {
+    on_fresh_thread(|| {
+        // Warm a 2-thread team, then steer sizes through the nthreads-var
+        // (TLS override — no clause), checking exact geometry each time.
+        assert_geometry(2);
+        let before = stats().snapshot();
+        for &n in &[3usize, 2, 4, 2, 3] {
+            omp_set_num_threads(n);
+            let sizes = Mutex::new(Vec::new());
+            fork(ForkSpec::new(), |ctx| {
+                sizes.lock().unwrap().push(ctx.num_threads());
+            });
+            let sizes = sizes.into_inner().unwrap();
+            assert_eq!(sizes.len(), n, "nthreads-var {n} must produce {n} bodies");
+            assert!(sizes.iter().all(|&s| s == n));
+        }
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_resizes >= 5,
+            "five size changes must resize the hot team (resizes: {})",
+            d.hot_team_resizes
+        );
+        // Serialized regions run inline and must NOT evict the lease:
+        // n=1 geometry is exact, and the 3-thread team still hits.
+        let before = stats().snapshot();
+        omp_set_num_threads(1);
+        assert_geometry(1);
+        omp_set_num_threads(3);
+        assert_geometry(3);
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_resizes == 0 || d.hot_team_hits >= 1,
+            "a serial region must not thrash the multi-thread lease"
+        );
+    });
+}
+
+#[test]
+fn geometry_stays_exact_across_alternating_shapes() {
+    on_fresh_thread(|| {
+        for &n in &[1usize, 4, 2, 4, 1, 3, 4, 2] {
+            assert_geometry(n);
+        }
+    });
+}
+
+#[test]
+fn wait_policy_change_rebuilds_the_team() {
+    on_fresh_thread(|| {
+        assert_geometry(2);
+        assert_geometry(2); // warmed, hitting
+        let before = stats().snapshot();
+        // Flip to whichever policy differs from the current one (the
+        // suite may run under OMP_WAIT_POLICY=passive already).
+        let flipped = if icv::current().wait_policy == WaitPolicy::Passive {
+            WaitPolicy::Hybrid
+        } else {
+            WaitPolicy::Passive
+        };
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.wait_policy, flipped));
+        assert_geometry(2);
+        icv::with_global_mut(|i| i.wait_policy = prev);
+        assert_geometry(2);
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_resizes >= 2,
+            "wait-policy flips must rebuild (resizes: {})",
+            d.hot_team_resizes
+        );
+    });
+}
+
+#[test]
+fn omp_dynamic_change_rebuilds_the_team() {
+    on_fresh_thread(|| {
+        assert_geometry(2);
+        let before = stats().snapshot();
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.dynamic, true));
+        assert_geometry(2);
+        icv::with_global_mut(|i| i.dynamic = prev);
+        assert_geometry(2);
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_resizes >= 2,
+            "dyn-var flips must rebuild (resizes: {})",
+            d.hot_team_resizes
+        );
+    });
+}
+
+#[test]
+fn barrier_kind_change_rebuilds_the_team() {
+    on_fresh_thread(|| {
+        assert_geometry(3);
+        let before = stats().snapshot();
+        let prev = icv::with_global_mut(|i| {
+            std::mem::replace(&mut i.barrier_kind, BarrierKind::Dissemination)
+        });
+        // The rebuilt team's barrier must actually work.
+        fork(ForkSpec::with_num_threads(3), |ctx| {
+            for _ in 0..5 {
+                ctx.barrier();
+            }
+        });
+        icv::with_global_mut(|i| i.barrier_kind = prev);
+        assert_geometry(3);
+        let d = before.delta(&stats().snapshot());
+        assert!(d.hot_team_resizes >= 2);
+    });
+}
+
+#[test]
+fn hot_teams_disabled_still_runs_and_releases_the_lease() {
+    on_fresh_thread(|| {
+        assert_geometry(2); // lease a hot team first
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.hot_teams, false));
+        // The next fork drops the lease and serves from the cold pool.
+        for _ in 0..5 {
+            assert_geometry(2);
+        }
+        icv::with_global_mut(|i| i.hot_teams = prev);
+        assert_geometry(2); // re-leases
+    });
+}
+
+#[test]
+fn panic_does_not_poison_the_cached_team() {
+    on_fresh_thread(|| {
+        // Warm the cache so the panic tears through a *recycled* team.
+        assert_geometry(4);
+        assert_geometry(4);
+        let before = stats().snapshot();
+        let r = std::panic::catch_unwind(|| {
+            fork(ForkSpec::with_num_threads(4), |ctx| {
+                if ctx.thread_num() == 1 {
+                    panic!("hot worker exploded");
+                }
+                // Siblings park at a barrier; the abort must free them.
+                ctx.barrier();
+            });
+        });
+        let payload = r.expect_err("panic must propagate to the master");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied().unwrap_or(""),
+            "hot worker exploded"
+        );
+        // The next forks from the same master rebuild cleanly and run
+        // green with exact geometry — repeatedly.
+        for _ in 0..10 {
+            assert_geometry(4);
+        }
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_misses >= 1,
+            "the panic must invalidate the cache (misses: {})",
+            d.hot_team_misses
+        );
+    });
+}
+
+#[test]
+fn panic_storm_never_wedges_the_runtime() {
+    on_fresh_thread(|| {
+        for round in 0..8 {
+            let r = std::panic::catch_unwind(|| {
+                fork(ForkSpec::with_num_threads(3), |ctx| {
+                    if ctx.thread_num() == round % 3 {
+                        panic!("boom");
+                    }
+                });
+            });
+            assert!(r.is_err());
+            assert_geometry(3);
+        }
+    });
+}
+
+#[test]
+fn recycled_team_retakes_the_run_sched_snapshot() {
+    on_fresh_thread(|| {
+        omp_set_schedule(Schedule::dynamic_chunk(3));
+        fork(ForkSpec::with_num_threads(2), |_| {
+            assert_eq!(omp_get_schedule(), Schedule::Dynamic { chunk: 3 });
+        });
+        // Same shape → recycled team; the snapshot must still move.
+        omp_set_schedule(Schedule::guided_chunk(2));
+        fork(ForkSpec::with_num_threads(2), |_| {
+            assert_eq!(omp_get_schedule(), Schedule::Guided { chunk: 2 });
+        });
+    });
+}
+
+#[test]
+fn worksharing_state_is_clean_after_recycle() {
+    on_fresh_thread(|| {
+        // Drive constructs that dirty every recycled subsystem — slots
+        // (dynamic loop + single), reduction cells, task deques — then
+        // run the exact same region again on the recycled team and
+        // check the results are identical.
+        for round in 0..6 {
+            let sum = AtomicUsize::new(0);
+            let singles = AtomicUsize::new(0);
+            let tasks = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(4), |ctx| {
+                ctx.ws_for(0..100, Schedule::dynamic_chunk(7), false, |i| {
+                    sum.fetch_add(i, Ordering::Relaxed);
+                });
+                if ctx.single(false, || ()).is_some() {
+                    singles.fetch_add(1, Ordering::Relaxed);
+                }
+                let r = ctx.reduce_value(romp::runtime::SumOp, 1usize);
+                assert_eq!(r, 4);
+                ctx.task(|| {
+                    tasks.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 4950, "round {round}");
+            assert_eq!(singles.load(Ordering::Relaxed), 1, "round {round}");
+            assert_eq!(tasks.load(Ordering::Relaxed), 4, "round {round}");
+        }
+    });
+}
