@@ -21,6 +21,13 @@
 //! default), never fatal: an HPC batch job must not die because of a typo
 //! in a site-wide profile. Every parser here is a pure function over the
 //! string so tests can cover it without touching the process environment.
+//!
+//! Defaults derived from hardware concurrency (`nthreads-var` with no
+//! `OMP_NUM_THREADS`, the `thread-limit-var` default) read a
+//! process-lifetime snapshot of `available_parallelism` taken on first
+//! use ([`crate::icv::hardware_threads`]): a cgroup CPU-quota change
+//! after startup (container resize) is not observed. Set
+//! `OMP_NUM_THREADS`/`OMP_THREAD_LIMIT` explicitly where that matters.
 
 use crate::barrier::BarrierKind;
 use crate::icv::{Icvs, ProcBind, WaitPolicy};

@@ -2,8 +2,10 @@
 //!
 //! A single global ICV block is initialized once from the `OMP_*`
 //! environment (see [`crate::env`]) and may be adjusted afterwards through
-//! the `omp_set_*` API or, hermetically, through [`override_global`] which
-//! tests use to avoid process-global environment mutation.
+//! the `omp_set_*` API (which lands in a per-thread `TlsOverride`) or
+//! through [`with_global_mut`]. Tests that must not perturb concurrently
+//! running tests drive per-thread knobs via the TLS override instead of
+//! mutating the global block.
 //!
 //! Simplification relative to the full spec: `nthreads-var` and friends
 //! are process-global plus a per-OS-thread override, rather than being
@@ -91,10 +93,14 @@ pub struct Icvs {
     pub hot_teams: bool,
 }
 
-/// Hardware concurrency with a sane floor. Cached: the runtime consults
-/// this on every fork (team sizing, oversubscription heuristics), and
+/// Hardware concurrency with a sane floor. Cached **for the process
+/// lifetime**: the runtime consults this on every fork (team sizing,
+/// oversubscription heuristics, the default `thread-limit-var`), and
 /// `std::thread::available_parallelism` re-reads the cgroup quota files
-/// on every call — ~10µs of syscalls that would dwarf a hot fork.
+/// on every call — ~10µs of syscalls that would dwarf a hot fork. The
+/// deliberate consequence is that a cgroup CPU-quota change at runtime
+/// (container resize) is not observed; set `OMP_NUM_THREADS` /
+/// `OMP_THREAD_LIMIT` explicitly where that matters.
 pub fn hardware_threads() -> usize {
     static HW: OnceLock<usize> = OnceLock::new();
     *HW.get_or_init(|| {
@@ -157,16 +163,12 @@ pub fn current() -> Icvs {
             if let Some(s) = ovr.run_sched {
                 base.run_sched = s;
             }
+            if let Some(h) = ovr.hot_teams {
+                base.hot_teams = h;
+            }
         }
     });
     base
-}
-
-/// Replace the global ICV block wholesale. Intended for tests and
-/// benchmark harnesses that need hermetic control; returns the previous
-/// block.
-pub fn override_global(new: Icvs) -> Icvs {
-    std::mem::replace(&mut *global_cell().write(), new)
 }
 
 /// Mutate the global block in place.
@@ -181,6 +183,10 @@ pub(crate) struct TlsOverride {
     pub dynamic: Option<bool>,
     pub max_active_levels: Option<usize>,
     pub run_sched: Option<Schedule>,
+    /// Per-thread hot-team opt-out. No `omp_set_*` sets this; it lets
+    /// tests drive the cold path hermetically without mutating the
+    /// process-global block out from under concurrently-running tests.
+    pub hot_teams: Option<bool>,
 }
 
 thread_local! {

@@ -276,6 +276,12 @@ fn worker_main(slot: Arc<WorkerSlot>) {
             Assignment::Bind(channel) => {
                 hot_worker_loop(&channel);
                 drop(channel);
+                // The releasing master already pushed this slot back to
+                // the idle list (`HotTeam::drop`); self-releasing too
+                // would duplicate it and let two masters acquire the
+                // same worker. Go straight back to the mailbox wait —
+                // an assignment may even be waiting there already.
+                continue;
             }
         }
         pool().release(slot.clone());
@@ -353,6 +359,27 @@ struct IdleWait {
 }
 
 impl IdleWait {
+    /// Common policy table: only the hybrid rung differs between the
+    /// doorbell and join ladders, so it is the one parameter.
+    fn ladder(policy: WaitPolicy, oversubscribed: bool, hybrid: IdleWait) -> Self {
+        match policy {
+            // Spin-forever only when a core is actually free for it:
+            // oversubscribed active degrades to a yield loop (same
+            // heuristic the barrier applies), or it would burn whole
+            // timeslices the sibling being waited for needs.
+            WaitPolicy::Active if oversubscribed => IdleWait {
+                spin: 64,
+                yields: u32::MAX,
+            },
+            WaitPolicy::Active => IdleWait {
+                spin: u32::MAX,
+                yields: 0,
+            },
+            WaitPolicy::Passive => IdleWait { spin: 8, yields: 0 },
+            WaitPolicy::Hybrid => hybrid,
+        }
+    }
+
     /// Ladder for a worker idling at its doorbell. On an oversubscribed
     /// host the worker parks almost immediately: a freshly-woken worker
     /// has the lowest virtual runtime, so any post-completion yield
@@ -360,29 +387,18 @@ impl IdleWait {
     /// the next ring (measured: one such region costs ~20µs instead of
     /// ~3µs), while a park/unpark round trip is cheap.
     fn doorbell(policy: WaitPolicy, oversubscribed: bool) -> Self {
-        match policy {
-            // Spin-forever only when a core is actually free for it:
-            // oversubscribed active degrades to a yield loop (same
-            // heuristic the barrier applies), or it would burn whole
-            // timeslices the master needs.
-            WaitPolicy::Active if oversubscribed => IdleWait {
-                spin: 64,
-                yields: u32::MAX,
-            },
-            WaitPolicy::Active => IdleWait {
-                spin: u32::MAX,
-                yields: 0,
-            },
-            WaitPolicy::Passive => IdleWait { spin: 8, yields: 0 },
-            WaitPolicy::Hybrid if oversubscribed => IdleWait {
+        let hybrid = if oversubscribed {
+            IdleWait {
                 spin: 8,
                 yields: 32,
-            },
-            WaitPolicy::Hybrid => IdleWait {
+            }
+        } else {
+            IdleWait {
                 spin: 512,
                 yields: 256,
-            },
-        }
+            }
+        };
+        Self::ladder(policy, oversubscribed, hybrid)
     }
 
     /// Ladder for the master's join. The master *wants* to donate its
@@ -390,30 +406,23 @@ impl IdleWait {
     /// leans on yields (cheap directed switches on an oversubscribed
     /// host) with the park only as a backstop for long regions.
     fn join(policy: WaitPolicy, oversubscribed: bool) -> Self {
-        match policy {
-            WaitPolicy::Active if oversubscribed => IdleWait {
-                spin: 64,
-                yields: u32::MAX,
-            },
-            WaitPolicy::Active => IdleWait {
-                spin: u32::MAX,
-                yields: 0,
-            },
-            WaitPolicy::Passive => IdleWait { spin: 8, yields: 0 },
-            WaitPolicy::Hybrid => IdleWait {
-                spin: if oversubscribed { 0 } else { 512 },
-                yields: 4096,
-            },
-        }
+        let hybrid = IdleWait {
+            spin: if oversubscribed { 0 } else { 512 },
+            yields: 4096,
+        };
+        Self::ladder(policy, oversubscribed, hybrid)
     }
 
     /// Execute idle round number `idle` (1-based, saturating).
     ///
     /// `timed_park` selects the park rung's flavor: the doorbell uses
-    /// an untimed `park` (pure token protocol — the ring's epoch bump
-    /// happens before its `unpark`, and the worker re-checks the epoch
-    /// around every park, so a wakeup can never be lost; timed parks
-    /// were measured to cost tens of µs in timer bookkeeping on some
+    /// an untimed `park` (pure token protocol — a direct ring bumps the
+    /// epoch before its `unpark`, a chain-forwarded wake only reaches a
+    /// worker whose channel the master already primed because the hit
+    /// path primes in reverse chain order, and the worker re-checks the
+    /// epoch around every park — so a park can never consume a token
+    /// against a stale epoch and strand the worker; timed parks were
+    /// measured to cost tens of µs in timer bookkeeping on some
     /// kernels). The join keeps a timed park as a liveness backstop:
     /// a dependence release can land work on a busy worker's deque,
     /// and the master must wake up to steal it even though no
@@ -465,7 +474,9 @@ struct HotChannel {
     /// before running its own share of the region. Wake syscalls thus
     /// ride on threads that are about to park anyway instead of
     /// preempting the master once per worker (which serialized the ring
-    /// loop into per-worker context-switch round trips).
+    /// loop into per-worker context-switch round trips). Sound only
+    /// because the hit path primes channels in **reverse** chain order:
+    /// a forwarded wake always finds its target's epoch already bumped.
     next: Option<Arc<HotChannel>>,
     /// Idle ladder of the team's wait policy (`OMP_WAIT_POLICY`).
     idle: IdleWait,
@@ -552,28 +563,46 @@ struct HotKey {
     /// Requested team size (post `if`/nesting/limit clamping).
     n: usize,
     barrier_kind: crate::barrier::BarrierKind,
-    /// Effective (oversubscription-adjusted) wait policy.
+    /// The **raw** `OMP_WAIT_POLICY` ICV — deliberately not the
+    /// oversubscription-adjusted effective policy (see [`hot_fork`]), so
+    /// a policy change always rebuilds even when oversubscription would
+    /// mask it at the barrier.
     wait_policy: WaitPolicy,
     /// `dyn-var`: a change re-evaluates team sizing, so it rebuilds.
     dynamic: bool,
 }
 
-/// The master's cached team: the `Team` allocation plus the doorbells of
-/// the workers still bound to it.
+/// The master's cached team: the `Team` allocation plus the doorbells
+/// and pool slots of the workers still bound to it.
 struct HotTeam {
     key: HotKey,
     team: Arc<Team>,
     channels: Vec<Arc<HotChannel>>,
+    /// The bound workers' pool slots, retained so the release can hand
+    /// them back to the idle list synchronously (see [`Drop`]).
+    slots: Vec<Arc<WorkerSlot>>,
 }
 
 impl Drop for HotTeam {
     /// Release every bound worker back to the global pool (on cache
     /// invalidation, `ROMP_HOT_TEAMS=0`, or master thread exit).
+    ///
+    /// The slots are pushed back to the idle list *here*, synchronously,
+    /// rather than by the workers themselves once they wake: a resize
+    /// calls `acquire` immediately after this drop, and an
+    /// asynchronous return would make it spawn fresh OS threads (creep
+    /// toward `thread-limit-var` on alternating shapes) or deliver a
+    /// short team under a tight limit even though enough workers exist
+    /// in flight. Re-acquiring a slot before its worker has woken is
+    /// safe: the next assignment just waits in the mailbox, which the
+    /// worker checks before blocking on the condvar.
     fn drop(&mut self) {
         for ch in &self.channels {
             ch.release.store(true, Ordering::SeqCst);
             ring(ch, None);
         }
+        let mut idle = pool().idle.lock();
+        idle.extend(self.slots.drain(..));
     }
 }
 
@@ -581,10 +610,15 @@ thread_local! {
     /// This thread's cached hot team (populated on its first
     /// outermost-level fork with hot teams enabled).
     static HOT_TEAM: RefCell<Option<HotTeam>> = const { RefCell::new(None) };
-    /// Re-entrancy latch: set while this thread is between a hot ring
-    /// and the completion of the matching join. A `fork` issued from a
-    /// task the master executes while joining (nesting level 0 again)
-    /// must not recycle the team mid-region; it takes the cold path.
+    /// Re-entrancy backstop: set while this thread is between a hot
+    /// ring and the completion of the matching join. In the current
+    /// code no `fork` can observe it — every task the master executes
+    /// while joining runs with the region stack pushed
+    /// (`execute_joining_task`), so such forks already see nesting
+    /// level ≥ 1 and route cold on the `level == 0` check alone. Kept
+    /// as a cheap guard against a future task-execution path that
+    /// forgets to push the stack: recycling the team mid-region would
+    /// be memory-unsafe, not just wrong.
     static HOT_BUSY: Cell<bool> = const { Cell::new(false) };
 }
 
@@ -603,34 +637,41 @@ fn effective_wait_policy(size: usize, icvs: &Icvs) -> WaitPolicy {
 /// Fork through the hot-team cache (nesting level 0 only). Returns the
 /// team so the caller can rethrow a recorded panic.
 fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
-    // The barrier spins per the oversubscription-adjusted policy, but
-    // the key carries the *raw* ICV (the adjustment is a pure function
-    // of it), so an `OMP_WAIT_POLICY` change always rebuilds — even
-    // when oversubscription would mask it at the barrier.
-    let barrier_policy = effective_wait_policy(n, icvs);
-    let oversubscribed = n > icv::hardware_threads();
-    let bell = IdleWait::doorbell(icvs.wait_policy, oversubscribed);
-    let join_idle = IdleWait::join(icvs.wait_policy, oversubscribed);
+    // The barrier and idle ladders adjust per the oversubscription
+    // heuristic, but the key carries the *raw* ICV (the adjustment is a
+    // pure function of it and the delivered size), so an
+    // `OMP_WAIT_POLICY` change always rebuilds — even when
+    // oversubscription would mask it at the barrier.
     let key = HotKey {
         n,
         barrier_kind: icvs.barrier_kind,
         wait_policy: icvs.wait_policy,
         dynamic: icvs.dynamic,
     };
+    // A team that the pool delivered short (thread-limit pressure) is
+    // never cached — it could never hit (a hit requires delivered size
+    // == requested), so caching it would only make every subsequent
+    // same-shape fork tear it down as a bogus "resize". It still runs
+    // through the hot machinery; the lease is dropped after the join.
+    let mut uncached: Option<HotTeam> = None;
     let team = HOT_TEAM.with(|cell| {
         let mut cache = cell.borrow_mut();
         // A hit requires the cached team to have actually delivered the
-        // requested size: a team built while the pool was capped must
-        // not pin its shortfall — rebuilding retries acquisition on
-        // every fork, like the cold path does.
-        if let Some(ht) = cache
-            .as_ref()
-            .filter(|ht| ht.key == key && ht.team.size() == key.n)
-        {
-            // Hit: recycle in place and ring the doorbells.
+        // requested size (short teams are not cached — see above), so a
+        // capped build retries acquisition on every fork, like the cold
+        // path does.
+        if let Some(ht) = cache.as_ref().filter(|ht| ht.key == key) {
+            // Hit: recycle in place and ring the doorbells. Prime in
+            // *reverse* chain order: a still-spinning worker can observe
+            // its own epoch bump the instant it lands and immediately
+            // forward the chain wake to its successor, so the successor's
+            // channel must already be primed by then — otherwise the
+            // forwarded unpark token is consumed by a stale-epoch
+            // re-park and, the doorbell park being untimed, the worker
+            // is stranded forever (and the join with it).
             bump(&stats().hot_team_hits);
             ht.team.recycle(snap);
-            for ch in &ht.channels {
+            for ch in ht.channels.iter().rev() {
                 prime(ch, Some(job));
             }
             if let Some(first) = ht.channels.first() {
@@ -647,6 +688,11 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
         }
         let workers = pool().acquire(n.saturating_sub(1), icvs);
         let size = workers.len() + 1;
+        // Oversubscription keys on the *delivered* size, like the cold
+        // path: a thread-limit-capped team that fits the cores must not
+        // get park-early wait behavior just because more was requested.
+        let barrier_policy = effective_wait_policy(size, icvs);
+        let bell = IdleWait::doorbell(icvs.wait_policy, size > icv::hardware_threads());
         let team = Arc::new(Team::new(
             size,
             1,
@@ -686,18 +732,28 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
             drop(mb);
             w.cv.notify_one();
         }
-        *cache = Some(HotTeam {
+        let ht = HotTeam {
             key,
             team: team.clone(),
             channels,
-        });
+            slots: workers,
+        };
+        if size == key.n {
+            *cache = Some(ht);
+        } else {
+            uncached = Some(ht);
+        }
         team
     });
     if team.size() == 1 {
         bump(&stats().serialized_forks);
     }
+    let join_idle = IdleWait::join(icvs.wait_policy, team.size() > icv::hardware_threads());
     run_region(&team, 0, job);
     hot_join(&team, join_idle);
+    // A short team's lease ends with its one region (Drop rings the
+    // release and hands the slots back) — safe only now, after the join.
+    drop(uncached);
     team
 }
 
@@ -876,7 +932,11 @@ where
     let team = Arc::new(Team::new(
         size,
         level + 1,
-        active_level + 1,
+        // A region only counts as active when it actually has more than
+        // one thread (OpenMP 5.2 §1.2.2) — a team delivered short at
+        // size 1 under pool pressure must report the same
+        // omp_in_parallel()/active-level as the hot path does.
+        active_level + usize::from(size > 1),
         icvs.barrier_kind,
         wait_policy,
         forking_ancestors(),
@@ -921,6 +981,11 @@ fn join(team: &Arc<Team>, icvs: &Icvs) {
 /// After the join: if any team thread panicked, rethrow on the master.
 fn rethrow(team: &Arc<Team>) {
     if team.abort.load(Ordering::Acquire) {
+        // Leftover tasks must die here, on the master, while the `'env`
+        // frame their closures may borrow is still alive (see
+        // `TaskSystem::purge`). Every caller reaches this after the
+        // join, so no worker touches the task system concurrently.
+        team.tasks.purge();
         let payload = team.panic_payload.lock().take();
         match payload {
             Some(p) => std::panic::resume_unwind(p),
@@ -996,7 +1061,10 @@ mod tests {
     fn hot_team_consecutive_forks_hit_the_cache() {
         // Run on a dedicated thread: the cache is per master thread, so
         // the counters below can only be disturbed by *this* thread.
+        // Force-enable hot teams via the TLS knob — the suite must pass
+        // even under ROMP_HOT_TEAMS=0 in the environment.
         std::thread::spawn(|| {
+            icv::tls_override_mut(|o| o.hot_teams = Some(true));
             fork(ForkSpec::with_num_threads(3), |_| {});
             let before = stats().snapshot();
             for _ in 0..20 {
@@ -1016,21 +1084,19 @@ mod tests {
     #[test]
     fn hot_team_disabled_takes_cold_path() {
         std::thread::spawn(|| {
+            // Drive the cold path hermetically through this thread's TLS
+            // override: the global block stays untouched, so sibling
+            // tests asserting hot-team hit counts never see a
+            // hot_teams=false window.
             icv::TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
-            let disabled = Icvs {
-                hot_teams: false,
-                ..icv::current()
-            };
+            icv::tls_override_mut(|o| o.hot_teams = Some(false));
             let before = stats().snapshot();
             let hits = AtomicUsize::new(0);
-            // Drive the cold path hermetically through the global ICV.
-            let prev = icv::override_global(disabled);
             for _ in 0..5 {
                 fork(ForkSpec::with_num_threads(2), |_| {
                     hits.fetch_add(1, Ordering::SeqCst);
                 });
             }
-            icv::override_global(prev);
             assert_eq!(hits.load(Ordering::SeqCst), 10);
             let d = before.delta(&stats().snapshot());
             // This thread contributed no hot activity; other test

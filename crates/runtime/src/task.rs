@@ -516,6 +516,33 @@ impl TaskSystem {
         self.pending.load(Ordering::Acquire)
     }
 
+    /// Drop every leftover task — ready or stalled — without running it.
+    ///
+    /// An aborted (panicked) region can end with never-run tasks still
+    /// queued or dependence-stalled. Their closures may borrow the
+    /// forking caller's `'env` frame (the lifetime is erased at spawn),
+    /// so they must be dropped on the master *before* `fork` returns,
+    /// while that frame is still alive — not later, on whichever worker
+    /// thread happens to drop the last `Arc<Team>`.
+    ///
+    /// Contract: caller is the master after the join (every worker has
+    /// signalled completion — no concurrent task activity).
+    pub(crate) fn purge(&self) {
+        for q in &self.queues {
+            let mut d = q.deque.lock();
+            d.clear();
+            q.approx_len.store(0, Ordering::Relaxed);
+        }
+        let mut g = self.deps.lock();
+        g.stalled.clear();
+        g.table.clear();
+        g.nodes.clear();
+        drop(g);
+        // The dropped tasks never decrement `pending` through the
+        // execute path; zero it so nothing spins on the count.
+        self.pending.store(0, Ordering::Release);
+    }
+
     /// Recycle the task system for a hot team's next region: evict the
     /// dependence table's finished-task residue (addresses of dead
     /// writers/readers accumulate across regions otherwise) and rewind

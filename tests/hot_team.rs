@@ -117,6 +117,28 @@ fn omp_set_num_threads_between_regions_resizes_exactly() {
 }
 
 #[test]
+fn resize_reuses_released_workers_synchronously() {
+    on_fresh_thread(|| {
+        // Warm both shapes, then alternate. A resize drops the lease and
+        // immediately re-acquires: the released workers must be back on
+        // the idle list by then (synchronous handback), or every resize
+        // would spawn fresh OS threads and creep toward thread-limit-var.
+        assert_geometry(4);
+        assert_geometry(2);
+        let before = stats().snapshot();
+        for _ in 0..20 {
+            assert_geometry(4);
+            assert_geometry(2);
+        }
+        let d = before.delta(&stats().snapshot());
+        assert_eq!(
+            d.workers_spawned, 0,
+            "alternating shapes must reuse released workers"
+        );
+    });
+}
+
+#[test]
 fn geometry_stays_exact_across_alternating_shapes() {
     on_fresh_thread(|| {
         for &n in &[1usize, 4, 2, 4, 1, 3, 4, 2] {
@@ -236,6 +258,49 @@ fn panic_does_not_poison_the_cached_team() {
             "the panic must invalidate the cache (misses: {})",
             d.hot_team_misses
         );
+    });
+}
+
+#[test]
+fn panic_drops_leftover_tasks_before_fork_returns() {
+    use std::sync::atomic::AtomicBool;
+    // A panicking region can strand never-run tasks (queued or
+    // dependence-stalled). Their closures may borrow the caller's stack
+    // frame, so the runtime must drop them on the master before `fork`
+    // returns — deferring the drop to whichever worker releases the
+    // last team reference would run drop glue against a dead frame.
+    on_fresh_thread(|| {
+        assert_geometry(3); // warm the hot team
+        let dropped = AtomicBool::new(false);
+        struct SetOnDrop<'a>(&'a AtomicBool);
+        impl Drop for SetOnDrop<'_> {
+            fn drop(&mut self) {
+                self.0.store(true, Ordering::SeqCst);
+            }
+        }
+        let token = 0u8;
+        let r = std::panic::catch_unwind(|| {
+            fork(ForkSpec::with_num_threads(3), |ctx| {
+                if ctx.thread_num() == 0 {
+                    let guard = SetOnDrop(&dropped);
+                    ctx.task_spec(romp::runtime::TaskSpec::new().output(&token), || {
+                        panic!("producer exploded");
+                    });
+                    // Stalled behind the panicking producer; captures a
+                    // borrow of the enclosing frame through the guard.
+                    ctx.task_spec(romp::runtime::TaskSpec::new().input(&token), move || {
+                        drop(guard);
+                    });
+                }
+            });
+        });
+        assert!(r.is_err(), "producer panic must propagate");
+        assert!(
+            dropped.load(Ordering::SeqCst),
+            "stranded task closures must be dropped before fork returns"
+        );
+        // The runtime stays usable.
+        assert_geometry(3);
     });
 }
 
