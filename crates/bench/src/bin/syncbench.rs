@@ -7,6 +7,17 @@
 //! empty body in a tight inner loop and the mean time per construct is
 //! reported.
 //!
+//! **Cancellation probes** ride along: `for_armed` re-measures the
+//! empty worksharing loop with `cancel-var` armed (the per-chunk flag
+//! checks on the *non-cancelled* path — the acceptance bar is that the
+//! disarmed `for` row does not move and the armed row stays within
+//! noise of it), `cancellation_point` prices one explicit cancellation
+//! point, `for1k_clean`/`for1k_cancelled` compare a 1024-iteration
+//! dynamic loop run to completion vs. cancelled at its first chunk
+//! (early-exit saving), and `taskgroup_cancel` prices spawning 32
+//! tasks into a taskgroup and cancelling it before they run (discard
+//! latency).
+//!
 //! The `parallel` rows are measured twice: with the **hot-team** fast
 //! path enabled (the default) and with `ROMP_HOT_TEAMS=0` semantics
 //! (the cold pool path, toggled hermetically in-process), so the
@@ -20,7 +31,7 @@
 use romp_bench::{render_table, Args};
 use romp_core::prelude::*;
 use romp_runtime::stats::stats;
-use romp_runtime::{critical, display_env, icv, SumOp};
+use romp_runtime::{critical, display_env, icv, CancelKind, SumOp};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -34,6 +45,13 @@ struct Cell {
 
 fn set_hot_teams(enabled: bool) {
     icv::with_global_mut(|i| i.hot_teams = enabled);
+}
+
+/// Set `cancel-var` process-wide, returning the previous value so the
+/// armed probes can restore whatever the environment configured (the
+/// baseline rows must all run under the *same*, user-chosen state).
+fn set_cancellation(enabled: bool) -> bool {
+    icv::with_global_mut(|i| std::mem::replace(&mut i.cancellation, enabled))
 }
 
 /// Mean seconds per inner repetition of `body`, over `outer` trials.
@@ -153,6 +171,60 @@ fn main() {
                     per_construct_us: secs * 1e6,
                 });
             }
+            // Cancellation probes (cancel-var armed for these only; the
+            // rows above measure whatever the environment configured —
+            // unarmed by default).
+            let prev_cancel = set_cancellation(true);
+            let armed: [(&'static str, f64); 5] = [
+                (
+                    "for_armed",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        ctx.ws_for(0..t, Schedule::static_block(), false, |_| {});
+                    }),
+                ),
+                (
+                    "cancellation_point",
+                    bench_in_region(t, outer, reps, |ctx| {
+                        assert!(!ctx.cancellation_point(CancelKind::Parallel));
+                    }),
+                ),
+                (
+                    "for1k_clean",
+                    bench_in_region(t, outer, reps / 8 + 1, |ctx| {
+                        ctx.ws_for(0..1024, Schedule::dynamic_chunk(8), false, |_| {});
+                    }),
+                ),
+                (
+                    "for1k_cancelled",
+                    bench_in_region(t, outer, reps / 8 + 1, |ctx| {
+                        ctx.ws_for(0..1024, Schedule::dynamic_chunk(8), false, |i| {
+                            if i == 0 {
+                                ctx.cancel(CancelKind::For);
+                            }
+                        });
+                    }),
+                ),
+                (
+                    "taskgroup_cancel",
+                    bench_in_region(t, outer, reps / 8 + 1, |ctx| {
+                        ctx.taskgroup(|| {
+                            for _ in 0..32 {
+                                ctx.task(|| {});
+                            }
+                            ctx.cancel(CancelKind::Taskgroup);
+                        });
+                    }),
+                ),
+            ];
+            set_cancellation(prev_cancel);
+            for (construct, secs) in armed {
+                cells.push(Cell {
+                    construct,
+                    threads: t,
+                    mode,
+                    per_construct_us: secs * 1e6,
+                });
+            }
         }
     }
     set_hot_teams(true);
@@ -168,10 +240,15 @@ fn main() {
     let constructs = [
         "parallel",
         "for",
+        "for_armed",
         "barrier",
         "single",
         "critical",
         "reduction",
+        "cancellation_point",
+        "for1k_clean",
+        "for1k_cancelled",
+        "taskgroup_cancel",
     ];
     let mut rows = Vec::new();
     for construct in constructs {
@@ -241,7 +318,32 @@ fn main() {
         "    \"parallel_4t_cold_over_hot\": {},",
         json_escape_f(ratio)
     );
-    let _ = writeln!(json, "    \"hot_team_5x_target_met\": {}", ratio >= 5.0);
+    let f4 = lookup("for", 4, "hot");
+    let f4_armed = lookup("for_armed", 4, "hot");
+    let clean = lookup("for1k_clean", 4, "hot");
+    let cancelled = lookup("for1k_cancelled", 4, "hot");
+    let _ = writeln!(json, "    \"hot_team_5x_target_met\": {},", ratio >= 5.0);
+    let _ = writeln!(json, "    \"for_4t_hot_us\": {},", json_escape_f(f4));
+    let _ = writeln!(
+        json,
+        "    \"for_armed_4t_hot_us\": {},",
+        json_escape_f(f4_armed)
+    );
+    let _ = writeln!(
+        json,
+        "    \"for1k_clean_4t_hot_us\": {},",
+        json_escape_f(clean)
+    );
+    let _ = writeln!(
+        json,
+        "    \"for1k_cancelled_4t_hot_us\": {},",
+        json_escape_f(cancelled)
+    );
+    let _ = writeln!(
+        json,
+        "    \"cancelled_loop_speedup\": {}",
+        json_escape_f(clean / cancelled)
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     std::fs::write(out_path, &json).expect("write BENCH_syncbench.json");

@@ -21,7 +21,7 @@
 
 use crate::space::{collapse2, Collapse2, IterSpace};
 use romp_runtime::reduction::RedVar;
-use romp_runtime::{fork, ForkSpec, ProcBind, ReduceOp, Schedule, TaskSpec, ThreadCtx};
+use romp_runtime::{fork, CancelKind, ForkSpec, ProcBind, ReduceOp, Schedule, TaskSpec, ThreadCtx};
 use std::ops::Range;
 
 /// Builder for a bare `parallel` region.
@@ -164,6 +164,43 @@ impl<'scope> Task<'_, 'scope> {
     pub fn spawn<F: FnOnce() + Send + 'scope>(self, f: F) {
         self.ctx.task_spec(self.spec, f);
     }
+}
+
+/// `cancel` through the typed front end: request cancellation of the
+/// innermost enclosing region of `kind` — the builder-API spelling of
+/// [`omp_cancel!`](crate::omp_cancel) (the macro and the `//#omp`
+/// translator lower to the same [`ThreadCtx::cancel`] call). Returns
+/// `true` when cancellation is active for the calling thread, which
+/// should then return toward the region end; always `false` (no-op)
+/// while the `OMP_CANCELLATION` ICV is off.
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+///
+/// let _arm = romp_core::runtime::icv::set_cancellation_override(Some(true));
+/// let chunks = AtomicUsize::new(0);
+/// parallel().num_threads(2).run(|ctx| {
+///     ctx.ws_for(0..100_000, Schedule::dynamic_chunk(64), false, |i| {
+///         chunks.fetch_add(1, Relaxed);
+///         if i == 100 {
+///             cancel(ctx, CancelKind::For);
+///         }
+///     });
+/// });
+/// assert!(chunks.load(Relaxed) < 100_000);
+/// romp_core::runtime::icv::set_cancellation_override(None);
+/// ```
+pub fn cancel(ctx: &ThreadCtx<'_>, kind: CancelKind) -> bool {
+    ctx.cancel(kind)
+}
+
+/// `cancellation point` through the typed front end: has cancellation
+/// of the innermost enclosing region of `kind` been activated? The
+/// builder-API spelling of
+/// [`omp_cancellation_point!`](crate::omp_cancellation_point).
+pub fn cancellation_point(ctx: &ThreadCtx<'_>, kind: CancelKind) -> bool {
+    ctx.cancellation_point(kind)
 }
 
 /// Builder for a combined `parallel for` over any [`IterSpace`].

@@ -63,18 +63,21 @@ pub mod prelude;
 pub mod slice;
 pub mod space;
 
-pub use builder::{par_for, par_for_2d, parallel, task, ParFor, ParFor2, Parallel, Task};
+pub use builder::{
+    cancel, cancellation_point, par_for, par_for_2d, parallel, task, ParFor, ParFor2, Parallel,
+    Task,
+};
 pub use space::{collapse2, collapse3, Collapse2, Collapse3, IterSpace, StridedRange};
 
 // Re-export the runtime surface the macros and translated code use, so a
 // single `romp_core` dependency suffices.
 pub use romp_runtime::{
     self as runtime, critical, critical_named, fork, get_wtick, get_wtime, omp_get_active_level,
-    omp_get_ancestor_thread_num, omp_get_dynamic, omp_get_level, omp_get_max_active_levels,
-    omp_get_max_threads, omp_get_num_procs, omp_get_num_threads, omp_get_schedule,
-    omp_get_team_size, omp_get_thread_limit, omp_get_thread_num, omp_get_wtick, omp_get_wtime,
-    omp_in_parallel, omp_set_dynamic, omp_set_max_active_levels, omp_set_num_threads,
-    omp_set_schedule, BarrierKind, BitAndOp, BitOrOp, BitXorOp, ForkSpec, LogAndOp, LogOrOp, MaxOp,
-    MinOp, NestLock, OmpLock, ProdOp, ReduceOp, Schedule, SumOp, TaskDeps, TaskSpec, TaskloopSpec,
-    ThreadCtx,
+    omp_get_ancestor_thread_num, omp_get_cancellation, omp_get_dynamic, omp_get_level,
+    omp_get_max_active_levels, omp_get_max_threads, omp_get_num_procs, omp_get_num_threads,
+    omp_get_schedule, omp_get_team_size, omp_get_thread_limit, omp_get_thread_num, omp_get_wtick,
+    omp_get_wtime, omp_in_parallel, omp_set_dynamic, omp_set_max_active_levels,
+    omp_set_num_threads, omp_set_schedule, BarrierKind, BitAndOp, BitOrOp, BitXorOp, CancelKind,
+    ForkSpec, LogAndOp, LogOrOp, MaxOp, MinOp, NestLock, OmpLock, ProdOp, ReduceOp, Schedule,
+    SumOp, TaskDeps, TaskSpec, TaskloopSpec, ThreadCtx,
 };

@@ -20,6 +20,8 @@
 //! | `#pragma omp task` / `taskwait` | `omp_task!(ctx, { … })` / `omp_taskwait!(ctx)` |
 //! | `#pragma omp task depend(in: a) depend(out: b) final(f) if(c)` | `omp_task!(ctx, depend(in: a; out: b), final(f), if(c), { … })` |
 //! | `#pragma omp taskloop grainsize(g) num_tasks(n) nogroup` | `omp_taskloop!(ctx, grainsize(g), num_tasks(n), nogroup, for i in (r) { … })` |
+//! | `#pragma omp cancel for [if(e)]` | `if omp_cancel!(ctx, for[, if(e)]) { return; }` |
+//! | `#pragma omp cancellation point parallel` | `if omp_cancellation_point!(ctx, parallel) { return; }` |
 //!
 //! ## Data environment
 //!
@@ -831,5 +833,104 @@ macro_rules! __omp_taskloop {
 macro_rules! omp_ordered {
     ($ord:ident, $body:block) => {
         $ord.section(|| $body)
+    };
+}
+
+/// `cancel` construct: request cancellation of the innermost enclosing
+/// region of the named kind (`parallel`, `for`, `sections` or
+/// `taskgroup`). Evaluates to `bool`: `true` when cancellation is
+/// active for the encountering thread — idiomatically `if
+/// omp_cancel!(…) { return; }` to proceed to the end of the cancelled
+/// region (a `return` from the region/iteration/task closure is romp's
+/// "branch to the end of the region"). Always `false` (a no-op) when
+/// the `OMP_CANCELLATION` ICV is off.
+///
+/// An optional trailing `if(e)` clause mirrors OpenMP: when `e` is
+/// false the request is *not* activated, but the construct still acts
+/// as a cancellation point for the named region.
+///
+/// Cancellation is cooperative and chunk-granular — see
+/// [`ThreadCtx::cancel`](crate::runtime::ThreadCtx::cancel).
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+///
+/// let _arm = romp_core::runtime::icv::set_cancellation_override(Some(true));
+/// let seen = AtomicUsize::new(0);
+/// omp_parallel!(num_threads(2), |ctx| {
+///     omp_for!(ctx, schedule(dynamic, 8), for i in 0..10_000 {
+///         seen.fetch_add(1, Relaxed);
+///         if i == 40 {
+///             if omp_cancel!(ctx, for) { return; }
+///         }
+///     });
+/// });
+/// assert!(seen.load(Relaxed) < 10_000); // the loop stopped early
+/// romp_core::runtime::icv::set_cancellation_override(None);
+/// ```
+#[macro_export]
+macro_rules! omp_cancel {
+    // `taskgroup` routes through the context-free entry points: the
+    // canonical placement is *inside a task body*, whose closure must
+    // be `Send` and therefore cannot capture `&ThreadCtx`. The `$ctx`
+    // argument is accepted (uniform directive syntax) but unused.
+    ($ctx:ident, taskgroup) => {
+        $crate::runtime::cancel_taskgroup()
+    };
+    ($ctx:ident, taskgroup, if($e:expr)) => {
+        if $e {
+            $crate::runtime::cancel_taskgroup()
+        } else {
+            $crate::runtime::cancellation_point_taskgroup()
+        }
+    };
+    ($ctx:ident, $kind:tt) => {
+        $ctx.cancel($crate::__omp_cancel_kind!($kind))
+    };
+    ($ctx:ident, $kind:tt, if($e:expr)) => {
+        if $e {
+            $ctx.cancel($crate::__omp_cancel_kind!($kind))
+        } else {
+            $ctx.cancellation_point($crate::__omp_cancel_kind!($kind))
+        }
+    };
+}
+
+/// `cancellation point` construct: has cancellation of the innermost
+/// enclosing region of the named kind been activated? Evaluates to
+/// `bool` (always `false` while `OMP_CANCELLATION` is off); on `true`,
+/// `return` out of the enclosing closure to reach the region end.
+#[macro_export]
+macro_rules! omp_cancellation_point {
+    // Context-free for `taskgroup` (see `omp_cancel!`).
+    ($ctx:ident, taskgroup) => {
+        $crate::runtime::cancellation_point_taskgroup()
+    };
+    ($ctx:ident, $kind:tt) => {
+        $ctx.cancellation_point($crate::__omp_cancel_kind!($kind))
+    };
+}
+
+/// Map a cancel construct-kind token onto
+/// [`CancelKind`](crate::runtime::CancelKind) at expansion time
+/// (unknown kinds are a compile error, like in a real front end).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __omp_cancel_kind {
+    (parallel) => {
+        $crate::runtime::CancelKind::Parallel
+    };
+    (for) => {
+        $crate::runtime::CancelKind::For
+    };
+    (sections) => {
+        $crate::runtime::CancelKind::Sections
+    };
+    (taskgroup) => {
+        $crate::runtime::CancelKind::Taskgroup
+    };
+    ($other:tt) => {
+        compile_error!("cancel takes parallel, for, sections or taskgroup")
     };
 }

@@ -1,14 +1,16 @@
 //! One-stop import for romp programs: `use romp_core::prelude::*;`.
 
-pub use crate::builder::{par_for, par_for_2d, parallel, task};
+pub use crate::builder::{cancel, cancellation_point, par_for, par_for_2d, parallel, task};
 pub use crate::space::{collapse2, collapse3, IterSpace, StridedRange};
 pub use crate::{
-    omp_barrier, omp_critical, omp_for, omp_master, omp_ordered, omp_parallel, omp_parallel_for,
-    omp_sections, omp_single, omp_task, omp_taskgroup, omp_taskloop, omp_taskwait,
+    omp_barrier, omp_cancel, omp_cancellation_point, omp_critical, omp_for, omp_master,
+    omp_ordered, omp_parallel, omp_parallel_for, omp_sections, omp_single, omp_task, omp_taskgroup,
+    omp_taskloop, omp_taskwait,
 };
 pub use romp_runtime::{
-    critical, critical_named, fork, omp_get_max_threads, omp_get_num_procs, omp_get_num_threads,
+    cancel_taskgroup, cancellation_point_taskgroup, critical, critical_named, fork,
+    omp_get_cancellation, omp_get_max_threads, omp_get_num_procs, omp_get_num_threads,
     omp_get_thread_num, omp_get_wtime, omp_in_parallel, omp_set_num_threads, BitAndOp, BitOrOp,
-    BitXorOp, ForkSpec, LogAndOp, LogOrOp, MaxOp, MinOp, NestLock, OmpLock, ProdOp, ReduceOp,
-    Schedule, SumOp, TaskDeps, TaskSpec, TaskloopSpec, ThreadCtx,
+    BitXorOp, CancelKind, ForkSpec, LogAndOp, LogOrOp, MaxOp, MinOp, NestLock, OmpLock, ProdOp,
+    ReduceOp, Schedule, SumOp, TaskDeps, TaskSpec, TaskloopSpec, ThreadCtx,
 };

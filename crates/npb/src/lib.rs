@@ -2,9 +2,10 @@
 //!
 //! Rust implementations of the NPB kernels the paper evaluates — CG
 //! (Conjugate Gradient), EP (Embarrassingly Parallel), IS (Integer
-//! Sort) — plus its Mandelbrot set benchmark and a blocked
+//! Sort) — plus its Mandelbrot set benchmark, a blocked
 //! Smith-Waterman-style wavefront ([`sw`], the task-dependence-graph
-//! workload), in the paper's two configurations each:
+//! workload), and a first-match early-exit search ([`search`], the
+//! cancellation workload), in the paper's two configurations each:
 //!
 //! * **`reference`** — a direct translation of the NPB reference code
 //!   structure. CG and EP (Fortran originals) are invoked through the
@@ -33,6 +34,7 @@ pub mod ep;
 pub mod is;
 pub mod mandelbrot;
 pub mod rng;
+pub mod search;
 pub mod sw;
 pub mod verify;
 

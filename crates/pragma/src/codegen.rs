@@ -100,6 +100,8 @@ fn emit_directive(
             | DirectiveKind::Task
             | DirectiveKind::Taskloop
             | DirectiveKind::Taskwait
+            | DirectiveKind::Cancel(_)
+            | DirectiveKind::CancellationPoint(_)
     );
     if needs_ctx && ctx.is_none() {
         cx.diag(
@@ -119,6 +121,33 @@ fn emit_directive(
         }
         DirectiveKind::Taskwait => {
             out.push_str(&format!("romp_core::omp_taskwait!({});", ctx.unwrap()));
+            fd.end
+        }
+        // Stand-alone cancellation constructs. `return` is the
+        // translator's "branch to the end of the cancelled region": the
+        // outlined code runs inside closures (the region body, a loop
+        // iteration, a task body), so returning from the innermost
+        // closure is exactly the cooperative early exit the runtime's
+        // chunk-granular drivers expect.
+        DirectiveKind::Cancel(kind) => {
+            let if_clause = d.clauses.iter().find_map(|c| match c {
+                Clause::If(e) => Some(format!(", if({e})")),
+                _ => None,
+            });
+            out.push_str(&format!(
+                "if romp_core::omp_cancel!({}, {}{}) {{ return; }}",
+                ctx.unwrap(),
+                kind.keyword(),
+                if_clause.unwrap_or_default()
+            ));
+            fd.end
+        }
+        DirectiveKind::CancellationPoint(kind) => {
+            out.push_str(&format!(
+                "if romp_core::omp_cancellation_point!({}, {}) {{ return; }}",
+                ctx.unwrap(),
+                kind.keyword()
+            ));
             fd.end
         }
         DirectiveKind::Section => {
@@ -155,7 +184,11 @@ fn emit_directive(
                 DirectiveKind::Sections => {
                     emit_sections(cx, out, d, fd, &construct, ctx.unwrap(), depth)
                 }
-                DirectiveKind::Barrier | DirectiveKind::Taskwait | DirectiveKind::Section => {
+                DirectiveKind::Barrier
+                | DirectiveKind::Taskwait
+                | DirectiveKind::Section
+                | DirectiveKind::Cancel(_)
+                | DirectiveKind::CancellationPoint(_) => {
                     unreachable!("handled above")
                 }
             }
@@ -981,6 +1014,49 @@ for i in 0..n { a(i); }");
         )
         .unwrap_err();
         assert!(e[0].message.contains("single loop variable"), "{e:?}");
+    }
+
+    #[test]
+    fn cancel_directives_emit_early_returns() {
+        let out = t(
+            "//#omp parallel\n{\n//#omp for schedule(dynamic, 64)\nfor i in 0..n {\n             if hay[i] == 0 {\n//#omp cancel for\n}\n//#omp cancellation point for\n}\n}",
+        );
+        assert!(
+            out.contains("if romp_core::omp_cancel!(__omp_ctx_0, for) { return; }"),
+            "{out}"
+        );
+        assert!(
+            out.contains("if romp_core::omp_cancellation_point!(__omp_ctx_0, for) { return; }"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn cancel_if_clause_forwarded() {
+        let out = t("//#omp parallel\n{\n//#omp cancel parallel if(err > 3)\n}");
+        assert!(
+            out.contains(
+                "if romp_core::omp_cancel!(__omp_ctx_0, parallel, if(err > 3)) { return; }"
+            ),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn cancel_taskgroup_inside_task_body() {
+        let out = t("//#omp parallel\n{\n//#omp task\n{\n//#omp cancel taskgroup\n}\n}");
+        assert!(
+            out.contains("if romp_core::omp_cancel!(__omp_ctx_0, taskgroup) { return; }"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn orphaned_cancel_is_an_error() {
+        let e = translate("//#omp cancel parallel\n").unwrap_err();
+        assert!(e[0].message.contains("nested inside"), "{e:?}");
+        let e = translate("//#omp cancellation point parallel\n").unwrap_err();
+        assert!(e[0].message.contains("nested inside"), "{e:?}");
     }
 
     #[test]

@@ -40,12 +40,50 @@ pub enum DirectiveKind {
     Taskwait,
     /// `atomic` — lowered to a critical section (documented choice).
     Atomic,
+    /// `cancel <construct>` (stand-alone): request cancellation of the
+    /// innermost enclosing region of the named kind.
+    Cancel(CancelableConstruct),
+    /// `cancellation point <construct>` (stand-alone): observe a
+    /// pending cancellation of the innermost enclosing region.
+    CancellationPoint(CancelableConstruct),
+}
+
+/// The *construct-type-clause* of `cancel` / `cancellation point`
+/// (OpenMP 5.2 §11.2): which region kind the request binds to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelableConstruct {
+    /// `parallel`
+    Parallel,
+    /// `for` (the worksharing loop)
+    For,
+    /// `sections`
+    Sections,
+    /// `taskgroup`
+    Taskgroup,
+}
+
+impl CancelableConstruct {
+    /// The keyword as written in directive text and macro syntax.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            CancelableConstruct::Parallel => "parallel",
+            CancelableConstruct::For => "for",
+            CancelableConstruct::Sections => "sections",
+            CancelableConstruct::Taskgroup => "taskgroup",
+        }
+    }
 }
 
 impl DirectiveKind {
     /// Does this directive attach to a following block/statement?
     pub fn takes_block(self) -> bool {
-        !matches!(self, DirectiveKind::Barrier | DirectiveKind::Taskwait)
+        !matches!(
+            self,
+            DirectiveKind::Barrier
+                | DirectiveKind::Taskwait
+                | DirectiveKind::Cancel(_)
+                | DirectiveKind::CancellationPoint(_)
+        )
     }
 
     /// Directive name as written.
@@ -64,6 +102,8 @@ impl DirectiveKind {
             DirectiveKind::Taskloop => "taskloop",
             DirectiveKind::Taskwait => "taskwait",
             DirectiveKind::Atomic => "atomic",
+            DirectiveKind::Cancel(_) => "cancel",
+            DirectiveKind::CancellationPoint(_) => "cancellation point",
         }
     }
 }
@@ -491,6 +531,21 @@ pub fn parse(text: &str) -> Result<Directive, ParseError> {
         "taskloop" => DirectiveKind::Taskloop,
         "taskwait" => DirectiveKind::Taskwait,
         "atomic" => DirectiveKind::Atomic,
+        "cancel" => DirectiveKind::Cancel(parse_cancel_construct(&mut p)?),
+        "cancellation" => {
+            match p.bump() {
+                Some(Token::Ident(s)) if s == "point" => {}
+                _ => {
+                    return Err(ParseError {
+                        offset: 0,
+                        message: "expected `point` after `cancellation` \
+                                  (the directive is `cancellation point <construct>`)"
+                            .to_string(),
+                    })
+                }
+            }
+            DirectiveKind::CancellationPoint(parse_cancel_construct(&mut p)?)
+        }
         other => {
             return Err(ParseError {
                 offset: 0,
@@ -528,6 +583,31 @@ pub fn parse(text: &str) -> Result<Directive, ParseError> {
     let d = Directive { kind, clauses };
     validate(&d)?;
     Ok(d)
+}
+
+/// Parse the construct-type of a `cancel`/`cancellation point`
+/// directive (required, immediately after the directive name).
+fn parse_cancel_construct(p: &mut Parser<'_>) -> Result<CancelableConstruct, ParseError> {
+    match p.bump() {
+        Some(Token::Ident(s)) => match s.as_str() {
+            "parallel" => Ok(CancelableConstruct::Parallel),
+            "for" => Ok(CancelableConstruct::For),
+            "sections" => Ok(CancelableConstruct::Sections),
+            "taskgroup" => Ok(CancelableConstruct::Taskgroup),
+            other => Err(ParseError {
+                offset: 0,
+                message: format!(
+                    "cancel takes a construct kind: parallel, for, sections or \
+                     taskgroup (found `{other}`)"
+                ),
+            }),
+        },
+        _ => Err(ParseError {
+            offset: 0,
+            message: "cancel requires a construct kind: parallel, for, sections or taskgroup"
+                .to_string(),
+        }),
+    }
 }
 
 fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
@@ -749,11 +829,15 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
         DirectiveKind::Taskloop => &["grainsize", "num_tasks", "nogroup", "default", "shared"],
         DirectiveKind::Critical => &["(name)"],
         DirectiveKind::Sections => &["private", "firstprivate", "reduction", "nowait"],
+        // `cancel` admits only `if` (OpenMP 5.2 §11.2); a
+        // `cancellation point` admits no clauses at all.
+        DirectiveKind::Cancel(_) => &["if"],
         DirectiveKind::Master
         | DirectiveKind::Barrier
         | DirectiveKind::Taskwait
         | DirectiveKind::Section
-        | DirectiveKind::Atomic => &[],
+        | DirectiveKind::Atomic
+        | DirectiveKind::CancellationPoint(_) => &[],
     };
     for c in &d.clauses {
         if !allowed.contains(&c.name()) {
@@ -1001,6 +1085,55 @@ mod tests {
     fn taskloop_grainsize_num_tasks_exclusive() {
         let e = parse("taskloop grainsize(8) num_tasks(4)").unwrap_err();
         assert!(e.message.contains("mutually exclusive"), "{e}");
+    }
+
+    #[test]
+    fn cancel_directives_parse() {
+        for (txt, kind) in [
+            ("cancel parallel", CancelableConstruct::Parallel),
+            ("cancel for", CancelableConstruct::For),
+            ("cancel sections", CancelableConstruct::Sections),
+            ("cancel taskgroup", CancelableConstruct::Taskgroup),
+        ] {
+            let d = parse(txt).unwrap_or_else(|e| panic!("{txt}: {e}"));
+            assert_eq!(d.kind, DirectiveKind::Cancel(kind), "{txt}");
+            assert!(d.clauses.is_empty());
+            assert!(!d.kind.takes_block());
+        }
+        let d = parse("cancellation point taskgroup").unwrap();
+        assert_eq!(
+            d.kind,
+            DirectiveKind::CancellationPoint(CancelableConstruct::Taskgroup)
+        );
+        assert!(!d.kind.takes_block());
+    }
+
+    #[test]
+    fn cancel_if_clause_parses() {
+        let d = parse("cancel for if(hits > 0)").unwrap();
+        assert_eq!(d.kind, DirectiveKind::Cancel(CancelableConstruct::For));
+        assert_eq!(d.clauses[0], Clause::If("hits > 0".into()));
+    }
+
+    #[test]
+    fn cancel_requires_a_valid_construct_kind() {
+        let e = parse("cancel").unwrap_err();
+        assert!(e.message.contains("requires a construct kind"), "{e}");
+        let e = parse("cancel single").unwrap_err();
+        assert!(e.message.contains("construct kind"), "{e}");
+        let e = parse("cancellation taskgroup").unwrap_err();
+        assert!(e.message.contains("expected `point`"), "{e}");
+    }
+
+    #[test]
+    fn cancel_rejects_foreign_clauses() {
+        let e = parse("cancel for nowait").unwrap_err();
+        assert!(e.message.contains("not valid on the `cancel`"), "{e}");
+        let e = parse("cancellation point for if(x)").unwrap_err();
+        assert!(
+            e.message.contains("not valid on the `cancellation point`"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -40,7 +40,9 @@ pub mod source;
 
 pub use codegen::translate;
 pub use diag::Diag;
-pub use directive::{parse as parse_directive, Clause, Directive, DirectiveKind};
+pub use directive::{
+    parse as parse_directive, CancelableConstruct, Clause, Directive, DirectiveKind,
+};
 pub use source::{find_directives, next_construct, FoundDirective, NextConstruct, SENTINEL};
 
 use std::fmt::Write as _;

@@ -1,0 +1,192 @@
+//! Parser/codegen fuzz harness: random clause lists, orders, separators
+//! and whitespace for every supported directive — including the
+//! `cancel` / `cancellation point` family — must never panic the
+//! directive parser or the translator, and a well-formed clause that is
+//! merely *incompatible* with its directive must be named in the
+//! diagnostic.
+
+use proptest::prelude::*;
+use romp_pragma::{parse_directive, translate};
+
+/// Every directive spelling the grammar accepts (plus the two-word
+/// forms, which exercise the multi-token directive heads).
+const DIRECTIVES: &[&str] = &[
+    "parallel",
+    "for",
+    "parallel for",
+    "single",
+    "master",
+    "critical",
+    "critical (tag)",
+    "barrier",
+    "sections",
+    "section",
+    "task",
+    "taskloop",
+    "taskwait",
+    "atomic",
+    "cancel parallel",
+    "cancel for",
+    "cancel sections",
+    "cancel taskgroup",
+    "cancellation point parallel",
+    "cancellation point for",
+    "cancellation point sections",
+    "cancellation point taskgroup",
+];
+
+/// Syntactically well-formed clauses (each parses standalone on *some*
+/// directive): when one of these is rejected, the diagnostic must name
+/// it. The `name` is what the error message has to contain.
+const VALID_CLAUSES: &[(&str, &str)] = &[
+    ("num_threads(4)", "num_threads"),
+    ("num_threads(2 * n)", "num_threads"),
+    ("if(x > 1)", "if"),
+    ("default(shared)", "default"),
+    ("default(none)", "default"),
+    ("shared(a, b)", "shared"),
+    ("private(t)", "private"),
+    ("firstprivate(c)", "firstprivate"),
+    ("proc_bind(close)", "proc_bind"),
+    ("schedule(dynamic, 4)", "schedule"),
+    ("schedule(static)", "schedule"),
+    ("schedule(guided, 2 * k)", "schedule"),
+    ("reduction(+ : s)", "reduction"),
+    ("reduction(max : m)", "reduction"),
+    ("nowait", "nowait"),
+    ("collapse(2)", "collapse"),
+    ("step(2)", "step"),
+    ("step(-3)", "step"),
+    ("depend(in: a, b)", "depend"),
+    ("depend(out: c)", "depend"),
+    ("depend(inout: tok[idx(i, j)])", "depend"),
+    ("final(d > 2)", "final"),
+    ("grainsize(8)", "grainsize"),
+    ("num_tasks(4)", "num_tasks"),
+    ("nogroup", "nogroup"),
+];
+
+/// Malformed clause fragments: the parser must reject them with a
+/// diagnostic (any message), never panic.
+const BROKEN_CLAUSES: &[&str] = &[
+    "bogus(3)",
+    "num_threads",
+    "num_threads(",
+    "if()if",
+    "schedule(fair)",
+    "schedule(dynamic,)",
+    "collapse(9)",
+    "collapse(x)",
+    "depend(readwrite: x)",
+    "depend(in: )",
+    "depend(in x)",
+    "reduction(% : x)",
+    "reduction(+ x)",
+    "proc_bind(banana)",
+    "default(private)",
+    "step()",
+    "grainsize()",
+    "(((",
+    "))",
+    ": :",
+    "42",
+];
+
+const SEPARATORS: &[&str] = &[" ", "  ", ", ", " ,  ", "\t"];
+
+/// Assemble a directive line from generated pieces.
+fn assemble(dir: &str, clause_picks: &[usize], sep: &str, include_broken: bool) -> String {
+    let mut text = dir.to_string();
+    for &p in clause_picks {
+        text.push_str(sep);
+        if include_broken && p % 3 == 0 {
+            text.push_str(BROKEN_CLAUSES[p % BROKEN_CLAUSES.len()]);
+        } else {
+            text.push_str(VALID_CLAUSES[p % VALID_CLAUSES.len()].0);
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Random (directive × clause list × separators) never panics the
+    /// parser, and parse-then-codegen never panics the translator —
+    /// whether the construct below is a block or a loop.
+    #[test]
+    fn parse_then_codegen_never_panics(
+        dir_idx in 0usize..22,
+        clause_picks in proptest::collection::vec(0usize..1000, 0..5),
+        sep_idx in 0usize..5,
+        include_broken in proptest::bool::ANY,
+        loop_form in proptest::bool::ANY,
+    ) {
+        let dir = DIRECTIVES[dir_idx % DIRECTIVES.len()];
+        let text = assemble(dir, &clause_picks, SEPARATORS[sep_idx % SEPARATORS.len()],
+                            include_broken);
+        // The parser returns Ok or Err; reaching this line is the test.
+        let parsed = parse_directive(&text);
+        if let Err(e) = &parsed {
+            prop_assert!(!e.message.is_empty(), "empty diagnostic for `{}`", text);
+        }
+        // Codegen over a synthesized program: nested inside a parallel
+        // region so ctx-requiring directives are reachable, with both
+        // construct shapes offered. Diagnostics are fine; panics not.
+        let construct = if loop_form { "for i in 0..10 { f(i); }" } else { "{ f(); }" };
+        let src = format!("//#omp parallel\n{{\n//#omp {text}\n{construct}\n}}\n");
+        let _ = translate(&src);
+        // Orphaned (outside any region) must also be panic-free.
+        let src = format!("//#omp {text}\n{construct}\n");
+        let _ = translate(&src);
+    }
+
+    /// Arbitrary garbage after the sentinel: panic-free, and failures
+    /// carry a non-empty message.
+    #[test]
+    fn garbage_directive_text_never_panics(text in ".{0,60}") {
+        if let Err(e) = parse_directive(&text) {
+            prop_assert!(!e.message.is_empty());
+        }
+        let _ = translate(&format!("//#omp {text}\n{{ f(); }}\n"));
+    }
+}
+
+/// A well-formed clause rejected for *compatibility* is named in the
+/// diagnostic, for every (directive × clause) pair in the grammar —
+/// including the new `cancel` directives (seeded per the issue).
+#[test]
+fn incompatible_clause_diagnostics_name_the_clause() {
+    for dir in DIRECTIVES {
+        for (clause, name) in VALID_CLAUSES {
+            let text = format!("{dir} {clause}");
+            if let Err(e) = parse_directive(&text) {
+                assert!(
+                    e.message.contains(name),
+                    "diagnostic for `{text}` does not name `{name}`: {}",
+                    e.message
+                );
+            }
+        }
+    }
+}
+
+/// The seeded cancel cases: valid spellings parse, the `if` clause is
+/// the only clause `cancel` admits, and `cancellation point` admits
+/// none.
+#[test]
+fn cancel_directive_seed_cases() {
+    for kind in ["parallel", "for", "sections", "taskgroup"] {
+        assert!(parse_directive(&format!("cancel {kind}")).is_ok());
+        assert!(parse_directive(&format!("cancel {kind} if(n > 3)")).is_ok());
+        assert!(parse_directive(&format!("cancellation point {kind}")).is_ok());
+        let e = parse_directive(&format!("cancel {kind} nowait")).unwrap_err();
+        assert!(e.message.contains("nowait"), "{e}");
+        let e = parse_directive(&format!("cancellation point {kind} if(x)")).unwrap_err();
+        assert!(e.message.contains("if"), "{e}");
+    }
+    assert!(parse_directive("cancel").is_err());
+    assert!(parse_directive("cancel barrier").is_err());
+    assert!(parse_directive("cancellation").is_err());
+    assert!(parse_directive("cancellation point").is_err());
+}

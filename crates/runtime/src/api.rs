@@ -134,6 +134,15 @@ pub fn omp_get_proc_bind() -> crate::icv::ProcBind {
     with_current(|r| Some(r.team.proc_bind()), || None).unwrap_or_else(|| icv::current().proc_bind)
 }
 
+/// `omp_get_cancellation`: is the cancellation machinery armed
+/// (`cancel-var`, from `OMP_CANCELLATION` / `ROMP_CANCELLATION`)?
+/// Inside a region this reports the team's fork-time snapshot — what
+/// `cancel` in that region actually consults.
+pub fn omp_get_cancellation() -> bool {
+    with_current(|r| Some(r.team.cancellable()), || None)
+        .unwrap_or_else(|| icv::current().cancellation)
+}
+
 /// `omp_get_wtime` (re-exported from [`crate::wtime`]).
 pub fn omp_get_wtime() -> f64 {
     crate::wtime::get_wtime()

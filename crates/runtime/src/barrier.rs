@@ -111,21 +111,43 @@ impl TeamBarrier {
         }
     }
 
-    /// Wait at the barrier. Returns `true` when the episode completed and
-    /// `false` when `abort` was raised by a sibling (callers then unwind).
+    /// Wait at the barrier. Returns `true` when the episode completed
+    /// and `false` when the wait was released early — either `abort`
+    /// (a sibling panicked; callers unwind) or `cancel` (the binding
+    /// region was cancelled; barriers are cancellation points, so a
+    /// blocked thread must be released to proceed to the region end).
+    /// Once either flag is up the barrier state may be left mid-episode;
+    /// that is fine because no further episode runs before the team is
+    /// discarded (cold) or `reset` (hot recycle).
     #[must_use]
-    pub fn wait(&self, thread_num: usize, local: &mut BarrierLocal, abort: &AtomicBool) -> bool {
+    pub fn wait(
+        &self,
+        thread_num: usize,
+        local: &mut BarrierLocal,
+        abort: &AtomicBool,
+        cancel: &AtomicBool,
+    ) -> bool {
         crate::stats::bump(&crate::stats::stats().barriers);
         if self.size <= 1 {
             return !abort.load(Ordering::Relaxed);
         }
+        // Entry check: a cancelled region's threads must not keep
+        // mutating episode state they will never complete.
+        if abort.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
+            return false;
+        }
         match self.kind {
-            BarrierKind::Central => self.wait_central(local, abort),
-            BarrierKind::Dissemination => self.wait_dissemination(thread_num, local, abort),
+            BarrierKind::Central => self.wait_central(local, abort, cancel),
+            BarrierKind::Dissemination => self.wait_dissemination(thread_num, local, abort, cancel),
         }
     }
 
-    fn wait_central(&self, local: &mut BarrierLocal, abort: &AtomicBool) -> bool {
+    fn wait_central(
+        &self,
+        local: &mut BarrierLocal,
+        abort: &AtomicBool,
+        cancel: &AtomicBool,
+    ) -> bool {
         let my_sense = local.sense;
         local.sense = !local.sense;
         if self.count.fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -135,12 +157,12 @@ impl TeamBarrier {
             self.sense.store(!my_sense, Ordering::Release);
             drop(_guard);
             self.park_cv.notify_all();
-            return !abort.load(Ordering::Relaxed);
+            return !abort.load(Ordering::Relaxed) && !cancel.load(Ordering::Relaxed);
         }
         // Spin phase.
         let mut spins = 0u32;
         while self.sense.load(Ordering::Acquire) == my_sense {
-            if abort.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
                 return false;
             }
             spins += 1;
@@ -152,14 +174,14 @@ impl TeamBarrier {
         // Park phase.
         let mut guard = self.park_lock.lock();
         while self.sense.load(Ordering::Acquire) == my_sense {
-            if abort.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
                 return false;
             }
             // Timed wait so we re-check the abort flag even if the wakeup
             // notification raced ahead of our park.
             self.park_cv.wait_for(&mut guard, Duration::from_millis(1));
         }
-        !abort.load(Ordering::Relaxed)
+        !abort.load(Ordering::Relaxed) && !cancel.load(Ordering::Relaxed)
     }
 
     fn wait_dissemination(
@@ -167,6 +189,7 @@ impl TeamBarrier {
         thread_num: usize,
         local: &mut BarrierLocal,
         abort: &AtomicBool,
+        cancel: &AtomicBool,
     ) -> bool {
         local.epoch += 1;
         let e = local.epoch;
@@ -177,7 +200,7 @@ impl TeamBarrier {
             let mine = &round[thread_num];
             let mut spins = 0u32;
             while mine.load(Ordering::Acquire) < e {
-                if abort.load(Ordering::Relaxed) {
+                if abort.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
                     return false;
                 }
                 spins += 1;
@@ -208,16 +231,17 @@ mod tests {
             let abort = abort.clone();
             let phase = phase.clone();
             handles.push(std::thread::spawn(move || {
+                let cancel = AtomicBool::new(false);
                 let mut local = BarrierLocal::default();
                 for e in 0..episodes {
                     // Everybody must observe the phase of the current
                     // episode before anyone moves past the barrier.
                     assert_eq!(phase.load(Ordering::SeqCst), e);
-                    assert!(barrier.wait(t, &mut local, &abort));
+                    assert!(barrier.wait(t, &mut local, &abort, &cancel));
                     if t == 0 {
                         phase.store(e + 1, Ordering::SeqCst);
                     }
-                    assert!(barrier.wait(t, &mut local, &abort));
+                    assert!(barrier.wait(t, &mut local, &abort, &cancel));
                 }
             }));
         }
@@ -251,9 +275,10 @@ mod tests {
         let b = barrier.clone();
         let a = abort.clone();
         let waiter = std::thread::spawn(move || {
+            let cancel = AtomicBool::new(false);
             let mut local = BarrierLocal::default();
             // Partner never arrives; abort must release us with `false`.
-            b.wait(0, &mut local, &a)
+            b.wait(0, &mut local, &a, &cancel)
         });
         std::thread::sleep(Duration::from_millis(20));
         abort.store(true, Ordering::SeqCst);
@@ -264,9 +289,34 @@ mod tests {
     fn single_thread_barrier_is_noop() {
         let barrier = TeamBarrier::new(1, BarrierKind::Central, WaitPolicy::Active);
         let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let mut local = BarrierLocal::default();
         for _ in 0..100 {
-            assert!(barrier.wait(0, &mut local, &abort));
+            assert!(barrier.wait(0, &mut local, &abort, &cancel));
+        }
+    }
+
+    #[test]
+    fn cancel_unblocks_waiters_on_both_kinds() {
+        for kind in [BarrierKind::Central, BarrierKind::Dissemination] {
+            let barrier = Arc::new(TeamBarrier::new(2, kind, WaitPolicy::Passive));
+            let cancel = Arc::new(AtomicBool::new(false));
+            let b = barrier.clone();
+            let c = cancel.clone();
+            let waiter = std::thread::spawn(move || {
+                let abort = AtomicBool::new(false);
+                let mut local = BarrierLocal::default();
+                // Partner never arrives; cancellation must release us.
+                b.wait(0, &mut local, &abort, &c)
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            cancel.store(true, Ordering::SeqCst);
+            assert!(!waiter.join().unwrap(), "{kind:?}");
+            // With the flag already up, a fresh wait returns early
+            // without touching episode state.
+            let abort = AtomicBool::new(false);
+            let mut local = BarrierLocal::default();
+            assert!(!barrier.wait(1, &mut local, &abort, &cancel));
         }
     }
 
@@ -290,9 +340,10 @@ mod tests {
             let barrier = barrier.clone();
             let abort = abort.clone();
             handles.push(std::thread::spawn(move || {
+                let cancel = AtomicBool::new(false);
                 let mut local = BarrierLocal::default();
                 for _ in 0..episodes {
-                    assert!(barrier.wait(t, &mut local, &abort));
+                    assert!(barrier.wait(t, &mut local, &abort, &cancel));
                 }
             }));
         }

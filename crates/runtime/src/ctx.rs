@@ -14,8 +14,8 @@
 use crate::barrier::BarrierLocal;
 use crate::lock::os_thread_id;
 use crate::task::{
-    current_children, current_groups, in_final, make_raw_task, FinalGuard, TaskDeps, TaskHooks,
-    GROUP_STACK,
+    current_children, current_groups, in_final, innermost_group, make_raw_task, FinalGuard,
+    TaskDeps, TaskGroup, TaskHooks, GROUP_STACK,
 };
 use crate::team::Team;
 use std::cell::{Cell, RefCell};
@@ -79,6 +79,72 @@ pub(crate) fn with_current<R>(f: impl FnOnce(&RegionInfo) -> R, default: impl Fn
 /// Marker payload used to unwind sibling threads when one team member
 /// panics; the master rethrows the original payload, not this one.
 pub struct SiblingPanic;
+
+/// `cancel taskgroup` as a free function, callable from inside a task
+/// body — where OpenMP says the construct belongs, and where no
+/// `&ThreadCtx` can be captured (task closures must be `Send`;
+/// `ThreadCtx` is not `Sync`). Consults the executing thread's region
+/// for the `cancel-var` snapshot and its task-group TLS (maintained by
+/// the task executor) for the innermost group. The directive front
+/// ends route `cancel taskgroup` here.
+///
+/// # Panics
+///
+/// With cancellation armed, if the current task belongs to no
+/// taskgroup (a constraint violation in OpenMP).
+pub fn cancel_taskgroup() -> bool {
+    if !current_cancellable() {
+        return false;
+    }
+    let group = innermost_group()
+        .unwrap_or_else(|| panic!("cancel(taskgroup) must be nested inside a taskgroup region"));
+    if !group.cancelled.swap(true, Ordering::Release) {
+        crate::stats::bump(&crate::stats::stats().cancels_activated);
+    }
+    true
+}
+
+/// `cancellation point taskgroup` as a free function (see
+/// [`cancel_taskgroup`]): has the current task's innermost taskgroup
+/// been cancelled? Always `false` while `cancel-var` is off or outside
+/// any taskgroup.
+pub fn cancellation_point_taskgroup() -> bool {
+    if !current_cancellable() {
+        return false;
+    }
+    innermost_group().is_some_and(|g| g.cancelled.load(Ordering::Acquire))
+}
+
+/// The effective `cancel-var` at the current execution point: the
+/// innermost region's fork-time snapshot, else the global ICV.
+fn current_cancellable() -> bool {
+    with_current(
+        |r| r.team.cancellable(),
+        || crate::icv::current().cancellation,
+    )
+}
+
+/// Construct kind named by a `cancel` / `cancellation point` directive
+/// (OpenMP 5.2 §11.2: the *construct-type-clause*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelKind {
+    /// `cancel parallel`: abandon the innermost enclosing parallel
+    /// region — threads skip remaining barriers and constructs and
+    /// proceed (cooperatively) to the region end; tasks that have not
+    /// started are discarded.
+    Parallel,
+    /// `cancel for`: stop the innermost enclosing worksharing loop —
+    /// no further chunks are dispatched once the request is observed
+    /// (chunk-granular: a chunk already claimed runs to completion).
+    For,
+    /// `cancel sections`: as [`For`](CancelKind::For), for the
+    /// `sections` construct (same dispatch machinery underneath).
+    Sections,
+    /// `cancel taskgroup`: cancel the innermost taskgroup of the
+    /// current task — member tasks that have not started are discarded
+    /// without executing their bodies.
+    Taskgroup,
+}
 
 /// Clause record of one `task` construct: `depend(in/out/inout: …)`,
 /// `if(expr)` and `final(expr)`. The directive front ends accumulate
@@ -223,6 +289,16 @@ pub struct ThreadCtx<'scope> {
     /// Per-thread reduction-construct counter (see
     /// [`reduce_value`](Self::reduce_value)).
     red_gen: Cell<u64>,
+    /// Per-thread cancellable-construct counter: bumped at every
+    /// worksharing loop / `sections` construct. Team threads encounter
+    /// the same construct sequence (an OpenMP requirement), so these
+    /// counters agree across the team and `Team::cancel_ws` can name a
+    /// construct by generation without any end-of-construct reset.
+    cancel_gen: Cell<u64>,
+    /// Generation of the innermost open cancellable worksharing
+    /// construct on this thread (`u64::MAX` = none): what a
+    /// `cancel(For/Sections)` from the body targets.
+    active_ws: Cell<u64>,
     /// Invariant over `'scope` (see module docs).
     _scope: PhantomData<Cell<&'scope ()>>,
 }
@@ -237,6 +313,8 @@ impl<'scope> ThreadCtx<'scope> {
             implicit_children: std::sync::OnceLock::new(),
             steal_seed: Cell::new(os_thread_id() | 1),
             red_gen: Cell::new(0),
+            cancel_gen: Cell::new(0),
+            active_ws: Cell::new(u64::MAX),
             _scope: PhantomData,
         }
     }
@@ -298,26 +376,41 @@ impl<'scope> ThreadCtx<'scope> {
     }
 
     /// Raw team barrier (no task draining). Panics with a sibling marker
-    /// if the team aborted.
-    pub(crate) fn team_barrier(&self) {
+    /// if the team aborted; returns `false` (without an episode having
+    /// completed) when the region was cancelled — barriers are
+    /// cancellation points, so a blocked thread must be released to
+    /// proceed to the region end.
+    pub(crate) fn team_barrier(&self) -> bool {
         let ok = self.team.barrier.wait(
             self.thread_num,
             &mut self.barrier_local.borrow_mut(),
             &self.team.abort,
+            &self.team.cancel_parallel,
         );
         if !ok {
-            std::panic::panic_any(SiblingPanic);
+            if self.team.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            return false;
         }
+        true
     }
 
     /// Explicit barrier (`#pragma omp barrier`): helps execute pending
     /// explicit tasks, then synchronizes the team. No thread proceeds
     /// until all threads have arrived *and* every deferred task has
     /// completed.
+    ///
+    /// A barrier is a cancellation point: once `cancel parallel` is
+    /// activated it returns immediately (and a thread already blocked in
+    /// an episode is released), so every thread can reach the region
+    /// end without waiting for siblings that skipped the barrier.
     pub fn barrier(&self) {
         loop {
             self.help_tasks_while_pending();
-            self.team_barrier();
+            if !self.team_barrier() {
+                return;
+            }
             // After the episode, task counts are stable: creations
             // happen-before the barrier, so all threads agree.
             if self.team.tasks.pending() == 0 {
@@ -344,13 +437,26 @@ impl<'scope> ThreadCtx<'scope> {
         }
         loop {
             self.help_tasks_while_pending();
+            if self.team.cancel_parallel.load(Ordering::Relaxed) {
+                // Cancelled region: threads skipped mid-region barriers
+                // unevenly, so closing episodes could never line up.
+                // The task drain above (remaining tasks discard) is the
+                // thread's whole obligation; the cold join's remaining
+                // counter is the actual rendezvous.
+                return;
+            }
             let ok = self.team.barrier.wait(
                 self.thread_num,
                 &mut self.barrier_local.borrow_mut(),
                 &self.team.abort,
+                &self.team.cancel_parallel,
             );
             if !ok {
-                return;
+                if self.team.abort.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Cancelled mid-wait: drain-and-leave via the check above.
+                continue;
             }
             if self.team.tasks.pending() == 0 {
                 return;
@@ -376,6 +482,149 @@ impl<'scope> ThreadCtx<'scope> {
     }
 
     // ------------------------------------------------------------------
+    // cancellation
+    // ------------------------------------------------------------------
+
+    /// Open a cancellable worksharing construct (loop or `sections`):
+    /// advance and return this thread's cancellable-construct
+    /// generation, and mark it the target of `cancel(For/Sections)`
+    /// calls from the body. Paired with
+    /// [`exit_cancellable_ws`](Self::exit_cancellable_ws).
+    pub(crate) fn enter_cancellable_ws(&self) -> u64 {
+        let g = self.cancel_gen.get();
+        self.cancel_gen.set(g + 1);
+        self.active_ws.set(g);
+        g
+    }
+
+    /// Close the innermost cancellable worksharing construct.
+    pub(crate) fn exit_cancellable_ws(&self) {
+        self.active_ws.set(u64::MAX);
+    }
+
+    /// Has the worksharing construct with cancellable generation `gen`
+    /// been cancelled — directly (`cancel for`/`cancel sections`) or
+    /// via cancellation of the whole region (`cancel parallel`)? The
+    /// dispatch loops consult this before claiming each chunk.
+    pub(crate) fn ws_cancelled(&self, gen: u64) -> bool {
+        self.team.cancel_parallel.load(Ordering::Relaxed)
+            || self.team.cancel_ws.load(Ordering::Relaxed) == gen + 1
+    }
+
+    /// `cancel` construct: request cancellation of the innermost
+    /// enclosing region of `kind`. Returns `true` when cancellation is
+    /// active for the encountering thread (it should then proceed to
+    /// the end of the cancelled region — `romp`'s front ends emit an
+    /// early `return` on `true`); returns `false` when `cancel-var`
+    /// ([`OMP_CANCELLATION`](crate::env)) is off, making the whole
+    /// construct a no-op per the spec.
+    ///
+    /// Cancellation is **cooperative and chunk-granular**: loop chunks
+    /// already claimed run to completion, and sibling threads observe
+    /// the request at their next cancellation point (chunk grab,
+    /// barrier, or explicit `cancellation point`). Tasks that have not
+    /// started when their taskgroup or region is cancelled are
+    /// discarded without executing.
+    ///
+    /// # Panics
+    ///
+    /// With cancellation armed: `CancelKind::For`/`Sections` outside a
+    /// worksharing construct, or `CancelKind::Taskgroup` outside any
+    /// taskgroup region (both are constraint violations in OpenMP).
+    pub fn cancel(&self, kind: CancelKind) -> bool {
+        // Taskgroup requests resolve everything from TLS (group stack +
+        // region snapshot) and share one implementation with the
+        // context-free entry the task-body front ends use.
+        if kind == CancelKind::Taskgroup {
+            return cancel_taskgroup();
+        }
+        if !self.team.cancellable() {
+            return false;
+        }
+        match kind {
+            CancelKind::Parallel => {
+                if !self.team.cancel_parallel.swap(true, Ordering::Release) {
+                    self.team.tasks.cancel_all.store(true, Ordering::Release);
+                    crate::stats::bump(&crate::stats::stats().cancels_activated);
+                }
+            }
+            CancelKind::For | CancelKind::Sections => {
+                let g = self.active_ws.get();
+                assert!(
+                    g != u64::MAX,
+                    "cancel({kind:?}) must be closely nested inside a worksharing construct"
+                );
+                // Monotone update: the single cell holds one request,
+                // and with `nowait` two constructs can be in flight at
+                // once (OpenMP forbids cancelling a nowait construct;
+                // romp tolerates it) — never let an older construct's
+                // request clobber a newer one already recorded, or the
+                // newer construct would silently run to completion.
+                if self.team.cancel_ws.fetch_max(g + 1, Ordering::AcqRel) < g + 1 {
+                    crate::stats::bump(&crate::stats::stats().cancels_activated);
+                }
+            }
+            CancelKind::Taskgroup => unreachable!("delegated above"),
+        }
+        true
+    }
+
+    /// Shared entry of the `single` family: join the construct's slot
+    /// and race for the claim. `None` means the region was cancelled
+    /// and the construct is skipped; otherwise the caller got
+    /// `(slot, winner)` and must `slot.leave()` when done.
+    fn single_enter(&self) -> Option<(&crate::team::WsSlot, bool)> {
+        let gen = self.next_gen();
+        let slot = self.team.slot(gen);
+        let ok = slot.enter(
+            gen,
+            self.team.size(),
+            &self.team.abort,
+            &self.team.cancel_parallel,
+            |s| {
+                s.claimed.store(false, Ordering::Relaxed);
+            },
+        );
+        if !ok {
+            if self.team.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            return None;
+        }
+        let winner = slot
+            .claimed
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok();
+        Some((slot, winner))
+    }
+
+    /// `cancellation point` construct: has cancellation of the
+    /// innermost enclosing region of `kind` been activated? Always
+    /// `false` when `cancel-var` is off. On `true` the calling code
+    /// should proceed to the end of the cancelled region.
+    pub fn cancellation_point(&self, kind: CancelKind) -> bool {
+        if kind == CancelKind::Taskgroup {
+            return cancellation_point_taskgroup();
+        }
+        if !self.team.cancellable() {
+            return false;
+        }
+        match kind {
+            CancelKind::Parallel => self.team.cancel_parallel.load(Ordering::Acquire),
+            CancelKind::For | CancelKind::Sections => {
+                let g = self.active_ws.get();
+                assert!(
+                    g != u64::MAX,
+                    "cancellation_point({kind:?}) must be closely nested inside a \
+                     worksharing construct"
+                );
+                self.team.cancel_ws.load(Ordering::Acquire) == g + 1
+            }
+            CancelKind::Taskgroup => unreachable!("delegated above"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // single / master / sections
     // ------------------------------------------------------------------
 
@@ -383,18 +632,8 @@ impl<'scope> ThreadCtx<'scope> {
     /// runs `f`; the others skip it. Implies a barrier on exit unless
     /// `nowait`. Returns `Some(result)` on the executing thread.
     pub fn single<R>(&self, nowait: bool, f: impl FnOnce() -> R) -> Option<R> {
-        let gen = self.next_gen();
-        let slot = self.team.slot(gen);
-        let ok = slot.enter(gen, self.team.size(), &self.team.abort, |s| {
-            s.claimed.store(false, Ordering::Relaxed);
-        });
-        if !ok {
-            std::panic::panic_any(SiblingPanic);
-        }
-        let winner = slot
-            .claimed
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok();
+        // `None` from the shared entry = cancelled region: skip.
+        let (slot, winner) = self.single_enter()?;
         let out = if winner { Some(f()) } else { None };
         slot.leave();
         if !nowait {
@@ -406,28 +645,67 @@ impl<'scope> ThreadCtx<'scope> {
     /// `single copyprivate(...)`: one thread computes a value, every
     /// thread returns a copy of it. Always synchronizes (copyprivate
     /// forbids `nowait`).
+    ///
+    /// **Cancellation**: a thread that arrives after `cancel parallel`
+    /// was activated skips the construct and computes `f` locally (the
+    /// cancelled region's result is unspecified, but a value must still
+    /// be returned and the construct must not panic). If cancellation
+    /// lands *mid-construct*, the claim winner — it exists for every
+    /// thread that entered and lost the claim race — still produces and
+    /// publishes the value, and losers wait for it directly since the
+    /// barrier no longer synchronizes; the producer then leaves the
+    /// broadcast cell in place (team recycle/teardown clears it) so a
+    /// racing reader can never miss it.
     pub fn single_copy<T: Clone + Send + 'static>(&self, f: impl FnOnce() -> T) -> T {
-        let produced = self.single(true, f);
-        if let Some(v) = &produced {
+        let Some((slot, winner)) = self.single_enter() else {
+            // Cancelled region: skip the construct, compute locally.
+            return f();
+        };
+        let produced = if winner {
+            let v = f();
             *self.team.copy_cell.lock() = Some(Box::new(v.clone()));
-        }
+            Some(v)
+        } else {
+            None
+        };
+        slot.leave();
         self.barrier();
-        let was_producer = produced.is_some();
         let out = match produced {
             Some(v) => v,
-            None => self
-                .team
-                .copy_cell
-                .lock()
-                .as_ref()
-                .and_then(|b| b.downcast_ref::<T>())
-                .cloned()
-                .expect("copyprivate cell holds the produced value"),
+            None => {
+                let mut spins = 0u32;
+                loop {
+                    let got = self
+                        .team
+                        .copy_cell
+                        .lock()
+                        .as_ref()
+                        .and_then(|b| b.downcast_ref::<T>())
+                        .cloned();
+                    if let Some(v) = got {
+                        break v;
+                    }
+                    // Only reachable when cancellation degenerated the
+                    // barrier: the winner (whose claim this thread
+                    // lost) is still computing — wait for the publish
+                    // itself, yielding so a descheduled winner gets the
+                    // core on an oversubscribed host.
+                    self.panic_if_aborted();
+                    spins += 1;
+                    if spins > 10_000 {
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
         };
         // Second barrier so the producer can clear the cell only after
-        // everyone has read it.
+        // everyone has read it. In a cancelled region the barrier no
+        // longer orders reads against the clear, so the cell is left
+        // for recycle/teardown instead.
         self.barrier();
-        if was_producer {
+        if winner && !self.team.cancel_parallel.load(Ordering::Relaxed) {
             *self.team.copy_cell.lock() = None;
         }
         out
@@ -447,16 +725,32 @@ impl<'scope> ThreadCtx<'scope> {
     /// section indices this thread claims. Implies a barrier unless
     /// `nowait`.
     pub fn sections(&self, count: usize, nowait: bool, mut body: impl FnMut(usize)) {
+        let cgen = self.enter_cancellable_ws();
         let gen = self.next_gen();
         let slot = self.team.slot(gen);
-        let ok = slot.enter(gen, self.team.size(), &self.team.abort, |s| {
-            s.next.store(0, Ordering::Relaxed);
-            s.end.store(count as u64, Ordering::Relaxed);
-        });
+        let ok = slot.enter(
+            gen,
+            self.team.size(),
+            &self.team.abort,
+            &self.team.cancel_parallel,
+            |s| {
+                s.next.store(0, Ordering::Relaxed);
+                s.end.store(count as u64, Ordering::Relaxed);
+            },
+        );
         if !ok {
-            std::panic::panic_any(SiblingPanic);
+            self.exit_cancellable_ws();
+            if self.team.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            return; // cancelled region: skip the construct
         }
+        let watch = self.team.cancellable();
         loop {
+            // `cancel sections` (or `cancel parallel`): stop claiming.
+            if watch && self.ws_cancelled(cgen) {
+                break;
+            }
             let i = slot.next.fetch_add(1, Ordering::AcqRel);
             if i >= count as u64 {
                 break;
@@ -465,6 +759,7 @@ impl<'scope> ThreadCtx<'scope> {
             body(i as usize);
         }
         slot.leave();
+        self.exit_cancellable_ws();
         if !nowait {
             self.barrier();
         }
@@ -599,10 +894,14 @@ impl<'scope> ThreadCtx<'scope> {
     }
 
     /// `taskgroup`: run `f`, then wait for all tasks created inside it
-    /// (transitively, including by stolen children) to finish.
+    /// (transitively, including by stolen children — the executor of a
+    /// member task adopts its group set, so grandchildren join too) to
+    /// finish. If the group is cancelled (`cancel taskgroup`), member
+    /// tasks that have not started are discarded instead of executed,
+    /// and the wait completes as soon as the running ones retire.
     pub fn taskgroup<R>(&self, f: impl FnOnce() -> R) -> R {
-        let counter = Arc::new(AtomicUsize::new(0));
-        GROUP_STACK.with(|g| g.borrow_mut().push(counter.clone()));
+        let group = Arc::new(TaskGroup::default());
+        GROUP_STACK.with(|g| g.borrow_mut().push(group.clone()));
         struct PopGroup;
         impl Drop for PopGroup {
             fn drop(&mut self) {
@@ -618,7 +917,7 @@ impl<'scope> ThreadCtx<'scope> {
         let mut seed = self.steal_seed.get();
         self.team.tasks.work_until(self.thread_num, &mut seed, || {
             self.panic_if_aborted();
-            counter.load(Ordering::Acquire) == 0
+            group.count.load(Ordering::Acquire) == 0
         });
         self.steal_seed.set(seed);
         out
@@ -653,14 +952,32 @@ impl<'scope> ThreadCtx<'scope> {
     /// All team threads must call this the same number of times in the
     /// same order (it is a synchronizing construct, like a barrier).
     ///
+    /// **Cancellation**: the generation-eviction protocol below is
+    /// enforced by the two barriers, which degenerate once `cancel
+    /// parallel` is active — threads can then race across generations.
+    /// A cancelled region's result is unspecified, so every cross-
+    /// generation collision falls back to the thread's own `partial`
+    /// (never a panic): a thread arriving after the cancel skips the
+    /// construct outright, and mid-construct type/eviction races
+    /// degrade to partial values.
+    ///
     /// # Panics
     ///
-    /// If threads disagree on `T` for the same reduction construct.
+    /// If threads disagree on `T` for the same reduction construct
+    /// (outside of cancellation).
     pub fn reduce_value<T, Op>(&self, op: Op, partial: T) -> T
     where
         T: Clone + Send + 'static,
         Op: crate::reduction::ReduceOp<T>,
     {
+        let watch = self.team.cancellable();
+        let cancelled = || watch && self.team.cancel_parallel.load(Ordering::Relaxed);
+        if cancelled() {
+            return partial;
+        }
+        // The cancellation fallback below is only reachable when the
+        // feature is armed; the disarmed hot path must not pay a clone.
+        let fallback = watch.then(|| partial.clone());
         let gen = self.red_gen.get();
         self.red_gen.set(gen + 1);
         let cell = &self.team.reduce_cells[(gen % 2) as usize];
@@ -675,12 +992,14 @@ impl<'scope> ThreadCtx<'scope> {
             }
             match c.value.as_mut() {
                 None => c.value = Some(Box::new(partial)),
-                Some(acc) => {
-                    let acc = acc
-                        .downcast_mut::<T>()
-                        .expect("reduce_value: team threads disagree on the reduction type");
-                    *acc = op.combine(acc.clone(), partial);
-                }
+                Some(acc) => match acc.downcast_mut::<T>() {
+                    Some(acc) => *acc = op.combine(acc.clone(), partial),
+                    // A cancelled region's degenerate barriers let
+                    // another generation's type occupy the cell; drop
+                    // the contribution (result is unspecified anyway).
+                    None if cancelled() => {}
+                    None => panic!("reduce_value: team threads disagree on the reduction type"),
+                },
             }
         }
         // All contributions in…
@@ -690,8 +1009,12 @@ impl<'scope> ThreadCtx<'scope> {
             .value
             .as_ref()
             .and_then(|b| b.downcast_ref::<T>())
-            .cloned()
-            .expect("reduce_value: combined value present after barrier");
+            .cloned();
+        let out = match out {
+            Some(v) => v,
+            None if cancelled() => fallback.expect("cancellation implies cancel-var armed"),
+            None => panic!("reduce_value: combined value present after barrier"),
+        };
         // …and all reads out before anyone can reach generation gen+2
         // (which reuses this cell).
         self.barrier();

@@ -14,8 +14,10 @@
 //! | `OMP_WAIT_POLICY` | `wait-policy-var` | `active`/`passive` |
 //! | `OMP_PROC_BIND` | `bind-var` | `true/false/close/spread/master` |
 //! | `OMP_STACKSIZE` | `stacksize-var` | `n[B|K|M|G]` (default KiB) |
+//! | `OMP_CANCELLATION` | `cancel-var` | `true`/`false` (default false) |
 //! | `ROMP_BARRIER` | barrier algorithm | `central`/`dissemination` |
 //! | `ROMP_HOT_TEAMS` | hot-team caching | `true`/`false` (default true) |
+//! | `ROMP_CANCELLATION` | `cancel-var` override | `true`/`false` (wins over `OMP_CANCELLATION`) |
 //!
 //! Malformed values are ignored (with the spec-sanctioned fallback to the
 //! default), never fatal: an HPC batch job must not die because of a typo
@@ -146,6 +148,14 @@ pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
     if let Some(v) = get("ROMP_HOT_TEAMS").as_deref().and_then(parse_bool) {
         icvs.hot_teams = v;
     }
+    if let Some(v) = get("OMP_CANCELLATION").as_deref().and_then(parse_bool) {
+        icvs.cancellation = v;
+    }
+    // The romp knob wins over the portable one, so a site-wide OpenMP
+    // profile cannot disarm (or arm) romp cancellation by accident.
+    if let Some(v) = get("ROMP_CANCELLATION").as_deref().and_then(parse_bool) {
+        icvs.cancellation = v;
+    }
     icvs
 }
 
@@ -196,6 +206,7 @@ pub fn display_env(icvs: &Icvs) -> String {
             .map(|b| format!("{b}B"))
             .unwrap_or_else(|| "default".into())
     );
+    let _ = writeln!(out, "  OMP_CANCELLATION = '{}'", icvs.cancellation);
     let _ = writeln!(out, "  ROMP_BARRIER = '{:?}'", icvs.barrier_kind);
     let _ = writeln!(out, "  ROMP_HOT_TEAMS = '{}'", icvs.hot_teams);
     let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT END");
@@ -263,6 +274,7 @@ mod tests {
             ("OMP_STACKSIZE", "8M"),
             ("ROMP_BARRIER", "dissemination"),
             ("ROMP_HOT_TEAMS", "false"),
+            ("OMP_CANCELLATION", "true"),
         ]);
         assert_eq!(icvs.nthreads, vec![4, 2]);
         assert!(icvs.dynamic);
@@ -274,6 +286,22 @@ mod tests {
         assert_eq!(icvs.stacksize, Some(8 * 1024 * 1024));
         assert_eq!(icvs.barrier_kind, BarrierKind::Dissemination);
         assert!(!icvs.hot_teams);
+        assert!(icvs.cancellation);
+    }
+
+    #[test]
+    fn romp_cancellation_overrides_omp_cancellation() {
+        // Default: disarmed.
+        assert!(!env(&[]).cancellation);
+        assert!(env(&[("OMP_CANCELLATION", "true")]).cancellation);
+        // The romp knob wins in both directions.
+        let icvs = env(&[("OMP_CANCELLATION", "true"), ("ROMP_CANCELLATION", "false")]);
+        assert!(!icvs.cancellation);
+        let icvs = env(&[("OMP_CANCELLATION", "false"), ("ROMP_CANCELLATION", "true")]);
+        assert!(icvs.cancellation);
+        // Malformed values fall back without disturbing the other knob.
+        let icvs = env(&[("OMP_CANCELLATION", "true"), ("ROMP_CANCELLATION", "maybe")]);
+        assert!(icvs.cancellation);
     }
 
     #[test]
@@ -312,6 +340,7 @@ mod tests {
             "OMP_WAIT_POLICY",
             "OMP_PROC_BIND",
             "OMP_STACKSIZE",
+            "OMP_CANCELLATION",
             "ROMP_BARRIER",
             "ROMP_HOT_TEAMS",
         ] {

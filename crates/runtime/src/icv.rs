@@ -91,6 +91,13 @@ pub struct Icvs {
     /// extension, `ROMP_HOT_TEAMS=true|false`, default true; the
     /// analogue of libomp's `KMP_HOT_TEAMS_MODE`).
     pub hot_teams: bool,
+    /// `cancel-var` (`OMP_CANCELLATION`, default false): is the
+    /// cancellation machinery armed? When false, `cancel` is a no-op
+    /// and every `cancellation point` reports "not cancelled", per the
+    /// spec. The `ROMP_CANCELLATION` variable overrides
+    /// `OMP_CANCELLATION` when both are set (romp extension, so the
+    /// romp knob wins in environments with a site-wide OpenMP profile).
+    pub cancellation: bool,
 }
 
 /// Hardware concurrency with a sane floor. Cached **for the process
@@ -123,6 +130,7 @@ impl Default for Icvs {
             stacksize: None,
             barrier_kind: BarrierKind::Central,
             hot_teams: true,
+            cancellation: false,
         }
     }
 }
@@ -166,6 +174,9 @@ pub fn current() -> Icvs {
             if let Some(h) = ovr.hot_teams {
                 base.hot_teams = h;
             }
+            if let Some(c) = ovr.cancellation {
+                base.cancellation = c;
+            }
         }
     });
     base
@@ -187,6 +198,12 @@ pub(crate) struct TlsOverride {
     /// tests drive the cold path hermetically without mutating the
     /// process-global block out from under concurrently-running tests.
     pub hot_teams: Option<bool>,
+    /// Per-thread `cancel-var` override (see
+    /// [`set_cancellation_override`]). OpenMP fixes `cancel-var` at
+    /// startup; this romp extension lets early-exit kernels and tests
+    /// arm/disarm cancellation for the forks of one thread without
+    /// mutating the process-global block under concurrent tests.
+    pub cancellation: Option<bool>,
 }
 
 thread_local! {
@@ -211,6 +228,19 @@ pub(crate) fn tls_run_sched_override() -> Option<Schedule> {
 /// serving an earlier region must not leak into later teams.
 pub(crate) fn tls_clear_overrides() {
     TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
+}
+
+/// Override `cancel-var` for forks from the calling thread (romp
+/// extension; OpenMP fixes `cancel-var` at process startup, which would
+/// make early-exit kernels depend on the site environment). `Some(v)`
+/// shadows the global ICV, `None` restores it. Returns the previous
+/// override so callers can scope the change.
+pub fn set_cancellation_override(v: Option<bool>) -> Option<bool> {
+    TLS_OVERRIDE.with(|o| {
+        let mut b = o.borrow_mut();
+        let slot = b.get_or_insert_with(TlsOverride::default);
+        std::mem::replace(&mut slot.cancellation, v)
+    })
 }
 
 #[cfg(test)]
@@ -247,6 +277,16 @@ mod tests {
     fn tls_override_shadows_global() {
         tls_override_mut(|o| o.num_threads = Some(3));
         assert_eq!(current().nthreads, vec![3]);
+        TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
+    }
+
+    #[test]
+    fn cancellation_override_shadows_and_restores() {
+        assert!(!Icvs::default().cancellation);
+        let prev = set_cancellation_override(Some(true));
+        assert!(current().cancellation);
+        set_cancellation_override(prev);
+        assert_eq!(current().cancellation, global_cell().read().cancellation);
         TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
     }
 

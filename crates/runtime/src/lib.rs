@@ -30,6 +30,12 @@
 //!   `taskwait`, `taskgroup`, `taskloop` with
 //!   `grainsize`/`num_tasks`/`nogroup`, and the `if(false)`/`final`
 //!   undeferred path ([`task`]).
+//! * **Cancellation** — `cancel` / `cancellation point` for
+//!   `parallel`, worksharing loops, `sections` and `taskgroup`, armed
+//!   by the `OMP_CANCELLATION` ICV: cooperative chunk-granular early
+//!   exit in the loop drivers, discard of not-yet-started tasks, and
+//!   barrier release for blocked siblings ([`CancelKind`],
+//!   [`ThreadCtx::cancel`]).
 //! * **ICVs and environment** — `OMP_NUM_THREADS`, `OMP_SCHEDULE`,
 //!   `OMP_DYNAMIC`, `OMP_WAIT_POLICY`, … ([`icv`], [`mod@env`]).
 //! * **User API** — `omp_get_thread_num` and friends ([`api`]).
@@ -74,7 +80,10 @@ pub use api::*;
 pub use atomic::AtomicF64;
 pub use barrier::BarrierKind;
 pub use critical::{critical, critical_named};
-pub use ctx::{SiblingPanic, TaskSpec, TaskloopSpec, ThreadCtx};
+pub use ctx::{
+    cancel_taskgroup, cancellation_point_taskgroup, CancelKind, SiblingPanic, TaskSpec,
+    TaskloopSpec, ThreadCtx,
+};
 pub use env::display_env;
 pub use icv::{Icvs, ProcBind, WaitPolicy};
 pub use lock::{NestLock, OmpLock};

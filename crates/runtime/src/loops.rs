@@ -25,30 +25,102 @@ pub struct Ordered<'a> {
     current: Cell<u64>,
     ran: Cell<bool>,
     abort: &'a std::sync::atomic::AtomicBool,
+    /// The team's `cancel parallel` flag: a cancelled region abandons
+    /// the ordered turn protocol (waiters must not block on turns that
+    /// will never be taken).
+    cancel: &'a std::sync::atomic::AtomicBool,
+    /// The team's construct-scoped `cancel for` cell plus this
+    /// construct's cancellable generation: a `cancel for` makes static
+    /// siblings skip whole chunks — turns of those chunks never
+    /// advance, so waiters must watch this flag too.
+    cancel_ws: &'a std::sync::atomic::AtomicU64,
+    cgen: u64,
+    /// `cancel-var` fork-time snapshot: when false, `cancel` can never
+    /// be raised in this region, so the section-body lock (only needed
+    /// against out-of-turn cancel-released waiters) is skipped and the
+    /// disarmed ordered path is byte-for-byte the pre-cancellation one.
+    cancellable: bool,
 }
 
 impl Ordered<'_> {
     /// Execute `f` as the iteration's `ordered` region: iterations run
     /// their ordered regions in iteration order. Call at most once per
     /// iteration.
+    ///
+    /// Under region cancellation a waiter can be released before its
+    /// turn (earlier iterations may have been skipped and will never
+    /// release it). Ordering is then moot — the region's result is
+    /// unspecified — but **mutual exclusion is not negotiable**: user
+    /// code relies on it for unsynchronized shared writes, so an
+    /// out-of-turn section still serializes against in-turn ones
+    /// through the slot's `claimed` spinlock (uncontended one-CAS cost
+    /// on the normal path, where turn order already excludes).
     pub fn section<R>(&self, f: impl FnOnce() -> R) -> R {
         assert!(
             !self.ran.get(),
             "ordered region executed twice in one iteration"
         );
         self.ran.set(true);
-        self.wait_turn();
+        if !self.cancellable {
+            // Disarmed: turn order alone is the exclusion, as before.
+            self.wait_turn();
+            let out = f();
+            self.slot
+                .ordered_next
+                .store(self.current.get() + 1, Ordering::Release);
+            return out;
+        }
+        let in_turn = self.wait_turn();
+        self.lock_section();
         let out = f();
-        self.slot
-            .ordered_next
-            .store(self.current.get() + 1, Ordering::Release);
+        self.slot.claimed.store(false, Ordering::Release);
+        if in_turn {
+            self.slot
+                .ordered_next
+                .store(self.current.get() + 1, Ordering::Release);
+        }
         out
     }
 
-    fn wait_turn(&self) {
+    /// Wait for this iteration's turn. Returns `true` when the turn was
+    /// actually acquired; `false` when the wait was released early by
+    /// region cancellation (the caller must then neither assume
+    /// exclusivity nor advance the turn counter).
+    fn wait_turn(&self) -> bool {
         let me = self.current.get();
         let mut spins = 0u32;
         while self.slot.ordered_next.load(Ordering::Acquire) != me {
+            if self.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            if self.cancel.load(Ordering::Relaxed)
+                || self.cancel_ws.load(Ordering::Relaxed) == self.cgen + 1
+            {
+                // Cancelled region or construct: earlier iterations may
+                // have been skipped and will never take their turn —
+                // give up the wait (the section body still serializes
+                // through the `claimed` lock).
+                return false;
+            }
+            spins += 1;
+            if spins > 10_000 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        true
+    }
+
+    /// Spin-acquire the slot's `claimed` flag as the section-body lock.
+    fn lock_section(&self) {
+        let mut spins = 0u32;
+        while self
+            .slot
+            .claimed
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
             if self.abort.load(Ordering::Relaxed) {
                 std::panic::panic_any(SiblingPanic);
             }
@@ -65,8 +137,7 @@ impl Ordered<'_> {
     /// ordered region, take and release the turn so later iterations are
     /// not blocked.
     fn finish_iteration(&self) {
-        if !self.ran.get() {
-            self.wait_turn();
+        if !self.ran.get() && self.wait_turn() {
             self.slot
                 .ordered_next
                 .store(self.current.get() + 1, Ordering::Release);
@@ -155,6 +226,11 @@ impl<'scope> ThreadCtx<'scope> {
     /// `IterSpace` lowering does the same for strided/signed/collapsed
     /// spaces. All trip accounting is `u64`, so collapsed spaces larger
     /// than `usize` loops still schedule correctly.
+    /// **Cancellation** is chunk-granular: when the construct (or the
+    /// whole region) is cancelled, the driver stops handing out chunks
+    /// — a chunk already claimed runs to completion. The checks cost
+    /// one relaxed load per chunk and are skipped entirely (one boolean
+    /// read per construct) while `cancel-var` is off.
     pub fn ws_for_normalized(
         &self,
         trip: u64,
@@ -163,9 +239,14 @@ impl<'scope> ThreadCtx<'scope> {
         mut chunk_body: impl FnMut(u64, u64),
     ) {
         let sched = self.resolve_schedule(sched);
+        let cgen = self.enter_cancellable_ws();
+        let watch = self.team().cancellable();
         match sched {
             Schedule::Static { chunk } => {
                 for r in StaticChunks::new(trip, self.num_threads(), self.thread_num(), chunk) {
+                    if watch && self.ws_cancelled(cgen) {
+                        break;
+                    }
                     chunk_body(r.start, r.end);
                 }
             }
@@ -176,7 +257,7 @@ impl<'scope> ThreadCtx<'scope> {
                 let team = self.team().clone();
                 let slot = team.slot(gen);
                 let size = self.num_threads();
-                let ok = slot.enter(gen, size, &team.abort, |s| {
+                let ok = slot.enter(gen, size, &team.abort, &team.cancel_parallel, |s| {
                     s.next.store(0, Ordering::Relaxed);
                     s.end.store(trip, Ordering::Relaxed);
                     s.chunk.store(chunk, Ordering::Relaxed);
@@ -186,9 +267,17 @@ impl<'scope> ThreadCtx<'scope> {
                     );
                 });
                 if !ok {
-                    std::panic::panic_any(SiblingPanic);
+                    if team.abort.load(Ordering::Relaxed) {
+                        std::panic::panic_any(SiblingPanic);
+                    }
+                    // Cancelled region: skip the whole construct.
+                    self.exit_cancellable_ws();
+                    return;
                 }
                 loop {
+                    if watch && self.ws_cancelled(cgen) {
+                        break;
+                    }
                     let grabbed = if guided {
                         // CAS loop: shrinking grabs proportional to the
                         // remaining work.
@@ -228,6 +317,7 @@ impl<'scope> ThreadCtx<'scope> {
             }
             Schedule::Runtime | Schedule::Auto => unreachable!("resolved above"),
         }
+        self.exit_cancellable_ws();
         if !nowait {
             self.barrier();
         }
@@ -257,19 +347,33 @@ impl<'scope> ThreadCtx<'scope> {
             Schedule::Static { .. } => (false, 1, false),
             _ => unreachable!("resolved above"),
         };
-        let ok = slot.enter(gen, size, &team.abort, |s| {
+        let cgen = self.enter_cancellable_ws();
+        let watch = team.cancellable();
+        let ok = slot.enter(gen, size, &team.abort, &team.cancel_parallel, |s| {
             s.next.store(0, Ordering::Relaxed);
             s.end.store(trip, Ordering::Relaxed);
             s.ordered_next.store(0, Ordering::Relaxed);
+            // `claimed` doubles as the section-body lock (see
+            // `Ordered::section`); a previous `single` in this slot may
+            // have left it set.
+            s.claimed.store(false, Ordering::Relaxed);
         });
         if !ok {
-            std::panic::panic_any(SiblingPanic);
+            self.exit_cancellable_ws();
+            if team.abort.load(Ordering::Relaxed) {
+                std::panic::panic_any(SiblingPanic);
+            }
+            return; // cancelled region
         }
         let ord = Ordered {
             slot,
             current: Cell::new(0),
             ran: Cell::new(false),
             abort: &team.abort,
+            cancel: &team.cancel_parallel,
+            cancel_ws: &team.cancel_ws,
+            cgen,
+            cancellable: watch,
         };
         let mut run_chunk = |lo: u64, hi: u64| {
             for i in lo..hi {
@@ -281,6 +385,9 @@ impl<'scope> ThreadCtx<'scope> {
         };
         if uses_dispatch {
             loop {
+                if watch && self.ws_cancelled(cgen) {
+                    break;
+                }
                 let grabbed = if guided {
                     loop {
                         let cur = slot.next.load(Ordering::Acquire);
@@ -317,10 +424,14 @@ impl<'scope> ThreadCtx<'scope> {
                 _ => unreachable!(),
             };
             for r in StaticChunks::new(trip, size, self.thread_num(), static_chunk) {
+                if watch && self.ws_cancelled(cgen) {
+                    break;
+                }
                 run_chunk(r.start, r.end);
             }
         }
         slot.leave();
+        self.exit_cancellable_ws();
         if !nowait {
             self.barrier();
         }
@@ -513,6 +624,215 @@ mod tests {
                 ctx.resolve_schedule(Schedule::dynamic_chunk(5)),
                 Schedule::Dynamic { chunk: 5 }
             );
+        });
+    }
+
+    /// Run `f` with cancellation armed for this thread's forks (TLS
+    /// override — hermetic under concurrently running tests).
+    fn with_cancellation<R>(f: impl FnOnce() -> R) -> R {
+        let prev = crate::icv::set_cancellation_override(Some(true));
+        let out = f();
+        crate::icv::set_cancellation_override(prev);
+        out
+    }
+
+    #[test]
+    fn cancelled_dynamic_loop_stops_handing_out_chunks() {
+        with_cancellation(|| {
+            // One thread, chunk 10: cancelling in the third chunk means
+            // exactly 3 chunks (30 iterations) run — deterministic.
+            let seen = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(1), |ctx| {
+                ctx.ws_for(0..1000, Schedule::dynamic_chunk(10), false, |i| {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                    if i == 25 {
+                        assert!(ctx.cancel(crate::CancelKind::For));
+                    }
+                });
+            });
+            assert_eq!(seen.load(Ordering::Relaxed), 30);
+        });
+    }
+
+    #[test]
+    fn cancelled_static_loop_stops_between_chunks() {
+        with_cancellation(|| {
+            let seen = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(1), |ctx| {
+                ctx.ws_for(0..1000, Schedule::static_chunk(10), false, |_| {
+                    seen.fetch_add(1, Ordering::Relaxed);
+                    ctx.cancel(crate::CancelKind::For);
+                });
+            });
+            // Cancelled in the very first chunk: it completes, nothing
+            // further is dispatched.
+            assert_eq!(seen.load(Ordering::Relaxed), 10);
+        });
+    }
+
+    #[test]
+    fn cancellation_expires_at_the_next_construct() {
+        with_cancellation(|| {
+            // A cancelled loop must not bleed into the next loop: the
+            // generation-matched flag simply never matches again.
+            let (first, second) = (AtomicUsize::new(0), AtomicUsize::new(0));
+            fork(ForkSpec::with_num_threads(2), |ctx| {
+                ctx.ws_for(0..100, Schedule::dynamic_chunk(5), false, |_| {
+                    first.fetch_add(1, Ordering::Relaxed);
+                    ctx.cancel(crate::CancelKind::For);
+                });
+                ctx.ws_for(0..100, Schedule::dynamic_chunk(5), false, |_| {
+                    second.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+            assert!(first.load(Ordering::Relaxed) < 100);
+            assert_eq!(second.load(Ordering::Relaxed), 100);
+        });
+    }
+
+    #[test]
+    fn cancel_var_off_makes_cancel_a_noop() {
+        let prev = crate::icv::set_cancellation_override(Some(false));
+        let seen = AtomicUsize::new(0);
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            ctx.ws_for(0..100, Schedule::dynamic_chunk(5), false, |_| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                assert!(!ctx.cancel(crate::CancelKind::For));
+                assert!(!ctx.cancellation_point(crate::CancelKind::For));
+            });
+            assert!(!ctx.cancel(crate::CancelKind::Parallel));
+            assert!(!ctx.cancellation_point(crate::CancelKind::Parallel));
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 100);
+        crate::icv::set_cancellation_override(prev);
+    }
+
+    #[test]
+    fn cancel_parallel_skips_barriers_and_later_constructs() {
+        with_cancellation(|| {
+            let after_barrier = AtomicUsize::new(0);
+            let singles = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(4), |ctx| {
+                if ctx.thread_num() == 0 {
+                    assert!(ctx.cancel(crate::CancelKind::Parallel));
+                } else {
+                    // Blocked or late siblings must get through.
+                    ctx.barrier();
+                }
+                after_barrier.fetch_add(1, Ordering::Relaxed);
+                // Constructs after cancellation are skipped (no hang,
+                // no execution for late arrivals that observe the flag).
+                if ctx.single(false, || ()).is_some() {
+                    singles.fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.ws_for(0..64, Schedule::dynamic(), false, |_| {});
+            });
+            assert_eq!(after_barrier.load(Ordering::Relaxed), 4);
+            assert!(singles.load(Ordering::Relaxed) <= 1);
+        });
+    }
+
+    #[test]
+    fn cancel_for_on_static_ordered_loop_does_not_hang() {
+        // `cancel for` on a static-scheduled ordered loop makes some
+        // threads skip whole chunks, so the skipped chunks' turns never
+        // advance; a sibling that raced into a later chunk must be
+        // released from its turn wait by the construct-scoped flag
+        // (OpenMP forbids this combination — romp must still not hang).
+        with_cancellation(|| {
+            for _ in 0..5 {
+                let ran = AtomicUsize::new(0);
+                fork(ForkSpec::with_num_threads(3), |ctx| {
+                    ctx.ws_for_ordered(0..60, Schedule::static_chunk(10), false, |i, ord| {
+                        if i == 5 {
+                            ctx.cancel(crate::CancelKind::For);
+                        }
+                        ord.section(|| {
+                            ran.fetch_add(1, Ordering::Relaxed);
+                        });
+                    });
+                    // The loop's closing barrier completed: every
+                    // thread got out of the construct.
+                    ctx.barrier();
+                });
+                assert!(ran.load(Ordering::Relaxed) >= 1);
+            }
+        });
+    }
+
+    #[test]
+    fn cancelled_region_single_copy_returns_without_panicking() {
+        // `single copyprivate` must not turn a cooperative cancel into
+        // a panic: threads arriving after the cancel skip the construct
+        // and compute locally; threads caught mid-construct wait for
+        // the claim winner's published value.
+        with_cancellation(|| {
+            for _ in 0..10 {
+                fork(ForkSpec::with_num_threads(3), |ctx| {
+                    if ctx.thread_num() == 1 {
+                        ctx.cancel(crate::CancelKind::Parallel);
+                    }
+                    // Unsynchronized arrival: some threads observe the
+                    // cancel before the construct, some inside it.
+                    let v = ctx.single_copy(|| 42u32);
+                    assert_eq!(v, 42);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cancelled_ordered_sections_stay_mutually_exclusive() {
+        // A waiter released early by `cancel parallel` runs its ordered
+        // section out of turn — ordering is forfeit, but two section
+        // bodies must never overlap (user code relies on the exclusion
+        // for unsynchronized writes).
+        with_cancellation(|| {
+            for round in 0..5 {
+                let in_section = AtomicUsize::new(0);
+                fork(ForkSpec::with_num_threads(4), |ctx| {
+                    ctx.ws_for_ordered(0..64, Schedule::static_chunk(1), false, |i, ord| {
+                        if i == 5 + round {
+                            ctx.cancel(crate::CancelKind::Parallel);
+                        }
+                        ord.section(|| {
+                            assert_eq!(
+                                in_section.fetch_add(1, Ordering::SeqCst),
+                                0,
+                                "two ordered bodies ran concurrently"
+                            );
+                            for _ in 0..200 {
+                                std::hint::spin_loop();
+                            }
+                            in_section.fetch_sub(1, Ordering::SeqCst);
+                        });
+                    });
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn cancel_parallel_discards_unstarted_tasks() {
+        with_cancellation(|| {
+            // Team of one: tasks sit deferred (nobody can steal), so
+            // cancelling before the region-end drain means every body
+            // must be discarded — deterministically zero runs.
+            let ran = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(1), |ctx| {
+                let tok = 0u8;
+                ctx.task_spec(crate::TaskSpec::new().output(&tok), || {});
+                for _ in 0..8 {
+                    let r = &ran;
+                    // Dependence-stalled behind the head: the discard
+                    // path must release and discard the whole chain.
+                    ctx.task_spec(crate::TaskSpec::new().inout(&tok), move || {
+                        r.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                assert!(ctx.cancel(crate::CancelKind::Parallel));
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 0, "tasks were not discarded");
         });
     }
 

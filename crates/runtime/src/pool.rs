@@ -869,6 +869,7 @@ where
     let snap = ForkSnap {
         run_sched: icvs.run_sched,
         proc_bind: spec.proc_bind.unwrap_or(icvs.proc_bind),
+        cancellable: icvs.cancellation,
     };
 
     // Hot fast path: outermost-level forks of actual teams only (a

@@ -46,6 +46,12 @@ pub struct Stats {
     /// Forks that rebuilt a cached hot team because `num_threads` or a
     /// team-shape ICV (wait policy, barrier kind, `dyn-var`) changed.
     pub hot_team_resizes: AtomicU64,
+    /// `cancel` requests that activated cancellation (cancel-var was
+    /// true and the flag was raised).
+    pub cancels_activated: AtomicU64,
+    /// Explicit tasks discarded without running their body (their
+    /// taskgroup or parallel region was cancelled before they started).
+    pub tasks_discarded: AtomicU64,
 }
 
 static STATS: Stats = Stats {
@@ -63,6 +69,8 @@ static STATS: Stats = Stats {
     hot_team_hits: AtomicU64::new(0),
     hot_team_misses: AtomicU64::new(0),
     hot_team_resizes: AtomicU64::new(0),
+    cancels_activated: AtomicU64::new(0),
+    tasks_discarded: AtomicU64::new(0),
 };
 
 /// Access the global statistics block.
@@ -101,6 +109,10 @@ pub struct Snapshot {
     pub hot_team_misses: u64,
     /// See [`Stats::hot_team_resizes`].
     pub hot_team_resizes: u64,
+    /// See [`Stats::cancels_activated`].
+    pub cancels_activated: u64,
+    /// See [`Stats::tasks_discarded`].
+    pub tasks_discarded: u64,
 }
 
 impl Stats {
@@ -121,6 +133,8 @@ impl Stats {
             hot_team_hits: self.hot_team_hits.load(Ordering::Relaxed),
             hot_team_misses: self.hot_team_misses.load(Ordering::Relaxed),
             hot_team_resizes: self.hot_team_resizes.load(Ordering::Relaxed),
+            cancels_activated: self.cancels_activated.load(Ordering::Relaxed),
+            tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
         }
     }
 }
@@ -143,6 +157,8 @@ impl Snapshot {
             hot_team_hits: later.hot_team_hits - self.hot_team_hits,
             hot_team_misses: later.hot_team_misses - self.hot_team_misses,
             hot_team_resizes: later.hot_team_resizes - self.hot_team_resizes,
+            cancels_activated: later.cancels_activated - self.cancels_activated,
+            tasks_discarded: later.tasks_discarded - self.tasks_discarded,
         }
     }
 }
@@ -163,6 +179,8 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
     let _ = writeln!(out, "  hot_team_hits = '{}'", s.hot_team_hits);
     let _ = writeln!(out, "  hot_team_misses = '{}'", s.hot_team_misses);
     let _ = writeln!(out, "  hot_team_resizes = '{}'", s.hot_team_resizes);
+    let _ = writeln!(out, "  cancels_activated = '{}'", s.cancels_activated);
+    let _ = writeln!(out, "  tasks_discarded = '{}'", s.tasks_discarded);
     let _ = writeln!(out, "ROMP TASK STATISTICS END");
     out
 }
@@ -205,6 +223,8 @@ mod tests {
             "hot_team_hits",
             "hot_team_misses",
             "hot_team_resizes",
+            "cancels_activated",
+            "tasks_discarded",
         ] {
             assert!(banner.contains(key), "missing {key} in:\n{banner}");
         }

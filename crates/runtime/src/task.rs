@@ -54,7 +54,7 @@
 
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Storage addresses a task depends on — the `depend(in/out/inout: …)`
@@ -110,7 +110,22 @@ impl TaskDeps {
 /// parent's children count plus any enclosing taskgroups.
 pub(crate) struct TaskHooks {
     pub parent_children: Arc<AtomicUsize>,
-    pub groups: Vec<Arc<AtomicUsize>>,
+    pub groups: Vec<Arc<TaskGroup>>,
+}
+
+/// One `taskgroup` region's shared record: the count of live member
+/// tasks (the thing the construct's end waits on) and the cancellation
+/// flag raised by `cancel taskgroup`. Membership is transitive — a task
+/// spawned while executing a member task joins the same groups, because
+/// [`TaskSystem::execute`] swaps the executing thread's group stack to
+/// the task's own group set for the duration of the body.
+#[derive(Debug, Default)]
+pub(crate) struct TaskGroup {
+    /// Live member tasks (created and not yet finished/discarded).
+    pub count: AtomicUsize,
+    /// Raised by `cancel taskgroup`: members that have not started are
+    /// discarded instead of executed.
+    pub cancelled: AtomicBool,
 }
 
 pub(crate) struct RawTask {
@@ -230,6 +245,11 @@ pub(crate) struct TaskSystem {
     /// Tasks created and not yet finished, team-wide (stalled included).
     pub pending: AtomicUsize,
     deps: Mutex<DepGraph>,
+    /// Raised by `cancel parallel`: every not-yet-started task of the
+    /// region is discarded instead of executed (OpenMP lets an
+    /// implementation discard tasks that have not begun execution when
+    /// their binding region is cancelled). Cleared on recycle.
+    pub(crate) cancel_all: AtomicBool,
 }
 
 impl std::fmt::Debug for TaskSystem {
@@ -247,6 +267,7 @@ impl TaskSystem {
             queues: (0..size).map(|_| TaskQueue::new()).collect(),
             pending: AtomicUsize::new(0),
             deps: Mutex::new(DepGraph::default()),
+            cancel_all: AtomicBool::new(false),
         }
     }
 
@@ -256,7 +277,7 @@ impl TaskSystem {
         self.pending.fetch_add(1, Ordering::AcqRel);
         task.hooks.parent_children.fetch_add(1, Ordering::AcqRel);
         for g in &task.hooks.groups {
-            g.fetch_add(1, Ordering::AcqRel);
+            g.count.fetch_add(1, Ordering::AcqRel);
         }
     }
 
@@ -434,12 +455,34 @@ impl TaskSystem {
     /// Run one task to completion on the current thread, maintaining the
     /// task-frame TLS so nested `task`/`taskwait` see the right parent,
     /// and releasing dependence-graph successors when it finishes.
+    ///
+    /// **Cancellation**: a task whose parallel region (`cancel_all`) or
+    /// any enclosing taskgroup was cancelled before it started is
+    /// *discarded* — its body never runs, but it still flows through the
+    /// completion bookkeeping (dependence-node release, parent/group/
+    /// pending decrements), so waiting constructs drain and dependence
+    /// successors are released (to be discarded in turn). This is how
+    /// queued *and* dependence-stalled tasks of a cancelled taskgroup
+    /// die without executing.
+    ///
+    /// **Group transitivity**: the executing thread's taskgroup stack is
+    /// swapped to the task's own group set for the duration of the body,
+    /// so tasks spawned by a member (on whatever thread stole it) join
+    /// the same groups — and tasks spawned by an unrelated task executed
+    /// while *helping* inside a taskgroup wait do not leak into it.
     pub(crate) fn execute(&self, thread_num: usize, task: RawTask) {
-        crate::stats::bump(&crate::stats::stats().tasks_executed);
+        let discard = self.cancel_all.load(Ordering::Relaxed)
+            || task
+                .hooks
+                .groups
+                .iter()
+                .any(|g| g.cancelled.load(Ordering::Relaxed));
         let frame = Arc::new(TaskFrame {
             children: Arc::new(AtomicUsize::new(0)),
         });
         let prev = CURRENT_FRAME.with(|c| c.replace(Some(frame.clone())));
+        let prev_groups = GROUP_STACK
+            .with(|g| std::mem::replace(&mut *g.borrow_mut(), task.hooks.groups.clone()));
         // Run; panics propagate to the executing thread's region handler,
         // but the counters must be consistent either way.
         struct Finish<'a> {
@@ -448,16 +491,18 @@ impl TaskSystem {
             node: Option<u64>,
             thread_num: usize,
             prev: Option<Arc<TaskFrame>>,
+            prev_groups: Vec<Arc<TaskGroup>>,
         }
         impl Drop for Finish<'_> {
             fn drop(&mut self) {
                 CURRENT_FRAME.with(|c| *c.borrow_mut() = self.prev.take());
+                GROUP_STACK.with(|g| *g.borrow_mut() = std::mem::take(&mut self.prev_groups));
                 if let Some(id) = self.node {
                     self.sys.complete_node(id, self.thread_num);
                 }
                 self.hooks.parent_children.fetch_sub(1, Ordering::AcqRel);
                 for g in &self.hooks.groups {
-                    g.fetch_sub(1, Ordering::AcqRel);
+                    g.count.fetch_sub(1, Ordering::AcqRel);
                 }
                 self.sys.pending.fetch_sub(1, Ordering::AcqRel);
             }
@@ -468,8 +513,15 @@ impl TaskSystem {
             node: task.node,
             thread_num,
             prev,
+            prev_groups,
         };
-        (task.func)();
+        if discard {
+            crate::stats::bump(&crate::stats::stats().tasks_discarded);
+            drop(task.func);
+        } else {
+            crate::stats::bump(&crate::stats::stats().tasks_executed);
+            (task.func)();
+        }
     }
 
     /// Remove a finished task's dependence node and release successors
@@ -541,6 +593,7 @@ impl TaskSystem {
         // The dropped tasks never decrement `pending` through the
         // execute path; zero it so nothing spins on the count.
         self.pending.store(0, Ordering::Release);
+        self.cancel_all.store(false, Ordering::Release);
     }
 
     /// Recycle the task system for a hot team's next region: evict the
@@ -558,6 +611,8 @@ impl TaskSystem {
         g.nodes.clear();
         g.stalled.clear();
         g.next_id = 0;
+        drop(g);
+        self.cancel_all.store(false, Ordering::Relaxed);
     }
 }
 
@@ -569,8 +624,11 @@ pub(crate) struct TaskFrame {
 thread_local! {
     pub(crate) static CURRENT_FRAME: std::cell::RefCell<Option<Arc<TaskFrame>>> =
         const { std::cell::RefCell::new(None) };
-    /// Taskgroup nesting stack for the current thread.
-    pub(crate) static GROUP_STACK: std::cell::RefCell<Vec<Arc<AtomicUsize>>> =
+    /// Taskgroup nesting stack for the current thread. While an
+    /// explicit task executes, this holds the *task's* group set (see
+    /// [`TaskSystem::execute`]), so membership is transitive under
+    /// stealing and cancellation finds the right innermost group.
+    pub(crate) static GROUP_STACK: std::cell::RefCell<Vec<Arc<TaskGroup>>> =
         const { std::cell::RefCell::new(Vec::new()) };
     /// Are we dynamically inside a `final` task? Descendants of a final
     /// task are *included* tasks: undeferred and themselves final.
@@ -612,9 +670,15 @@ pub(crate) fn current_children(implicit: &Arc<AtomicUsize>) -> Arc<AtomicUsize> 
     })
 }
 
-/// Snapshot of the enclosing taskgroup counters.
-pub(crate) fn current_groups() -> Vec<Arc<AtomicUsize>> {
+/// Snapshot of the enclosing taskgroup records (innermost last).
+pub(crate) fn current_groups() -> Vec<Arc<TaskGroup>> {
     GROUP_STACK.with(|g| g.borrow().clone())
+}
+
+/// The innermost taskgroup of the current task, if any — the target of
+/// `cancel taskgroup` / `cancellation point taskgroup`.
+pub(crate) fn innermost_group() -> Option<Arc<TaskGroup>> {
+    GROUP_STACK.with(|g| g.borrow().last().cloned())
 }
 
 /// Build a lifetime-erased task.
@@ -713,7 +777,7 @@ mod tests {
     #[test]
     fn group_counters_tracked() {
         let sys = TaskSystem::new(1);
-        let group = Arc::new(AtomicUsize::new(0));
+        let group = Arc::new(TaskGroup::default());
         let parent = Arc::new(AtomicUsize::new(0));
         let t = unsafe {
             make_raw_task(
@@ -725,10 +789,63 @@ mod tests {
             )
         };
         unsafe { sys.push(0, t, TaskDeps::new()) };
-        assert_eq!(group.load(Ordering::SeqCst), 1);
+        assert_eq!(group.count.load(Ordering::SeqCst), 1);
         let mut seed = 1;
         sys.drain(0, &mut seed);
-        assert_eq!(group.load(Ordering::SeqCst), 0);
+        assert_eq!(group.count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancelled_group_discards_queued_and_stalled_tasks() {
+        let sys = TaskSystem::new(1);
+        let group = Arc::new(TaskGroup::default());
+        let parent = Arc::new(AtomicUsize::new(0));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let x = 0u8;
+        // One ready task and one dependence-stalled behind it, both in
+        // the group.
+        for _ in 0..2 {
+            let ran = ran.clone();
+            let t = unsafe {
+                make_raw_task(
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }),
+                    TaskHooks {
+                        parent_children: parent.clone(),
+                        groups: vec![group.clone()],
+                    },
+                )
+            };
+            unsafe { sys.push(0, t, TaskDeps::new().inout(&x)) };
+        }
+        group.cancelled.store(true, Ordering::SeqCst);
+        let mut seed = 1;
+        sys.drain(0, &mut seed);
+        // Both flowed through the bookkeeping without running a body,
+        // and the stalled one was released by the discard of the first.
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(sys.pending(), 0);
+        assert_eq!(group.count.load(Ordering::SeqCst), 0);
+        assert_eq!(parent.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancel_all_discards_everything_not_started() {
+        let sys = TaskSystem::new(1);
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let ran = ran.clone();
+            let (t, _p) = raw(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+            unsafe { sys.push(0, t, TaskDeps::new()) };
+        }
+        sys.cancel_all.store(true, Ordering::SeqCst);
+        let mut seed = 1;
+        sys.drain(0, &mut seed);
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+        assert_eq!(sys.pending(), 0);
     }
 
     #[test]

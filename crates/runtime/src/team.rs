@@ -85,18 +85,23 @@ impl WsSlot {
 
     /// Enter this slot for construct generation `gen`, installing the
     /// shared state with `init` if we win the installation race.
-    /// Returns `false` if the team aborted while we waited.
+    /// Returns `false` if the team aborted — or was cancelled (`cancel
+    /// parallel`) — while we waited: after cancellation threads skip
+    /// constructs unevenly, so an older generation may never drain and
+    /// a waiter must not spin on it forever. Callers disambiguate via
+    /// the team's flags (abort unwinds, cancel returns early).
     pub(crate) fn enter(
         &self,
         gen: u64,
         team_size: usize,
         abort: &AtomicBool,
+        cancel: &AtomicBool,
         init: impl FnOnce(&WsSlot),
     ) -> bool {
         let mut init = Some(init);
         let mut spins = 0u32;
         loop {
-            if abort.load(Ordering::Relaxed) {
+            if abort.load(Ordering::Relaxed) || cancel.load(Ordering::Relaxed) {
                 return false;
             }
             let cur = self.gen.load(Ordering::Acquire);
@@ -209,6 +214,11 @@ pub(crate) struct ForkSnap {
     /// and reported (`omp_get_proc_bind`); actual core pinning is
     /// outside the scope of a portable runtime.
     pub proc_bind: ProcBind,
+    /// `cancel-var` snapshot: is cancellation armed for this region?
+    /// Fork-time so a recycled hot team observes ICV changes, and so
+    /// the non-cancelled hot path can skip every flag check with one
+    /// boolean read per construct.
+    pub cancellable: bool,
 }
 
 /// Shared state of one parallel region's team.
@@ -224,6 +234,19 @@ pub struct Team {
     pub(crate) barrier: TeamBarrier,
     /// Raised when any team thread panics; all barrier/slot waits watch it.
     pub(crate) abort: AtomicBool,
+    /// Raised by `cancel parallel`: team threads skip remaining
+    /// barriers/constructs and proceed (cooperatively) to the region
+    /// end; not-yet-started tasks are discarded. Unlike `abort` it does
+    /// not unwind — a cancelled region completes normally, with an
+    /// unspecified partial result, exactly as the spec allows.
+    pub(crate) cancel_parallel: AtomicBool,
+    /// `cancel for`/`cancel sections` request, scoped to one
+    /// worksharing construct: `0` = none, `g + 1` = the construct with
+    /// cancellable-construct generation `g` is cancelled (every team
+    /// thread encounters the same construct sequence, so the per-thread
+    /// generation counters agree). A stale value simply never matches a
+    /// later construct's generation — no end-of-construct reset races.
+    pub(crate) cancel_ws: AtomicU64,
     /// First panic payload, rethrown by the master after the join.
     pub(crate) panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     /// Workers (not the master) that have not yet finished the region.
@@ -289,6 +312,8 @@ impl Team {
             active_level,
             barrier: TeamBarrier::new(size, barrier_kind, wait_policy),
             abort: AtomicBool::new(false),
+            cancel_parallel: AtomicBool::new(false),
+            cancel_ws: AtomicU64::new(0),
             panic_payload: Mutex::new(None),
             remaining: AtomicUsize::new(size.saturating_sub(1)),
             join_lock: Mutex::new(()),
@@ -321,6 +346,11 @@ impl Team {
         self.snap.read().proc_bind
     }
 
+    /// Is cancellation armed for this region (`cancel-var` snapshot)?
+    pub(crate) fn cancellable(&self) -> bool {
+        self.snap.read().cancellable
+    }
+
     /// Recycle this hot team's shared state for the next region, in
     /// place of a fresh allocation.
     ///
@@ -333,6 +363,8 @@ impl Team {
         debug_assert!(self.hot, "recycle is a hot-team protocol");
         debug_assert_eq!(self.remaining.load(Ordering::Acquire), 0);
         self.abort.store(false, Ordering::Relaxed);
+        self.cancel_parallel.store(false, Ordering::Relaxed);
+        self.cancel_ws.store(0, Ordering::Relaxed);
         *self.panic_payload.lock() = None;
         self.remaining
             .store(self.size.saturating_sub(1), Ordering::Relaxed);
@@ -382,6 +414,7 @@ mod tests {
             ForkSnap {
                 run_sched: crate::sched::Schedule::default(),
                 proc_bind: ProcBind::False,
+                cancellable: false,
             },
             false,
             true, // hot, so recycle() is exercisable
@@ -392,14 +425,15 @@ mod tests {
     fn slot_install_then_join() {
         let team = test_team(2);
         let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let slot = team.slot(0);
         // First thread installs.
-        assert!(slot.enter(0, 2, &abort, |s| {
+        assert!(slot.enter(0, 2, &abort, &cancel, |s| {
             s.next.store(0, Ordering::Relaxed);
             s.end.store(100, Ordering::Relaxed);
         }));
         // Second thread joins without re-initializing.
-        assert!(slot.enter(0, 2, &abort, |_| panic!("double install")));
+        assert!(slot.enter(0, 2, &abort, &cancel, |_| panic!("double install")));
         assert_eq!(slot.end.load(Ordering::Relaxed), 100);
         slot.leave();
         slot.leave();
@@ -409,12 +443,15 @@ mod tests {
     fn slot_recycles_after_all_leave() {
         let team = test_team(1);
         let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         // Generations 0 and WS_SLOTS map to the same slot.
         let g2 = WS_SLOTS as u64;
         let slot = team.slot(0);
-        assert!(slot.enter(0, 1, &abort, |s| s.end.store(7, Ordering::Relaxed)));
+        assert!(slot.enter(0, 1, &abort, &cancel, |s| s.end.store(7, Ordering::Relaxed)));
         slot.leave();
-        assert!(slot.enter(g2, 1, &abort, |s| s.end.store(9, Ordering::Relaxed)));
+        assert!(slot.enter(g2, 1, &abort, &cancel, |s| s
+            .end
+            .store(9, Ordering::Relaxed)));
         assert_eq!(slot.end.load(Ordering::Relaxed), 9);
         slot.leave();
     }
@@ -423,27 +460,44 @@ mod tests {
     fn slot_enter_aborts() {
         let team = test_team(2);
         let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         let slot = team.slot(0);
-        assert!(slot.enter(0, 2, &abort, |_| {}));
+        assert!(slot.enter(0, 2, &abort, &cancel, |_| {}));
         // Generation WS_SLOTS can't recycle (done != size), but the abort
         // flag must still release the waiter.
         abort.store(true, Ordering::SeqCst);
-        assert!(!slot.enter(WS_SLOTS as u64, 2, &abort, |_| {}));
+        assert!(!slot.enter(WS_SLOTS as u64, 2, &abort, &cancel, |_| {}));
+    }
+
+    #[test]
+    fn slot_enter_released_by_cancellation() {
+        // After `cancel parallel` threads skip constructs unevenly: an
+        // older generation may never drain, and a waiter must still get
+        // out (returning `false`, not unwinding).
+        let team = test_team(2);
+        let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
+        let slot = team.slot(0);
+        assert!(slot.enter(0, 2, &abort, &cancel, |_| {}));
+        cancel.store(true, Ordering::SeqCst);
+        assert!(!slot.enter(WS_SLOTS as u64, 2, &abort, &cancel, |_| {}));
     }
 
     #[test]
     fn concurrent_install_race_single_winner() {
         let team = Arc::new(test_team(8));
         let abort = Arc::new(AtomicBool::new(false));
+        let cancel = Arc::new(AtomicBool::new(false));
         let installs = Arc::new(AtomicUsize::new(0));
         let mut handles = vec![];
         for _ in 0..8 {
             let team = team.clone();
             let abort = abort.clone();
+            let cancel = cancel.clone();
             let installs = installs.clone();
             handles.push(std::thread::spawn(move || {
                 let slot = team.slot(3);
-                assert!(slot.enter(3, 8, &abort, |_| {
+                assert!(slot.enter(3, 8, &abort, &cancel, |_| {
                     installs.fetch_add(1, Ordering::SeqCst);
                 }));
                 slot.leave();
@@ -459,22 +513,31 @@ mod tests {
     fn recycle_resets_slots_panic_state_and_snapshot() {
         let team = test_team(2);
         let abort = AtomicBool::new(false);
+        let cancel = AtomicBool::new(false);
         // Dirty the team: advance a slot generation, record a panic,
         // poison a reduce cell, consume the join counter.
         let slot = team.slot(0);
-        assert!(slot.enter(0, 2, &abort, |s| s.end.store(11, Ordering::Relaxed)));
+        assert!(slot.enter(0, 2, &abort, &cancel, |s| s
+            .end
+            .store(11, Ordering::Relaxed)));
         slot.leave();
         slot.leave();
         team.record_panic(Box::new("boom"));
+        team.cancel_parallel.store(true, Ordering::SeqCst);
+        team.cancel_ws.store(7, Ordering::SeqCst);
         team.reduce_cells[0].lock().gen = 0;
         team.remaining.store(0, Ordering::SeqCst);
 
         team.recycle(ForkSnap {
             run_sched: crate::sched::Schedule::dynamic_chunk(5),
             proc_bind: ProcBind::Spread,
+            cancellable: true,
         });
 
         assert!(!team.abort.load(Ordering::SeqCst));
+        assert!(!team.cancel_parallel.load(Ordering::SeqCst));
+        assert_eq!(team.cancel_ws.load(Ordering::SeqCst), 0);
+        assert!(team.cancellable());
         assert!(team.panic_payload.lock().is_none());
         assert_eq!(team.remaining.load(Ordering::SeqCst), 1);
         assert_eq!(team.run_sched(), crate::sched::Schedule::dynamic_chunk(5));
@@ -483,7 +546,9 @@ mod tests {
         // Slot generation is back at its initial value: a fresh thread
         // (generation counter 0) can install again.
         let slot = team.slot(0);
-        assert!(slot.enter(0, 2, &abort, |s| s.end.store(99, Ordering::Relaxed)));
+        assert!(slot.enter(0, 2, &abort, &cancel, |s| s
+            .end
+            .store(99, Ordering::Relaxed)));
         assert_eq!(slot.end.load(Ordering::Relaxed), 99);
         slot.leave();
         slot.leave();

@@ -56,6 +56,7 @@ pub mod prelude {
 // them at `romp_core`'s root; alias the crate so `romp::omp_parallel!`
 // also works through the prelude).
 pub use romp_core::{
-    omp_barrier, omp_critical, omp_for, omp_master, omp_ordered, omp_parallel, omp_parallel_for,
-    omp_sections, omp_single, omp_task, omp_taskgroup, omp_taskloop, omp_taskwait,
+    omp_barrier, omp_cancel, omp_cancellation_point, omp_critical, omp_for, omp_master,
+    omp_ordered, omp_parallel, omp_parallel_for, omp_sections, omp_single, omp_task, omp_taskgroup,
+    omp_taskloop, omp_taskwait,
 };

@@ -1,0 +1,29 @@
+//! Fixture: the cancellation-driven first-match search written with
+//! `//#omp` comment directives, translated by `rompcc` into
+//! `search_translated.rs` (checked in; the translator test asserts the
+//! translation is reproduced byte-for-byte, and the translated module
+//! is compiled and must produce results identical to the macro and
+//! builder front ends).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// First index whose 4-byte window equals `needle` — exact under the
+/// dynamic schedule's monotone chunk dispatch (see `romp_npb::search`).
+/// The caller arms cancellation (`ArmCancellation`) around the call.
+pub fn first_match(hay: &[u8], needle: &[u8; 4], threads: usize) -> usize {
+    let found = AtomicUsize::new(usize::MAX);
+    let last = hay.len() - 3;
+    {
+        let found = &found;
+        romp_core::omp_parallel!(num_threads(threads), |__omp_ctx_0| {
+            romp_core::omp_for!(__omp_ctx_0, schedule(dynamic, 512), for i in (0..last) {
+                if hay[i..i + 4] == needle[..] {
+                    found.fetch_min(i, Ordering::Relaxed);
+                    if romp_core::omp_cancel!(__omp_ctx_0, for) { return; }
+                }
+                if romp_core::omp_cancellation_point!(__omp_ctx_0, for) { return; }
+            });
+        });
+    }
+    found.load(Ordering::Relaxed)
+}

@@ -196,9 +196,14 @@ fn barrier_kind_change_rebuilds_the_team() {
     on_fresh_thread(|| {
         assert_geometry(3);
         let before = stats().snapshot();
-        let prev = icv::with_global_mut(|i| {
-            std::mem::replace(&mut i.barrier_kind, BarrierKind::Dissemination)
-        });
+        // Flip to whichever kind differs from the current one (the
+        // suite may run under ROMP_BARRIER=dissemination already).
+        let flipped = if icv::current().barrier_kind == BarrierKind::Dissemination {
+            BarrierKind::Central
+        } else {
+            BarrierKind::Dissemination
+        };
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.barrier_kind, flipped));
         // The rebuilt team's barrier must actually work.
         fork(ForkSpec::with_num_threads(3), |ctx| {
             for _ in 0..5 {
@@ -318,6 +323,84 @@ fn panic_storm_never_wedges_the_runtime() {
             assert!(r.is_err());
             assert_geometry(3);
         }
+    });
+}
+
+#[test]
+fn cancelled_hot_region_is_recycled_not_evicted() {
+    // A cancelled region completes normally (cancellation is
+    // cooperative, not a panic), so the hot team must survive:
+    // `Team::recycle` clears the cancel flags and the next same-shape
+    // fork is a hit, reusing the bound workers.
+    on_fresh_thread(|| {
+        romp::runtime::icv::set_cancellation_override(Some(true));
+        assert_geometry(3); // build + verify the lease
+        let before = stats().snapshot();
+        for round in 0..10 {
+            let reached = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(3), |ctx| {
+                if ctx.thread_num() == round % 3 {
+                    // Leave some never-started tasks behind too: they
+                    // must be discarded, not leak into the next region.
+                    let r = &reached;
+                    ctx.task(move || {
+                        let _ = r;
+                    });
+                    assert!(ctx.cancel(romp::runtime::CancelKind::Parallel));
+                } else {
+                    // A sibling blocked at a barrier must be released.
+                    ctx.barrier();
+                }
+                reached.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(
+                reached.load(Ordering::SeqCst),
+                3,
+                "round {round}: a thread never reached the region end"
+            );
+            // The very next fork must deliver a clean, exact team.
+            assert_geometry(3);
+        }
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_hits >= 20,
+            "cancelled regions must recycle the hot team, not tear it down \
+             (hits: {}, misses: {}, resizes: {})",
+            d.hot_team_hits,
+            d.hot_team_misses,
+            d.hot_team_resizes
+        );
+        assert_eq!(
+            d.workers_spawned, 0,
+            "cancellation must not strand or respawn workers"
+        );
+        romp::runtime::icv::set_cancellation_override(None);
+    });
+}
+
+#[test]
+fn cancelled_cold_region_leaves_the_pool_sane() {
+    // Same stress with hot teams off (the CI matrix also runs this
+    // whole file under OMP_WAIT_POLICY=passive and ROMP_HOT_TEAMS=0):
+    // a cancelled cold region must return every worker to the pool.
+    on_fresh_thread(|| {
+        romp::runtime::icv::set_cancellation_override(Some(true));
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.hot_teams, false));
+        for round in 0..6 {
+            let reached = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(3), |ctx| {
+                if ctx.thread_num() == round % 3 {
+                    assert!(ctx.cancel(romp::runtime::CancelKind::Parallel));
+                } else {
+                    ctx.barrier();
+                }
+                reached.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(reached.load(Ordering::SeqCst), 3, "round {round}");
+            assert_geometry(3);
+        }
+        icv::with_global_mut(|i| i.hot_teams = prev);
+        romp::runtime::icv::set_cancellation_override(None);
     });
 }
 

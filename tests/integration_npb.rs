@@ -1,7 +1,7 @@
 //! Cross-crate integration: the NPB kernels through the `romp` facade —
 //! serial/parallel/reference agreement and official verification.
 
-use romp::npb::{cg, ep, is, mandelbrot, sw, Class};
+use romp::npb::{cg, ep, is, mandelbrot, search, sw, Class};
 
 #[test]
 fn ep_all_variants_agree_and_verify() {
@@ -107,6 +107,7 @@ fn class_s_verification_single_and_multi_threaded() {
                 mandelbrot::reference::run(Class::S, threads),
             ),
             ("sw/romp", sw::romp::run(Class::S, threads)),
+            ("fs/romp", search::romp::run(Class::S, threads)),
         ] {
             assert!(
                 result.verified,
@@ -143,6 +144,17 @@ fn sw_wavefront_env_resolved_threads() {
         romp::runtime::omp_get_max_threads(),
         "run_env must use the ICV-resolved team size"
     );
+}
+
+#[test]
+fn fs_search_agrees_with_serial_and_verifies() {
+    let serial = search::run_serial(Class::S);
+    assert!(serial.verified, "{serial}");
+    for threads in [1usize, 2, 4] {
+        let r = search::romp::run(Class::S, threads);
+        assert!(r.verified, "{r}");
+        assert_eq!(r.checksum, serial.checksum, "threads={threads}");
+    }
 }
 
 #[test]
