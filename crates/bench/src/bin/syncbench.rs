@@ -26,12 +26,25 @@
 //! `BENCH_syncbench.json`) to seed the perf trajectory; the JSON's
 //! `summary` block carries the headline `parallel@4` cold/hot ratio.
 //!
-//! Usage: `syncbench [--reps N] [--outer N] [--out PATH]`.
+//! **Server mode** measures many-master fork *throughput*: M
+//! concurrent masters (default M = 1/2/4/8) each drive a tight loop of
+//! small parallel regions, and the suite reports aggregate regions/sec
+//! plus the p99 per-fork latency across all masters, cold and hot.
+//! This is the workload the sharded idle-worker pool exists for, so
+//! each run also re-executes itself as a subprocess with
+//! `ROMP_POOL_SHARDS=1` (the pre-sharding global free list — the shard
+//! count is frozen per process, hence the subprocess) and records the
+//! single-shard numbers alongside, giving a same-run sharded-vs-global
+//! comparison in the `server_mode` JSON section.
+//!
+//! Usage: `syncbench [--reps N] [--outer N] [--out PATH]
+//! [--server-m 1,2,4,8] [--server-regions N] [--server-threads T]
+//! [--no-server]`. `--server-only` is internal (the baseline child).
 
 use romp_bench::{render_table, Args};
 use romp_core::prelude::*;
 use romp_runtime::stats::stats;
-use romp_runtime::{critical, display_env, icv, CancelKind, SumOp};
+use romp_runtime::{critical, display_env, icv, pool, CancelKind, SumOp};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -106,6 +119,163 @@ fn json_escape_f(v: f64) -> String {
     }
 }
 
+// ---------------- server mode ----------------
+
+/// One server-mode measurement: M masters hammering small regions.
+struct ServerCell {
+    masters: usize,
+    mode: &'static str,
+    regions_per_sec: f64,
+    p99_fork_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 * p).ceil() as usize).saturating_sub(1);
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run M concurrent masters, each forking `regions` small parallel
+/// regions of `threads` threads, and measure aggregate throughput and
+/// per-fork latency. Masters are freshly-spawned OS threads (so each
+/// gets its own home shard and, in hot mode, its own cached team) and
+/// start together behind a barrier; the wall clock spans the earliest
+/// start to the latest finish.
+fn run_server_cell(
+    masters: usize,
+    threads: usize,
+    regions: usize,
+    mode: &'static str,
+) -> ServerCell {
+    set_hot_teams(mode == "hot");
+    let gate = std::sync::Arc::new(std::sync::Barrier::new(masters));
+    let handles: Vec<_> = (0..masters)
+        .map(|m| {
+            let gate = gate.clone();
+            std::thread::Builder::new()
+                .name(format!("syncbench-master-{m}"))
+                .spawn(move || {
+                    // Warm this master's path (pool growth / hot-team
+                    // build) outside the timed window.
+                    for _ in 0..20 {
+                        fork(ForkSpec::with_num_threads(threads), |_| {});
+                    }
+                    let mut lat = Vec::with_capacity(regions);
+                    gate.wait();
+                    let start = Instant::now();
+                    for _ in 0..regions {
+                        let t0 = Instant::now();
+                        fork(ForkSpec::with_num_threads(threads), |_| {});
+                        lat.push(t0.elapsed().as_secs_f64());
+                    }
+                    (start, start.elapsed(), lat)
+                })
+                .unwrap()
+        })
+        .collect();
+    let mut all_lat = Vec::with_capacity(masters * regions);
+    let mut first_start: Option<Instant> = None;
+    let mut last_end: Option<Instant> = None;
+    for h in handles {
+        let (start, took, lat) = h.join().expect("server-mode master panicked");
+        let end = start + took;
+        first_start = Some(first_start.map_or(start, |s| s.min(start)));
+        last_end = Some(last_end.map_or(end, |e| e.max(end)));
+        all_lat.extend(lat);
+    }
+    let wall = last_end
+        .unwrap()
+        .duration_since(first_start.unwrap())
+        .as_secs_f64();
+    all_lat.sort_by(|a, b| a.total_cmp(b));
+    ServerCell {
+        masters,
+        mode,
+        regions_per_sec: (masters * regions) as f64 / wall,
+        p99_fork_us: percentile(&all_lat, 0.99) * 1e6,
+    }
+}
+
+fn run_server_mode(ms: &[usize], threads: usize, regions: usize) -> Vec<ServerCell> {
+    let mut cells = Vec::new();
+    for &mode in &["cold", "hot"] {
+        for &m in ms {
+            cells.push(run_server_cell(m, threads, regions, mode));
+        }
+    }
+    set_hot_teams(true);
+    cells
+}
+
+/// Re-run this binary with `ROMP_POOL_SHARDS=1` to measure the
+/// pre-sharding global free list in the same run. The shard count is
+/// frozen at first pool use, so the baseline needs its own process.
+fn run_single_shard_baseline(
+    ms: &[usize],
+    threads: usize,
+    regions: usize,
+) -> Option<Vec<ServerCell>> {
+    let exe = std::env::current_exe().ok()?;
+    let m_list = ms
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let out = std::process::Command::new(exe)
+        .args([
+            "--server-only",
+            "--server-m",
+            &m_list,
+            "--server-regions",
+            &regions.to_string(),
+            "--server-threads",
+            &threads.to_string(),
+        ])
+        .env("ROMP_POOL_SHARDS", "1")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        eprintln!(
+            "single-shard baseline child failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        return None;
+    }
+    let mut cells = Vec::new();
+    for line in String::from_utf8_lossy(&out.stdout).lines() {
+        let Some(rest) = line.strip_prefix("SERVER_RESULT ") else {
+            continue;
+        };
+        let mut masters = 0usize;
+        let mut mode = "";
+        let mut rps = f64::NAN;
+        let mut p99 = f64::NAN;
+        for kv in rest.split_whitespace() {
+            let Some((k, v)) = kv.split_once('=') else {
+                continue;
+            };
+            match k {
+                "masters" => masters = v.parse().unwrap_or(0),
+                "mode" => mode = if v == "hot" { "hot" } else { "cold" },
+                "rps" => rps = v.parse().unwrap_or(f64::NAN),
+                "p99_us" => p99 = v.parse().unwrap_or(f64::NAN),
+                _ => {}
+            }
+        }
+        if masters > 0 && !mode.is_empty() {
+            cells.push(ServerCell {
+                masters,
+                mode: if mode == "hot" { "hot" } else { "cold" },
+                regions_per_sec: rps,
+                p99_fork_us: p99,
+            });
+        }
+    }
+    (!cells.is_empty()).then_some(cells)
+}
+
 fn main() {
     let args = Args::parse();
     let reps: usize = args
@@ -117,6 +287,35 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     let out_path = args.value_of("out").unwrap_or("BENCH_syncbench.json");
+    let server_ms: Vec<usize> = args
+        .value_of("server-m")
+        .unwrap_or("1,2,4,8")
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&m| m > 0)
+        .collect();
+    let server_regions: usize = args
+        .value_of("server-regions")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| (reps / 4).max(50));
+    let server_threads: usize = args
+        .value_of("server-threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2)
+        .max(1);
+
+    if args.has("server-only") {
+        // Baseline child: measure server mode only and report on stdout
+        // in a line format the parent parses (see
+        // `run_single_shard_baseline`).
+        for c in run_server_mode(&server_ms, server_threads, server_regions) {
+            println!(
+                "SERVER_RESULT masters={} mode={} rps={:.4} p99_us={:.4}",
+                c.masters, c.mode, c.regions_per_sec, c.p99_fork_us
+            );
+        }
+        return;
+    }
 
     let thread_counts = [1usize, 2, 4];
     let mut cells: Vec<Cell> = Vec::new();
@@ -279,6 +478,74 @@ fn main() {
     );
     println!("{}", display_env(&icv::current()));
 
+    // ---------------- server mode ----------------
+    let (server_cells, baseline_cells) = if args.has("no-server") || server_ms.is_empty() {
+        (Vec::new(), None)
+    } else {
+        let cells = run_server_mode(&server_ms, server_threads, server_regions);
+        let baseline = run_single_shard_baseline(&server_ms, server_threads, server_regions);
+        (cells, baseline)
+    };
+    let baseline_lookup = |masters: usize, mode: &str| {
+        baseline_cells.as_ref().and_then(|cs| {
+            cs.iter()
+                .find(|c| c.masters == masters && c.mode == mode)
+                .map(|c| (c.regions_per_sec, c.p99_fork_us))
+        })
+    };
+    if !server_cells.is_empty() {
+        let mut rows = Vec::new();
+        for c in &server_cells {
+            let (b_rps, b_p99) = baseline_lookup(c.masters, c.mode).unwrap_or((f64::NAN, f64::NAN));
+            rows.push(vec![
+                c.masters.to_string(),
+                c.mode.to_string(),
+                format!("{:.0}", c.regions_per_sec),
+                format!("{:.2}", c.p99_fork_us),
+                format!("{b_rps:.0}"),
+                format!("{b_p99:.2}"),
+                format!("{:.2}x", c.regions_per_sec / b_rps),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!(
+                    "syncbench server mode — {} masters x {} regions of parallel@{} \
+                     ({} pool shards vs single-shard baseline)",
+                    server_ms
+                        .iter()
+                        .map(|m| m.to_string())
+                        .collect::<Vec<_>>()
+                        .join("/"),
+                    server_regions,
+                    server_threads,
+                    pool::shard_count(),
+                ),
+                &[
+                    "masters",
+                    "mode",
+                    "regions/s",
+                    "p99 fork (us)",
+                    "1-shard regions/s",
+                    "1-shard p99 (us)",
+                    "sharded/1-shard",
+                ],
+                &rows,
+            )
+        );
+        let sc = pool::shard_counters();
+        let (acq, stole, cont) = sc
+            .iter()
+            .fold((0u64, 0u64, 0u64), |(a, s, c), &(sa, ss, sd)| {
+                (a + sa, s + ss, c + sd)
+            });
+        println!(
+            "pool shards: {} (acquired={acq} stolen={stole} contended={cont})",
+            sc.len()
+        );
+    }
+
     // ---------------- JSON ----------------
     let p4_cold = lookup("parallel", 4, "cold");
     let p4_hot = lookup("parallel", 4, "hot");
@@ -302,6 +569,65 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    if !server_cells.is_empty() {
+        let _ = writeln!(json, "  \"server_mode\": {{");
+        let _ = writeln!(json, "    \"threads_per_region\": {server_threads},");
+        let _ = writeln!(json, "    \"regions_per_master\": {server_regions},");
+        let _ = writeln!(json, "    \"pool_shards\": {},", pool::shard_count());
+        let _ = writeln!(
+            json,
+            "    \"baseline_pool_shards\": {},",
+            if baseline_cells.is_some() {
+                "1"
+            } else {
+                "null"
+            }
+        );
+        let _ = writeln!(json, "    \"results\": [");
+        for (i, c) in server_cells.iter().enumerate() {
+            let comma = if i + 1 == server_cells.len() { "" } else { "," };
+            let (b_rps, b_p99) = baseline_lookup(c.masters, c.mode).unwrap_or((f64::NAN, f64::NAN));
+            let _ = writeln!(
+                json,
+                "      {{\"masters\": {}, \"mode\": \"{}\", \"regions_per_sec\": {}, \
+                 \"p99_fork_us\": {}, \"single_shard_regions_per_sec\": {}, \
+                 \"single_shard_p99_fork_us\": {}}}{comma}",
+                c.masters,
+                c.mode,
+                json_escape_f(c.regions_per_sec),
+                json_escape_f(c.p99_fork_us),
+                json_escape_f(b_rps),
+                json_escape_f(b_p99)
+            );
+        }
+        let _ = writeln!(json, "    ],");
+        let m4 = server_cells
+            .iter()
+            .find(|c| c.masters == 4 && c.mode == "cold")
+            .map(|c| c.regions_per_sec)
+            .unwrap_or(f64::NAN);
+        let m4_base = baseline_lookup(4, "cold")
+            .map(|(r, _)| r)
+            .unwrap_or(f64::NAN);
+        let _ = writeln!(json, "    \"summary\": {{");
+        let _ = writeln!(
+            json,
+            "      \"m4_cold_regions_per_sec\": {},",
+            json_escape_f(m4)
+        );
+        let _ = writeln!(
+            json,
+            "      \"m4_cold_single_shard_regions_per_sec\": {},",
+            json_escape_f(m4_base)
+        );
+        let _ = writeln!(
+            json,
+            "      \"m4_cold_sharded_over_single_shard\": {}",
+            json_escape_f(m4 / m4_base)
+        );
+        let _ = writeln!(json, "    }}");
+        let _ = writeln!(json, "  }},");
+    }
     let _ = writeln!(json, "  \"summary\": {{");
     let _ = writeln!(
         json,

@@ -18,11 +18,18 @@
 //! | `ROMP_BARRIER` | barrier algorithm | `central`/`dissemination` |
 //! | `ROMP_HOT_TEAMS` | hot-team caching | `true`/`false` (default true) |
 //! | `ROMP_CANCELLATION` | `cancel-var` override | `true`/`false` (wins over `OMP_CANCELLATION`) |
+//! | `ROMP_POOL_SHARDS` | worker-pool shard count | positive integer (default auto) |
 //!
 //! Malformed values are ignored (with the spec-sanctioned fallback to the
 //! default), never fatal: an HPC batch job must not die because of a typo
 //! in a site-wide profile. Every parser here is a pure function over the
 //! string so tests can cover it without touching the process environment.
+//! For the values where silent fallback is most likely to surprise —
+//! `OMP_THREAD_LIMIT=0` would quietly serialize every region if honored
+//! (the spec requires a *positive* thread limit, so `0` is rejected),
+//! and a malformed `ROMP_POOL_SHARDS` silently changes scaling behavior
+//! — the rejection is additionally reported: once on stderr at startup,
+//! and in a `ROMP WARNINGS` block of the [`display_env`] banner.
 //!
 //! Defaults derived from hardware concurrency (`nthreads-var` with no
 //! `OMP_NUM_THREADS`, the `thread-limit-var` default) read a
@@ -101,9 +108,32 @@ pub fn parse_barrier_kind(s: &str) -> Option<BarrierKind> {
     }
 }
 
+/// Parse `OMP_THREAD_LIMIT`: a **positive** integer, per the spec
+/// (`thread-limit-var` bounds the whole contention group; `0` would
+/// mean "no threads at all" and, if honored, silently serialize every
+/// region through the `saturating_sub(1)` worker cap). `0`, negative
+/// and garbage values are all rejected.
+pub fn parse_thread_limit(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&v| v > 0)
+}
+
+/// Parse `ROMP_POOL_SHARDS`: a positive shard count (`0` is rejected —
+/// "auto" is spelled by leaving the variable unset).
+pub fn parse_pool_shards(s: &str) -> Option<usize> {
+    s.trim().parse::<usize>().ok().filter(|&v| v > 0)
+}
+
 /// Build an ICV block from an abstract environment lookup. Pure — tests
-/// drive it with a closure over a map.
+/// drive it with a closure over a map. Discards warnings; use
+/// [`icvs_from_lookup_with_warnings`] to observe them.
 pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
+    icvs_from_lookup_with_warnings(get).0
+}
+
+/// [`icvs_from_lookup`] plus the list of rejected-value warnings the
+/// parse produced (empty when every set variable parsed cleanly).
+pub fn icvs_from_lookup_with_warnings(get: impl Fn(&str) -> Option<String>) -> (Icvs, Vec<String>) {
+    let mut warnings = Vec::new();
     let mut icvs = Icvs::default();
     if let Some(v) = get("OMP_NUM_THREADS")
         .as_deref()
@@ -125,9 +155,15 @@ pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
     } else if let Some(true) = get("OMP_NESTED").as_deref().and_then(parse_bool) {
         icvs.max_active_levels = usize::MAX;
     }
-    if let Some(v) = get("OMP_THREAD_LIMIT").and_then(|s| s.trim().parse::<usize>().ok()) {
-        if v > 0 {
-            icvs.thread_limit = v;
+    if let Some(raw) = get("OMP_THREAD_LIMIT") {
+        match parse_thread_limit(&raw) {
+            Some(v) => icvs.thread_limit = v,
+            None => warnings.push(format!(
+                "OMP_THREAD_LIMIT='{}' ignored: the thread limit must be a \
+                 positive integer (keeping {})",
+                raw.trim(),
+                icvs.thread_limit
+            )),
         }
     }
     if let Some(v) = get("OMP_WAIT_POLICY")
@@ -156,12 +192,39 @@ pub fn icvs_from_lookup(get: impl Fn(&str) -> Option<String>) -> Icvs {
     if let Some(v) = get("ROMP_CANCELLATION").as_deref().and_then(parse_bool) {
         icvs.cancellation = v;
     }
-    icvs
+    if let Some(raw) = get("ROMP_POOL_SHARDS") {
+        match parse_pool_shards(&raw) {
+            Some(v) => icvs.pool_shards = v,
+            None => warnings.push(format!(
+                "ROMP_POOL_SHARDS='{}' ignored: the shard count must be a \
+                 positive integer (keeping auto)",
+                raw.trim()
+            )),
+        }
+    }
+    (icvs, warnings)
 }
 
-/// Build the ICV block from the real process environment.
+/// Warnings produced when the process environment was first parsed into
+/// the global ICV block (empty until [`icvs_from_env`] has run, and
+/// empty forever if every set variable parsed cleanly).
+pub fn env_warnings() -> &'static [String] {
+    ENV_WARNINGS.get().map(Vec::as_slice).unwrap_or(&[])
+}
+
+static ENV_WARNINGS: std::sync::OnceLock<Vec<String>> = std::sync::OnceLock::new();
+
+/// Build the ICV block from the real process environment. Rejected
+/// values are reported once on stderr and retained for the
+/// [`display_env`] banner ([`env_warnings`]).
 pub fn icvs_from_env() -> Icvs {
-    icvs_from_lookup(|k| std::env::var(k).ok())
+    let (icvs, warnings) = icvs_from_lookup_with_warnings(|k| std::env::var(k).ok());
+    if ENV_WARNINGS.set(warnings.clone()).is_ok() {
+        for w in &warnings {
+            eprintln!("ROMP WARNING: {w}");
+        }
+    }
+    icvs
 }
 
 /// Render the effective ICVs in the style of libomp's
@@ -209,6 +272,23 @@ pub fn display_env(icvs: &Icvs) -> String {
     let _ = writeln!(out, "  OMP_CANCELLATION = '{}'", icvs.cancellation);
     let _ = writeln!(out, "  ROMP_BARRIER = '{:?}'", icvs.barrier_kind);
     let _ = writeln!(out, "  ROMP_HOT_TEAMS = '{}'", icvs.hot_teams);
+    let _ = writeln!(
+        out,
+        "  ROMP_POOL_SHARDS = '{}'",
+        if icvs.pool_shards == 0 {
+            "auto".to_string()
+        } else {
+            icvs.pool_shards.to_string()
+        }
+    );
+    let warnings = env_warnings();
+    if !warnings.is_empty() {
+        let _ = writeln!(out, "ROMP WARNINGS BEGIN");
+        for w in warnings {
+            let _ = writeln!(out, "  {w}");
+        }
+        let _ = writeln!(out, "ROMP WARNINGS END");
+    }
     let _ = writeln!(out, "ROMP DISPLAY ENVIRONMENT END");
     // Task-scheduler counters ride along so one banner shows both the
     // configuration and what the tasking machinery actually did.
@@ -354,5 +434,66 @@ mod tests {
     fn schedule_runtime_is_rejected_as_circular() {
         let icvs = env(&[("OMP_SCHEDULE", "runtime")]);
         assert_eq!(icvs.run_sched, Icvs::default().run_sched);
+    }
+
+    fn env_warn(pairs: &[(&str, &str)]) -> (Icvs, Vec<String>) {
+        let map: HashMap<String, String> = pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        icvs_from_lookup_with_warnings(|k| map.get(k).cloned())
+    }
+
+    #[test]
+    fn thread_limit_zero_is_rejected_with_warning() {
+        // The spec requires a positive thread-limit-var; 0 must not be
+        // honored (it would serialize every region via the worker cap's
+        // saturating_sub), and the rejection must be loud.
+        let (icvs, warnings) = env_warn(&[("OMP_THREAD_LIMIT", "0")]);
+        assert_eq!(icvs.thread_limit, Icvs::default().thread_limit);
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("OMP_THREAD_LIMIT"), "{warnings:?}");
+        assert!(warnings[0].contains("positive"), "{warnings:?}");
+    }
+
+    #[test]
+    fn thread_limit_negative_and_garbage_are_rejected() {
+        assert_eq!(parse_thread_limit("0"), None);
+        assert_eq!(parse_thread_limit("-3"), None);
+        assert_eq!(parse_thread_limit("lots"), None);
+        assert_eq!(parse_thread_limit(""), None);
+        assert_eq!(parse_thread_limit(" 32 "), Some(32));
+        for bad in ["-3", "banana", ""] {
+            let (icvs, warnings) = env_warn(&[("OMP_THREAD_LIMIT", bad)]);
+            assert_eq!(icvs.thread_limit, Icvs::default().thread_limit, "{bad:?}");
+            assert_eq!(warnings.len(), 1, "{bad:?} -> {warnings:?}");
+        }
+        // A valid limit produces no warning.
+        let (icvs, warnings) = env_warn(&[("OMP_THREAD_LIMIT", "16")]);
+        assert_eq!(icvs.thread_limit, 16);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn pool_shards_parses_positive_and_warns_on_invalid() {
+        assert_eq!(parse_pool_shards("4"), Some(4));
+        assert_eq!(parse_pool_shards(" 16 "), Some(16));
+        assert_eq!(parse_pool_shards("0"), None);
+        assert_eq!(parse_pool_shards("-2"), None);
+        assert_eq!(parse_pool_shards("many"), None);
+        let icvs = env(&[("ROMP_POOL_SHARDS", "4")]);
+        assert_eq!(icvs.pool_shards, 4);
+        let (icvs, warnings) = env_warn(&[("ROMP_POOL_SHARDS", "0")]);
+        assert_eq!(icvs.pool_shards, 0, "0 must fall back to auto");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("ROMP_POOL_SHARDS"), "{warnings:?}");
+    }
+
+    #[test]
+    fn display_env_renders_pool_shards() {
+        let banner = display_env(&Icvs::default());
+        assert!(banner.contains("ROMP_POOL_SHARDS = 'auto'"), "{banner}");
+        let banner = display_env(&env(&[("ROMP_POOL_SHARDS", "8")]));
+        assert!(banner.contains("ROMP_POOL_SHARDS = '8'"), "{banner}");
     }
 }

@@ -98,6 +98,16 @@ pub struct Icvs {
     /// `OMP_CANCELLATION` when both are set (romp extension, so the
     /// romp knob wins in environments with a site-wide OpenMP profile).
     pub cancellation: bool,
+    /// Number of idle-worker pool shards (romp extension,
+    /// `ROMP_POOL_SHARDS`; 0 = auto-size from the hardware thread
+    /// count). Each forking master hashes to a home shard, so
+    /// concurrent masters acquire and release workers without
+    /// serializing on one global lock. Read **once**, at first pool
+    /// use, and frozen for the process lifetime; later changes are not
+    /// observed. `ROMP_POOL_SHARDS=1` restores the pre-sharding global
+    /// free list (the baseline the syncbench server mode measures
+    /// against).
+    pub pool_shards: usize,
 }
 
 /// Hardware concurrency with a sane floor. Cached **for the process
@@ -131,6 +141,7 @@ impl Default for Icvs {
             barrier_kind: BarrierKind::Central,
             hot_teams: true,
             cancellation: false,
+            pool_shards: 0,
         }
     }
 }

@@ -5,6 +5,17 @@
 //! becomes thread 0 of a team whose other members are drawn from a
 //! lazily-grown, process-global pool of parked worker threads.
 //!
+//! ## The sharded pool
+//!
+//! The idle free list is **sharded**: each forking master hashes to a
+//! home shard, acquires from it first (stealing from the other shards
+//! only when it runs dry) and releases back to it, so many concurrent
+//! masters — the "server" scenario of the syncbench server mode — fork
+//! without serializing on one global lock. Thread-limit accounting is a
+//! lock-free atomic reservation counter with a rollback path for failed
+//! spawns. See `Pool` (private) for the design notes and
+//! `ROMP_POOL_SHARDS` for the knob.
+//!
 //! ## The hot-team fast path
 //!
 //! The paper's whole premise is that the fork call is cheap enough to
@@ -176,35 +187,180 @@ enum Assignment {
 struct WorkerSlot {
     mailbox: Mutex<Option<Assignment>>,
     cv: Condvar,
+    /// Index of the shard this slot is released to — the **home shard of
+    /// the master that last acquired it** (written at acquire time, read
+    /// at release time). Keeping release affinity with the acquiring
+    /// master means a master that forks repeatedly keeps finding its own
+    /// workers in its own shard, uncontended, and a hot-team resize
+    /// re-acquires the just-released slots without touching other shards.
+    /// Relaxed ordering suffices: every read is separated from the write
+    /// by the shard mutex or by the mailbox handshake.
+    home: AtomicUsize,
 }
 
-struct Pool {
+/// One shard of the idle-worker free list, plus its observability
+/// counters (surfaced in the stats banner — see
+/// [`crate::stats::display_stats`]).
+struct Shard {
     idle: Mutex<Vec<Arc<WorkerSlot>>>,
+    /// Idle slots handed out from this shard to its *own* masters
+    /// (masters whose home hash lands here).
+    acquired: AtomicU64,
+    /// Idle slots stolen *from* this shard by masters homed elsewhere
+    /// (their own shard ran dry).
+    stolen: AtomicU64,
+    /// `try_lock` misses on this shard's free list — a direct measure of
+    /// how often two masters collided on the same shard.
+    contended: AtomicU64,
+}
+
+/// The process-global worker pool: N independent free-list shards plus
+/// one atomic thread-limit account.
+///
+/// The pre-sharding design — a single `Mutex<Vec<WorkerSlot>>` — made
+/// every cold fork and every hot-team resize in the process serialize on
+/// one lock, which is exactly the wrong shape for the "server" scenario
+/// of many concurrent masters forking small regions. Here each master
+/// hashes to a **home shard** ([`Pool::home_index`]); acquire pops from
+/// the home shard first and sweeps the other shards only when it runs
+/// dry (work-stealing fallback, so a worker parked in any shard is
+/// always reachable and none can strand); release pushes to the slot's
+/// recorded home. Thread-limit accounting was already lock-free
+/// (`total` is an atomic reservation counter) and stays that way; a
+/// failed reservation is simply not taken, and a reservation whose
+/// spawn fails is **rolled back** (see [`Pool::acquire`]).
+struct Pool {
+    shards: Box<[Shard]>,
     total: AtomicUsize,
+}
+
+/// Shard count resolution: `ROMP_POOL_SHARDS` if set (≥1), otherwise
+/// the hardware thread count rounded up to a power of two, floored at 8
+/// — contention comes from concurrent *masters*, which may well
+/// outnumber cores on an oversubscribed host — and capped at 64. Frozen
+/// for the process lifetime at first pool use (like
+/// [`icv::hardware_threads`]).
+fn resolved_shard_count() -> usize {
+    let configured = icv::current().pool_shards;
+    if configured > 0 {
+        configured.min(1024)
+    } else {
+        icv::hardware_threads().next_power_of_two().clamp(8, 64)
+    }
 }
 
 fn pool() -> &'static Pool {
     static POOL: OnceLock<Pool> = OnceLock::new();
-    POOL.get_or_init(|| Pool {
-        idle: Mutex::new(Vec::new()),
-        total: AtomicUsize::new(0),
+    POOL.get_or_init(|| {
+        let shards = (0..resolved_shard_count())
+            .map(|_| Shard {
+                idle: Mutex::new(Vec::new()),
+                acquired: AtomicU64::new(0),
+                stolen: AtomicU64::new(0),
+                contended: AtomicU64::new(0),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Pool {
+            shards,
+            total: AtomicUsize::new(0),
+        }
     })
 }
 
+thread_local! {
+    /// Memoized home-shard index of this thread (`usize::MAX` = not yet
+    /// computed). The shard count is process-lifetime constant, so the
+    /// hash never needs re-evaluation.
+    static HOME_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
 impl Pool {
+    /// This thread's home shard: a Fibonacci hash of the OS thread id,
+    /// so masters spread evenly over the shards regardless of how the
+    /// platform allocates thread ids.
+    fn home_index(&self) -> usize {
+        HOME_SHARD.with(|c| {
+            let cached = c.get();
+            if cached != usize::MAX {
+                return cached;
+            }
+            let h = crate::lock::os_thread_id().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let idx = (h >> 32) as usize % self.shards.len();
+            c.set(idx);
+            idx
+        })
+    }
+
+    /// Pop up to `want - got.len()` idle slots from shard `idx`,
+    /// counting a `try_lock` miss as contention.
+    fn take_idle(&self, idx: usize, want: usize, got: &mut Vec<Arc<WorkerSlot>>) -> usize {
+        let shard = &self.shards[idx];
+        let mut idle = match shard.idle.try_lock() {
+            Some(g) => g,
+            None => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                bump(&stats().pool_shard_contention);
+                shard.idle.lock()
+            }
+        };
+        let before = got.len();
+        while got.len() < want {
+            match idle.pop() {
+                Some(w) => got.push(w),
+                None => break,
+            }
+        }
+        got.len() - before
+    }
+
     /// Take up to `want` idle workers, spawning new ones while under the
     /// thread limit. May return fewer than requested (the spec permits
     /// delivering fewer threads than asked).
+    ///
+    /// Order of supply: the caller's home shard, then a stealing sweep
+    /// over the remaining shards (so no idle worker is ever stranded
+    /// behind someone else's hash), then fresh spawns under an atomic
+    /// `total` reservation. A reservation whose spawn *fails* is rolled
+    /// back and the team is delivered short — spec-legal, and strictly
+    /// better than taking the process down mid-request.
     fn acquire(&self, want: usize, icvs: &Icvs) -> Vec<Arc<WorkerSlot>> {
         let mut got = Vec::with_capacity(want);
-        {
-            let mut idle = self.idle.lock();
-            while got.len() < want {
-                match idle.pop() {
-                    Some(w) => got.push(w),
-                    None => break,
+        if want == 0 {
+            return got;
+        }
+        let home = self.home_index();
+        let local = self.take_idle(home, want, &mut got);
+        if local > 0 {
+            self.shards[home]
+                .acquired
+                .fetch_add(local as u64, Ordering::Relaxed);
+            stats()
+                .pool_acquires_local
+                .fetch_add(local as u64, Ordering::Relaxed);
+        }
+        if got.len() < want && self.shards.len() > 1 {
+            for off in 1..self.shards.len() {
+                let victim = (home + off) % self.shards.len();
+                let stolen = self.take_idle(victim, want, &mut got);
+                if stolen > 0 {
+                    self.shards[victim]
+                        .stolen
+                        .fetch_add(stolen as u64, Ordering::Relaxed);
+                    stats()
+                        .pool_acquires_stolen
+                        .fetch_add(stolen as u64, Ordering::Relaxed);
+                }
+                if got.len() == want {
+                    break;
                 }
             }
+        }
+        // Re-home everything we picked up (stolen slots included) to the
+        // acquiring master's shard: that is where the release will look
+        // for them next.
+        for w in &got {
+            w.home.store(home, Ordering::Relaxed);
         }
         // The limit counts all threads; reserve one for the initial thread.
         let worker_cap = icvs.thread_limit.saturating_sub(1);
@@ -218,32 +374,75 @@ impl Pool {
             {
                 break;
             }
-            got.push(spawn_worker(icvs.stacksize));
+            match spawn_worker(icvs.stacksize, home) {
+                Ok(w) => got.push(w),
+                Err(_) => {
+                    // Roll back the reservation the failed spawn was
+                    // holding — leaking it would permanently shrink the
+                    // effective thread limit — and degrade to a short
+                    // team rather than panicking the whole process.
+                    self.total.fetch_sub(1, Ordering::AcqRel);
+                    bump(&stats().worker_spawn_failures);
+                    break;
+                }
+            }
         }
         got
     }
 
     fn release(&self, slot: Arc<WorkerSlot>) {
-        self.idle.lock().push(slot);
+        let idx = slot.home.load(Ordering::Relaxed) % self.shards.len();
+        let shard = &self.shards[idx];
+        let mut idle = match shard.idle.try_lock() {
+            Some(g) => g,
+            None => {
+                shard.contended.fetch_add(1, Ordering::Relaxed);
+                bump(&stats().pool_shard_contention);
+                shard.idle.lock()
+            }
+        };
+        idle.push(slot);
     }
 }
 
-fn spawn_worker(stacksize: Option<usize>) -> Arc<WorkerSlot> {
-    bump(&stats().workers_spawned);
+/// Test hook: make the next `n` worker spawns fail with an injected
+/// error, exercising the reservation-rollback / short-team degradation
+/// path in [`Pool::acquire`] without needing to exhaust real OS thread
+/// resources.
+#[doc(hidden)]
+pub fn inject_spawn_failures(n: usize) {
+    FAIL_SPAWNS.store(n, Ordering::SeqCst);
+}
+
+static FAIL_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Monotonic worker-id allocator for thread naming. Deliberately *not*
+/// the `workers_spawned` stats counter: concurrent spawns from
+/// different masters used to interleave bump/read pairs on that counter
+/// and produce duplicate-looking names.
+static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(0);
+
+fn spawn_worker(stacksize: Option<usize>, shard: usize) -> std::io::Result<Arc<WorkerSlot>> {
+    if FAIL_SPAWNS
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+    {
+        return Err(std::io::Error::other("injected romp worker spawn failure"));
+    }
     let slot = Arc::new(WorkerSlot {
         mailbox: Mutex::new(None),
         cv: Condvar::new(),
+        home: AtomicUsize::new(shard),
     });
     let their_slot = slot.clone();
-    let n = stats().workers_spawned.load(Ordering::Relaxed);
-    let mut builder = std::thread::Builder::new().name(format!("romp-worker-{n}"));
+    let id = NEXT_WORKER_ID.fetch_add(1, Ordering::Relaxed);
+    let mut builder = std::thread::Builder::new().name(format!("romp-worker-{id}.s{shard}"));
     if let Some(bytes) = stacksize {
         builder = builder.stack_size(bytes);
     }
-    builder
-        .spawn(move || worker_main(their_slot))
-        .expect("failed to spawn romp worker thread");
-    slot
+    builder.spawn(move || worker_main(their_slot))?;
+    bump(&stats().workers_spawned);
+    Ok(slot)
 }
 
 fn worker_main(slot: Arc<WorkerSlot>) {
@@ -601,7 +800,16 @@ impl Drop for HotTeam {
             ch.release.store(true, Ordering::SeqCst);
             ring(ch, None);
         }
-        let mut idle = pool().idle.lock();
+        if self.slots.is_empty() {
+            return;
+        }
+        // All bound slots were re-homed to the releasing master's shard
+        // at acquire time, so one shard lock covers the whole batch —
+        // and an immediately-following resize acquire from this same
+        // master starts its search exactly there.
+        let p = pool();
+        let idx = self.slots[0].home.load(Ordering::Relaxed) % p.shards.len();
+        let mut idle = p.shards[idx].idle.lock();
         idle.extend(self.slots.drain(..));
     }
 }
@@ -1000,6 +1208,36 @@ pub fn pool_size() -> usize {
     pool().total.load(Ordering::Acquire)
 }
 
+/// Number of workers currently parked on idle free lists, summed across
+/// all shards (diagnostic). When no fork is in flight and no hot-team
+/// lease is held, this converges to [`pool_size`] — the "no stranded
+/// workers" invariant the many-master stress suite pins.
+pub fn idle_workers() -> usize {
+    pool().shards.iter().map(|s| s.idle.lock().len()).sum()
+}
+
+/// Number of free-list shards the pool was built with (diagnostic;
+/// resolved once per process — see `resolved_shard_count`).
+pub fn shard_count() -> usize {
+    pool().shards.len()
+}
+
+/// Per-shard `(acquired, stolen, contended)` counter snapshot, in shard
+/// order (diagnostic; rendered by [`crate::stats::display_stats`]).
+pub fn shard_counters() -> Vec<(u64, u64, u64)> {
+    pool()
+        .shards
+        .iter()
+        .map(|s| {
+            (
+                s.acquired.load(Ordering::Relaxed),
+                s.stolen.load(Ordering::Relaxed),
+                s.contended.load(Ordering::Relaxed),
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1191,6 +1429,75 @@ mod tests {
         fork(ForkSpec::with_num_threads(2), |ctx| {
             assert_eq!(ctx.proc_bind(), icv::current().proc_bind);
         });
+    }
+
+    #[test]
+    fn home_shard_is_stable_and_in_range() {
+        let n = shard_count();
+        assert!(n >= 1);
+        let a = pool().home_index();
+        let b = pool().home_index();
+        assert_eq!(a, b, "home shard must be memoized per thread");
+        assert!(a < n);
+    }
+
+    #[test]
+    fn released_workers_are_reacquired_from_the_home_shard() {
+        // A fresh master thread: its cold forks release workers to its
+        // home shard, and the next acquire must find them there instead
+        // of spawning (local-acquire counter moves, spawn counter not).
+        std::thread::spawn(|| {
+            icv::tls_override_mut(|o| o.hot_teams = Some(false));
+            fork(ForkSpec::with_num_threads(3), |_| {});
+            // Wait for the workers' asynchronous self-release to land.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while idle_workers() < 2 && std::time::Instant::now() < deadline {
+                std::thread::yield_now();
+            }
+            let before = stats().snapshot();
+            fork(ForkSpec::with_num_threads(3), |_| {});
+            let d = before.delta(&stats().snapshot());
+            // Concurrent tests may steal from us, so only assert that
+            // the acquire path reused pooled workers (local or stolen)
+            // rather than spawning a full team's worth.
+            assert!(
+                d.pool_acquires_local + d.pool_acquires_stolen >= 1,
+                "second fork should reuse pooled workers: {d:?}"
+            );
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn steal_sweep_reaches_workers_in_foreign_shards() {
+        // Masters on different OS threads hash to (generally) different
+        // shards. Whatever shard the releases landed in, a later
+        // acquire from any thread must be able to reach every idle
+        // worker — the no-stranding guarantee of the sweep.
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    icv::tls_override_mut(|o| o.hot_teams = Some(false));
+                    fork(ForkSpec::with_num_threads(2), |_| {});
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // One big acquire from a fresh thread: it must gather workers
+        // across shards (or spawn, under the limit) and deliver.
+        std::thread::spawn(|| {
+            icv::tls_override_mut(|o| o.hot_teams = Some(false));
+            let hits = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(4), |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(hits.load(Ordering::SeqCst), 4);
+        })
+        .join()
+        .unwrap();
     }
 
     #[test]

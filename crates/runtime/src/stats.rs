@@ -37,6 +37,18 @@ pub struct Stats {
     pub tasks_dep_stalled: AtomicU64,
     /// Worker threads ever spawned by the pool.
     pub workers_spawned: AtomicU64,
+    /// Worker spawn attempts that failed (OS refused the thread, or a
+    /// test injected a failure); each one rolled back its thread-limit
+    /// reservation and degraded the requesting fork to a short team.
+    pub worker_spawn_failures: AtomicU64,
+    /// Idle workers a master acquired from its own home shard.
+    pub pool_acquires_local: AtomicU64,
+    /// Idle workers a master had to steal from another master's shard
+    /// (its home shard had run dry).
+    pub pool_acquires_stolen: AtomicU64,
+    /// Shard free-list `try_lock` misses — two masters collided on the
+    /// same shard at the same instant.
+    pub pool_shard_contention: AtomicU64,
     /// Lock acquisitions that had to spin (contended).
     pub contended_locks: AtomicU64,
     /// Forks served by a cached hot team (doorbell fast path).
@@ -65,6 +77,10 @@ static STATS: Stats = Stats {
     tasks_stolen: AtomicU64::new(0),
     tasks_dep_stalled: AtomicU64::new(0),
     workers_spawned: AtomicU64::new(0),
+    worker_spawn_failures: AtomicU64::new(0),
+    pool_acquires_local: AtomicU64::new(0),
+    pool_acquires_stolen: AtomicU64::new(0),
+    pool_shard_contention: AtomicU64::new(0),
     contended_locks: AtomicU64::new(0),
     hot_team_hits: AtomicU64::new(0),
     hot_team_misses: AtomicU64::new(0),
@@ -101,6 +117,14 @@ pub struct Snapshot {
     pub tasks_dep_stalled: u64,
     /// See [`Stats::workers_spawned`].
     pub workers_spawned: u64,
+    /// See [`Stats::worker_spawn_failures`].
+    pub worker_spawn_failures: u64,
+    /// See [`Stats::pool_acquires_local`].
+    pub pool_acquires_local: u64,
+    /// See [`Stats::pool_acquires_stolen`].
+    pub pool_acquires_stolen: u64,
+    /// See [`Stats::pool_shard_contention`].
+    pub pool_shard_contention: u64,
     /// See [`Stats::contended_locks`].
     pub contended_locks: u64,
     /// See [`Stats::hot_team_hits`].
@@ -129,6 +153,10 @@ impl Stats {
             tasks_stolen: self.tasks_stolen.load(Ordering::Relaxed),
             tasks_dep_stalled: self.tasks_dep_stalled.load(Ordering::Relaxed),
             workers_spawned: self.workers_spawned.load(Ordering::Relaxed),
+            worker_spawn_failures: self.worker_spawn_failures.load(Ordering::Relaxed),
+            pool_acquires_local: self.pool_acquires_local.load(Ordering::Relaxed),
+            pool_acquires_stolen: self.pool_acquires_stolen.load(Ordering::Relaxed),
+            pool_shard_contention: self.pool_shard_contention.load(Ordering::Relaxed),
             contended_locks: self.contended_locks.load(Ordering::Relaxed),
             hot_team_hits: self.hot_team_hits.load(Ordering::Relaxed),
             hot_team_misses: self.hot_team_misses.load(Ordering::Relaxed),
@@ -153,6 +181,10 @@ impl Snapshot {
             tasks_stolen: later.tasks_stolen - self.tasks_stolen,
             tasks_dep_stalled: later.tasks_dep_stalled - self.tasks_dep_stalled,
             workers_spawned: later.workers_spawned - self.workers_spawned,
+            worker_spawn_failures: later.worker_spawn_failures - self.worker_spawn_failures,
+            pool_acquires_local: later.pool_acquires_local - self.pool_acquires_local,
+            pool_acquires_stolen: later.pool_acquires_stolen - self.pool_acquires_stolen,
+            pool_shard_contention: later.pool_shard_contention - self.pool_shard_contention,
             contended_locks: later.contended_locks - self.contended_locks,
             hot_team_hits: later.hot_team_hits - self.hot_team_hits,
             hot_team_misses: later.hot_team_misses - self.hot_team_misses,
@@ -181,13 +213,49 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
     let _ = writeln!(out, "  hot_team_resizes = '{}'", s.hot_team_resizes);
     let _ = writeln!(out, "  cancels_activated = '{}'", s.cancels_activated);
     let _ = writeln!(out, "  tasks_discarded = '{}'", s.tasks_discarded);
+    let _ = writeln!(out, "  workers_spawned = '{}'", s.workers_spawned);
+    let _ = writeln!(
+        out,
+        "  worker_spawn_failures = '{}'",
+        s.worker_spawn_failures
+    );
+    let _ = writeln!(out, "  pool_acquires_local = '{}'", s.pool_acquires_local);
+    let _ = writeln!(out, "  pool_acquires_stolen = '{}'", s.pool_acquires_stolen);
+    let _ = writeln!(
+        out,
+        "  pool_shard_contention = '{}'",
+        s.pool_shard_contention
+    );
     let _ = writeln!(out, "ROMP TASK STATISTICS END");
     out
 }
 
-/// [`display_stats_snapshot`] over the live global counters.
+/// Render the worker pool's per-shard counters (acquired / stolen /
+/// contended, one line per shard) in the same banner style. The
+/// aggregate `pool_*` counters above say *whether* masters collided;
+/// this says *where* — a single overloaded shard reads very differently
+/// from uniform load.
+pub fn display_pool_shards() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ROMP POOL SHARDS BEGIN");
+    let _ = writeln!(out, "  pool_shards = '{}'", crate::pool::shard_count());
+    for (i, (acquired, stolen, contended)) in crate::pool::shard_counters().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  pool_shard[{i}] = 'acquired={acquired} stolen={stolen} contended={contended}'"
+        );
+    }
+    let _ = writeln!(out, "ROMP POOL SHARDS END");
+    out
+}
+
+/// [`display_stats_snapshot`] over the live global counters, followed by
+/// the live per-shard pool counters ([`display_pool_shards`]).
 pub fn display_stats() -> String {
-    display_stats_snapshot(&stats().snapshot())
+    let mut out = display_stats_snapshot(&stats().snapshot());
+    out.push_str(&display_pool_shards());
+    out
 }
 
 #[inline]
@@ -225,6 +293,13 @@ mod tests {
             "hot_team_resizes",
             "cancels_activated",
             "tasks_discarded",
+            "workers_spawned",
+            "worker_spawn_failures",
+            "pool_acquires_local",
+            "pool_acquires_stolen",
+            "pool_shard_contention",
+            "pool_shards",
+            "pool_shard[0]",
         ] {
             assert!(banner.contains(key), "missing {key} in:\n{banner}");
         }
