@@ -733,6 +733,17 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
                     if chunk.is_empty() {
                         return Err(p.err("empty chunk expression in schedule clause"));
                     }
+                    if matches!(kind, ScheduleKind::Auto | ScheduleKind::Runtime) {
+                        let name = if kind == ScheduleKind::Auto {
+                            "auto"
+                        } else {
+                            "runtime"
+                        };
+                        return Err(p.err(format!(
+                            "schedule({name}) does not take a chunk size; \
+                             drop `, {chunk}` or pick static/dynamic/guided"
+                        )));
+                    }
                     Ok(Clause::Schedule(kind, Some(chunk)))
                 }
                 other => Err(p.err(format!("expected `,` or `)` in schedule, found {other:?}"))),
@@ -966,6 +977,18 @@ mod tests {
         ] {
             let d = parse(&format!("for schedule({t})")).unwrap();
             assert_eq!(d.clauses[0], Clause::Schedule(k, None));
+        }
+    }
+
+    #[test]
+    fn rejects_chunk_on_auto_and_runtime() {
+        for kind in ["auto", "runtime"] {
+            let e = parse(&format!("for schedule({kind}, 4)")).unwrap_err();
+            assert!(
+                e.message
+                    .contains(&format!("schedule({kind}) does not take a chunk size")),
+                "{e}"
+            );
         }
     }
 

@@ -75,6 +75,8 @@ const BROKEN_CLAUSES: &[&str] = &[
     "if()if",
     "schedule(fair)",
     "schedule(dynamic,)",
+    "schedule(auto, 4)",
+    "schedule(runtime, 2)",
     "collapse(9)",
     "collapse(x)",
     "depend(readwrite: x)",

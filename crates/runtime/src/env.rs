@@ -19,6 +19,7 @@
 //! | `ROMP_HOT_TEAMS` | hot-team caching | `true`/`false` (default true) |
 //! | `ROMP_CANCELLATION` | `cancel-var` override | `true`/`false` (wins over `OMP_CANCELLATION`) |
 //! | `ROMP_POOL_SHARDS` | worker-pool shard count | positive integer (default auto) |
+//! | `ROMP_TUNE` | schedule autotuner | `0`/`off`/`1`/`greedy` (default greedy) |
 //!
 //! Malformed values are ignored (with the spec-sanctioned fallback to the
 //! default), never fatal: an HPC batch job must not die because of a typo
@@ -39,7 +40,7 @@
 //! `OMP_NUM_THREADS`/`OMP_THREAD_LIMIT` explicitly where that matters.
 
 use crate::barrier::BarrierKind;
-use crate::icv::{Icvs, ProcBind, WaitPolicy};
+use crate::icv::{Icvs, ProcBind, TuneMode, WaitPolicy};
 use crate::sched::Schedule;
 
 /// Parse `OMP_NUM_THREADS` syntax: a comma-separated positive-integer
@@ -123,6 +124,16 @@ pub fn parse_pool_shards(s: &str) -> Option<usize> {
     s.trim().parse::<usize>().ok().filter(|&v| v > 0)
 }
 
+/// Parse `ROMP_TUNE`: the OpenMP boolean spellings plus the learner
+/// name (`greedy`) — `0|off|false|no` disarms, `1|on|true|yes|greedy`
+/// arms the probe-then-lock learner.
+pub fn parse_tune(s: &str) -> Option<TuneMode> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "greedy" => Some(TuneMode::Greedy),
+        _ => parse_bool(s).map(|b| if b { TuneMode::Greedy } else { TuneMode::Off }),
+    }
+}
+
 /// Build an ICV block from an abstract environment lookup. Pure — tests
 /// drive it with a closure over a map. Discards warnings; use
 /// [`icvs_from_lookup_with_warnings`] to observe them.
@@ -198,6 +209,15 @@ pub fn icvs_from_lookup_with_warnings(get: impl Fn(&str) -> Option<String>) -> (
             None => warnings.push(format!(
                 "ROMP_POOL_SHARDS='{}' ignored: the shard count must be a \
                  positive integer (keeping auto)",
+                raw.trim()
+            )),
+        }
+    }
+    if let Some(raw) = get("ROMP_TUNE") {
+        match parse_tune(&raw) {
+            Some(v) => icvs.tune = v,
+            None => warnings.push(format!(
+                "ROMP_TUNE='{}' ignored: expected 0|off|1|greedy (keeping greedy)",
                 raw.trim()
             )),
         }
@@ -279,6 +299,14 @@ pub fn display_env(icvs: &Icvs) -> String {
             "auto".to_string()
         } else {
             icvs.pool_shards.to_string()
+        }
+    );
+    let _ = writeln!(
+        out,
+        "  ROMP_TUNE = '{}'",
+        match icvs.tune {
+            TuneMode::Off => "off",
+            TuneMode::Greedy => "greedy",
         }
     );
     let warnings = env_warnings();
@@ -495,5 +523,43 @@ mod tests {
         assert!(banner.contains("ROMP_POOL_SHARDS = 'auto'"), "{banner}");
         let banner = display_env(&env(&[("ROMP_POOL_SHARDS", "8")]));
         assert!(banner.contains("ROMP_POOL_SHARDS = '8'"), "{banner}");
+    }
+
+    #[test]
+    fn tune_parses_booleans_and_learner_name() {
+        for on in ["1", "true", "on", "yes", "greedy", " GREEDY "] {
+            assert_eq!(parse_tune(on), Some(TuneMode::Greedy), "{on:?}");
+        }
+        for off in ["0", "false", "off", "no"] {
+            assert_eq!(parse_tune(off), Some(TuneMode::Off), "{off:?}");
+        }
+        for bad in ["maybe", "2", "epsilon", ""] {
+            assert_eq!(parse_tune(bad), None, "{bad:?}");
+        }
+        assert_eq!(env(&[("ROMP_TUNE", "off")]).tune, TuneMode::Off);
+        assert_eq!(env(&[("ROMP_TUNE", "greedy")]).tune, TuneMode::Greedy);
+        assert_eq!(env(&[]).tune, TuneMode::Greedy, "default is armed");
+    }
+
+    #[test]
+    fn tune_garbage_warns_but_does_not_abort() {
+        let (icvs, warnings) = env_warn(&[("ROMP_TUNE", "banana")]);
+        assert_eq!(icvs.tune, TuneMode::Greedy, "falls back to the default");
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("ROMP_TUNE"), "{warnings:?}");
+        // A clean value produces no warning, and the rest of the block
+        // still parses around a bad ROMP_TUNE.
+        let (icvs, warnings) = env_warn(&[("ROMP_TUNE", "0"), ("OMP_NUM_THREADS", "3")]);
+        assert_eq!(icvs.tune, TuneMode::Off);
+        assert_eq!(icvs.nthreads, vec![3]);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn display_env_renders_tune_mode() {
+        let banner = display_env(&Icvs::default());
+        assert!(banner.contains("ROMP_TUNE = 'greedy'"), "{banner}");
+        let banner = display_env(&env(&[("ROMP_TUNE", "0")]));
+        assert!(banner.contains("ROMP_TUNE = 'off'"), "{banner}");
     }
 }

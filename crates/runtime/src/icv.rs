@@ -60,6 +60,20 @@ pub enum ProcBind {
     Master,
 }
 
+/// Schedule-autotuner mode (romp extension, `ROMP_TUNE`). See
+/// [`crate::tune`] for the subsystem this arms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TuneMode {
+    /// Tuning disarmed: `schedule(auto)` degrades to the static default
+    /// and the worksharing drivers add zero measurement work.
+    Off,
+    /// Probe-then-lock greedy learner (the default): `schedule(auto)`
+    /// sites cycle a candidate set under measurement, then lock to the
+    /// fastest.
+    #[default]
+    Greedy,
+}
+
 /// The ICV block.
 #[derive(Debug, Clone)]
 pub struct Icvs {
@@ -108,6 +122,12 @@ pub struct Icvs {
     /// free list (the baseline the syncbench server mode measures
     /// against).
     pub pool_shards: usize,
+    /// Schedule-autotuner mode (romp extension,
+    /// `ROMP_TUNE=0|1|off|greedy`, default greedy): whether
+    /// `schedule(auto)` loops are measured and adapted by
+    /// [`crate::tune`]. Snapshotted into the team at fork time, so a
+    /// region's loops are uniformly armed or uniformly disarmed.
+    pub tune: TuneMode,
 }
 
 /// Hardware concurrency with a sane floor. Cached **for the process
@@ -142,6 +162,7 @@ impl Default for Icvs {
             hot_teams: true,
             cancellation: false,
             pool_shards: 0,
+            tune: TuneMode::default(),
         }
     }
 }
@@ -188,6 +209,9 @@ pub fn current() -> Icvs {
             if let Some(c) = ovr.cancellation {
                 base.cancellation = c;
             }
+            if let Some(t) = ovr.tune {
+                base.tune = t;
+            }
         }
     });
     base
@@ -215,6 +239,11 @@ pub(crate) struct TlsOverride {
     /// arm/disarm cancellation for the forks of one thread without
     /// mutating the process-global block under concurrent tests.
     pub cancellation: Option<bool>,
+    /// Per-thread autotuner override (see [`set_tune_override`]): lets
+    /// benches and tests arm/disarm tuning for the forks of one thread
+    /// without mutating the process-global block under concurrent
+    /// tests.
+    pub tune: Option<TuneMode>,
 }
 
 thread_local! {
@@ -251,6 +280,17 @@ pub fn set_cancellation_override(v: Option<bool>) -> Option<bool> {
         let mut b = o.borrow_mut();
         let slot = b.get_or_insert_with(TlsOverride::default);
         std::mem::replace(&mut slot.cancellation, v)
+    })
+}
+
+/// Override the autotuner mode for forks from the calling thread (romp
+/// extension). `Some(v)` shadows the global ICV, `None` restores it.
+/// Returns the previous override so callers can scope the change.
+pub fn set_tune_override(v: Option<TuneMode>) -> Option<TuneMode> {
+    TLS_OVERRIDE.with(|o| {
+        let mut b = o.borrow_mut();
+        let slot = b.get_or_insert_with(TlsOverride::default);
+        std::mem::replace(&mut slot.tune, v)
     })
 }
 

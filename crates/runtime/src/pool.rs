@@ -1078,6 +1078,7 @@ where
         run_sched: icvs.run_sched,
         proc_bind: spec.proc_bind.unwrap_or(icvs.proc_bind),
         cancellable: icvs.cancellation,
+        tune: icvs.tune != crate::icv::TuneMode::Off,
     };
 
     // Hot fast path: outermost-level forks of actual teams only (a

@@ -121,6 +121,9 @@ impl Schedule {
             "guided" => Ok(Schedule::Guided {
                 chunk: chunk.unwrap_or(1),
             }),
+            "auto" | "runtime" if chunk.is_some() => {
+                Err(ScheduleParseError::ChunkOnAuto(kind.to_string()))
+            }
             "auto" => Ok(Schedule::Auto),
             "runtime" => Ok(Schedule::Runtime),
             other => Err(ScheduleParseError::UnknownKind(other.to_string())),
@@ -150,6 +153,8 @@ pub enum ScheduleParseError {
     BadChunk(String),
     /// A chunk of zero is invalid.
     ZeroChunk,
+    /// `auto` and `runtime` do not take a chunk size.
+    ChunkOnAuto(String),
 }
 
 impl fmt::Display for ScheduleParseError {
@@ -158,6 +163,9 @@ impl fmt::Display for ScheduleParseError {
             ScheduleParseError::UnknownKind(k) => write!(f, "unknown schedule kind `{k}`"),
             ScheduleParseError::BadChunk(c) => write!(f, "invalid chunk size `{c}`"),
             ScheduleParseError::ZeroChunk => write!(f, "chunk size must be >= 1"),
+            ScheduleParseError::ChunkOnAuto(k) => {
+                write!(f, "schedule kind `{k}` does not take a chunk size")
+            }
         }
     }
 }
@@ -401,6 +409,35 @@ mod tests {
         assert!(matches!(
             Schedule::parse("dynamic,0"),
             Err(ScheduleParseError::ZeroChunk)
+        ));
+        // Empty input and a bare modifier both fall through to the kind
+        // match with an empty kind string.
+        assert!(matches!(
+            Schedule::parse(""),
+            Err(ScheduleParseError::UnknownKind(_))
+        ));
+        assert!(matches!(
+            Schedule::parse("monotonic:"),
+            Err(ScheduleParseError::UnknownKind(_))
+        ));
+        // The chunk is validated before the kind, even for bad kinds.
+        assert!(matches!(
+            Schedule::parse("fair,nope"),
+            Err(ScheduleParseError::BadChunk(_))
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_chunk_on_auto_and_runtime() {
+        for kind in ["auto", "runtime"] {
+            let e = Schedule::parse(&format!("{kind},4")).unwrap_err();
+            assert_eq!(e, ScheduleParseError::ChunkOnAuto(kind.to_string()));
+            assert!(e.to_string().contains("does not take a chunk size"), "{e}");
+        }
+        // The modifier prefix does not change the rule.
+        assert!(matches!(
+            Schedule::parse("monotonic:auto,8"),
+            Err(ScheduleParseError::ChunkOnAuto(_))
         ));
     }
 

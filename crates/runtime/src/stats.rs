@@ -64,6 +64,14 @@ pub struct Stats {
     /// Explicit tasks discarded without running their body (their
     /// taskgroup or parallel region was cancelled before they started).
     pub tasks_discarded: AtomicU64,
+    /// Tuned constructs measured while their site was still probing
+    /// (schedule sites and variant-registry entries alike).
+    pub tune_probes: AtomicU64,
+    /// Tune learners that locked to a winner (schedule sites and
+    /// variant-registry entries alike).
+    pub tune_converged: AtomicU64,
+    /// Site-table entries evicted because a shard hit its capacity cap.
+    pub tune_evictions: AtomicU64,
 }
 
 static STATS: Stats = Stats {
@@ -87,6 +95,9 @@ static STATS: Stats = Stats {
     hot_team_resizes: AtomicU64::new(0),
     cancels_activated: AtomicU64::new(0),
     tasks_discarded: AtomicU64::new(0),
+    tune_probes: AtomicU64::new(0),
+    tune_converged: AtomicU64::new(0),
+    tune_evictions: AtomicU64::new(0),
 };
 
 /// Access the global statistics block.
@@ -137,6 +148,12 @@ pub struct Snapshot {
     pub cancels_activated: u64,
     /// See [`Stats::tasks_discarded`].
     pub tasks_discarded: u64,
+    /// See [`Stats::tune_probes`].
+    pub tune_probes: u64,
+    /// See [`Stats::tune_converged`].
+    pub tune_converged: u64,
+    /// See [`Stats::tune_evictions`].
+    pub tune_evictions: u64,
 }
 
 impl Stats {
@@ -163,6 +180,9 @@ impl Stats {
             hot_team_resizes: self.hot_team_resizes.load(Ordering::Relaxed),
             cancels_activated: self.cancels_activated.load(Ordering::Relaxed),
             tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
+            tune_probes: self.tune_probes.load(Ordering::Relaxed),
+            tune_converged: self.tune_converged.load(Ordering::Relaxed),
+            tune_evictions: self.tune_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -191,6 +211,9 @@ impl Snapshot {
             hot_team_resizes: later.hot_team_resizes - self.hot_team_resizes,
             cancels_activated: later.cancels_activated - self.cancels_activated,
             tasks_discarded: later.tasks_discarded - self.tasks_discarded,
+            tune_probes: later.tune_probes - self.tune_probes,
+            tune_converged: later.tune_converged - self.tune_converged,
+            tune_evictions: later.tune_evictions - self.tune_evictions,
         }
     }
 }
@@ -226,6 +249,9 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
         "  pool_shard_contention = '{}'",
         s.pool_shard_contention
     );
+    let _ = writeln!(out, "  tune_probes = '{}'", s.tune_probes);
+    let _ = writeln!(out, "  tune_converged = '{}'", s.tune_converged);
+    let _ = writeln!(out, "  tune_evictions = '{}'", s.tune_evictions);
     let _ = writeln!(out, "ROMP TASK STATISTICS END");
     out
 }
@@ -251,10 +277,12 @@ pub fn display_pool_shards() -> String {
 }
 
 /// [`display_stats_snapshot`] over the live global counters, followed by
-/// the live per-shard pool counters ([`display_pool_shards`]).
+/// the live per-shard pool counters ([`display_pool_shards`]) and the
+/// autotuner's site table ([`crate::tune::display_tune_table`]).
 pub fn display_stats() -> String {
     let mut out = display_stats_snapshot(&stats().snapshot());
     out.push_str(&display_pool_shards());
+    out.push_str(&crate::tune::display_tune_table());
     out
 }
 
@@ -300,6 +328,10 @@ mod tests {
             "pool_shard_contention",
             "pool_shards",
             "pool_shard[0]",
+            "tune_probes",
+            "tune_converged",
+            "tune_evictions",
+            "ROMP TUNE TABLE BEGIN",
         ] {
             assert!(banner.contains(key), "missing {key} in:\n{banner}");
         }

@@ -66,6 +66,16 @@ pub(crate) struct WsSlot {
     pub claimed: AtomicBool,
     /// `ordered`: the iteration whose turn it is.
     pub ordered_next: AtomicU64,
+    /// Tuned constructs: the encoded schedule decision the installer
+    /// published for the whole team (see `tune::policy`).
+    pub tune: AtomicU64,
+    /// Tuned constructs: sum of per-thread busy nanoseconds.
+    pub busy_ns_sum: AtomicU64,
+    /// Tuned constructs: max of per-thread busy nanoseconds.
+    pub busy_ns_max: AtomicU64,
+    /// Tuned constructs: threads that have flushed their busy time; the
+    /// last one (== team size) aggregates and records the sample.
+    pub reporters: AtomicUsize,
 }
 
 impl WsSlot {
@@ -80,6 +90,10 @@ impl WsSlot {
             kind: AtomicU8::new(KIND_DYNAMIC),
             claimed: AtomicBool::new(false),
             ordered_next: AtomicU64::new(0),
+            tune: AtomicU64::new(0),
+            busy_ns_sum: AtomicU64::new(0),
+            busy_ns_max: AtomicU64::new(0),
+            reporters: AtomicUsize::new(0),
         }
     }
 
@@ -219,6 +233,11 @@ pub(crate) struct ForkSnap {
     /// the non-cancelled hot path can skip every flag check with one
     /// boolean read per construct.
     pub cancellable: bool,
+    /// Autotuner snapshot (`ROMP_TUNE` at fork time): may this region's
+    /// `schedule(auto)` loops be measured and adapted? One fork-time
+    /// boolean, so disarmed regions add zero per-chunk work and a
+    /// region is never half-tuned.
+    pub tune: bool,
 }
 
 /// Shared state of one parallel region's team.
@@ -351,6 +370,12 @@ impl Team {
         self.snap.read().cancellable
     }
 
+    /// Is the schedule autotuner armed for this region (`ROMP_TUNE`
+    /// snapshot)?
+    pub(crate) fn tunable(&self) -> bool {
+        self.snap.read().tune
+    }
+
     /// Recycle this hot team's shared state for the next region, in
     /// place of a fresh allocation.
     ///
@@ -415,6 +440,7 @@ mod tests {
                 run_sched: crate::sched::Schedule::default(),
                 proc_bind: ProcBind::False,
                 cancellable: false,
+                tune: false,
             },
             false,
             true, // hot, so recycle() is exercisable
@@ -532,6 +558,7 @@ mod tests {
             run_sched: crate::sched::Schedule::dynamic_chunk(5),
             proc_bind: ProcBind::Spread,
             cancellable: true,
+            tune: true,
         });
 
         assert!(!team.abort.load(Ordering::SeqCst));

@@ -1,0 +1,167 @@
+//! romp-tune: adaptive schedule selection and kernel-variant learning.
+//!
+//! OpenMP leaves `schedule(auto)` entirely to the implementation, and
+//! most runtimes (libomp included) quietly alias it to static — which
+//! is exactly wrong for skewed iteration spaces. This subsystem makes
+//! `auto` mean something: every `schedule(auto)` worksharing loop (and
+//! every `schedule(runtime)` loop whose `run-sched-var` is `auto`) is a
+//! *tuned site*. The runtime measures each construct's per-thread busy
+//! time, feeds the slowest-thread cost to a per-site learner (the
+//! `policy` module), and after a short probing phase locks the site to
+//! the measured-fastest of four candidate schedules (static, static(c),
+//! dynamic(c), guided). History persists across regions in a sharded
+//! global table keyed by [`SiteKey`]: call site × log2 trip bucket, so a
+//! loop that grows re-probes at its new scale while a steady-state loop
+//! pays only the locked schedule plus one pair of short critical
+//! sections per construct.
+//!
+//! The architecture in one construct:
+//!
+//! 1. the worksharing driver sees an auto-like schedule on a team
+//!    forked with tuning armed ([`crate::icv::TuneMode::Greedy`], the
+//!    default — `ROMP_TUNE=0` disarms) and routes to the tuned path;
+//! 2. the thread that installs the construct's `WsSlot` asks the site's
+//!    learner for a decision and publishes it through the slot, so the
+//!    whole team executes the same candidate;
+//! 3. every thread accumulates its busy time across its chunks (two
+//!    `wtime` reads per chunk — only on this path; disarmed constructs
+//!    add zero work);
+//! 4. the last thread to finish aggregates sum/max busy time into a
+//!    cost and an imbalance ratio and records the sample.
+//!
+//! The same probe-then-lock learner powers the **kernel-variant
+//! registry** ([`registry`], re-exported as `variants`): N
+//! interchangeable closures registered under a name, round-robined
+//! through measurement windows, then locked to the best throughput —
+//! the GHOST `sell_kacz` dispatch pattern with the table learned at run
+//! time.
+//!
+//! Observability: [`display_tune_table`] renders every live site
+//! (chosen schedule, imbalance before/after) and appears in the stats
+//! banner; [`dump`] is the machine-readable hook benches embed in their
+//! JSON; `tune_probes` / `tune_converged` / `tune_evictions` count in
+//! [`crate::stats`].
+
+pub mod registry;
+
+mod policy;
+mod site;
+
+/// The kernel-variant registry under its public name: `variants::run`,
+/// `variants::select`, `variants::record`.
+pub use registry as variants;
+
+pub use policy::TuneSample;
+pub use site::{trip_bucket, SiteId, SiteKey};
+
+pub(crate) use policy::{decode_decision, SiteEntry};
+pub(crate) use site::site_entry;
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+thread_local! {
+    static SITE_OVERRIDE: Cell<Option<&'static str>> = const { Cell::new(None) };
+}
+
+/// Scope guard returned by [`site_override`]; restores the previous
+/// override when dropped.
+#[derive(Debug)]
+pub struct SiteOverrideGuard {
+    prev: Option<&'static str>,
+}
+
+impl Drop for SiteOverrideGuard {
+    fn drop(&mut self) {
+        SITE_OVERRIDE.with(|s| s.set(self.prev));
+    }
+}
+
+/// Name the next worksharing construct on this thread (the macro
+/// `site("…")` clause lowers to this; the builder has `.site()`
+/// instead). The override is consumed by the first construct that
+/// starts while the guard is live, and the guard restores the previous
+/// override on drop.
+pub fn site_override(name: &'static str) -> SiteOverrideGuard {
+    SiteOverrideGuard {
+        prev: SITE_OVERRIDE.with(|s| s.replace(Some(name))),
+    }
+}
+
+/// Consume this thread's pending site override, if any.
+pub(crate) fn take_site_override() -> Option<&'static str> {
+    SITE_OVERRIDE.with(|s| s.take())
+}
+
+/// Machine-readable snapshot of every live tuned site (the bench dump
+/// hook).
+pub fn dump() -> Vec<TuneSample> {
+    site::entries().iter().map(|e| e.sample()).collect()
+}
+
+/// Render the tune table: one line per live site with its learning
+/// state, then one per variant-registry entry. Shown in the stats
+/// banner (`ROMP_DISPLAY_ENV=true` and the bench reports).
+pub fn display_tune_table() -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "ROMP TUNE TABLE BEGIN");
+    let entries: Vec<Arc<SiteEntry>> = site::entries();
+    if entries.is_empty() && registry::table_lines().is_empty() {
+        let _ = writeln!(out, "  (no tuned sites)");
+    }
+    for e in &entries {
+        let s = e.sample();
+        let chosen = match &s.chosen {
+            Some(c) => format!("schedule({c})"),
+            None => "probing".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  site '{}' [2^{}] = {} (probes={} imbalance {:.2} -> {:.2})",
+            s.site, s.bucket, chosen, s.probes, s.imbalance_first, s.imbalance_last
+        );
+    }
+    for line in registry::table_lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let _ = writeln!(out, "ROMP TUNE TABLE END");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_override_is_consumed_once_and_restores() {
+        assert_eq!(take_site_override(), None);
+        {
+            let _g = site_override("outer");
+            {
+                let _g2 = site_override("inner");
+                assert_eq!(take_site_override(), Some("inner"));
+                // Consumed: a second construct would fall back to its
+                // caller location.
+                assert_eq!(take_site_override(), None);
+            }
+            // Dropping the inner guard restores the outer name.
+            assert_eq!(take_site_override(), Some("outer"));
+        }
+        assert_eq!(take_site_override(), None);
+    }
+
+    #[test]
+    fn tune_table_renders_named_sites() {
+        let e = site_entry(SiteKey::new(SiteId::Named("tune-mod-display-test"), 512));
+        let bits = e.decide(512, 4);
+        let (arm, _) = decode_decision(bits);
+        e.record(arm, 1.0, 2.0);
+        let table = display_tune_table();
+        assert!(table.contains("ROMP TUNE TABLE BEGIN"));
+        assert!(table.contains("tune-mod-display-test"));
+        assert!(table.contains("ROMP TUNE TABLE END"));
+        let dumped = dump();
+        assert!(dumped.iter().any(|s| s.site == "tune-mod-display-test"));
+    }
+}

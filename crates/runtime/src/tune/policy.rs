@@ -1,0 +1,334 @@
+//! The learning policy: probe-then-lock over a candidate set.
+//!
+//! One [`Learner`] drives both halves of the subsystem — schedule
+//! selection for `schedule(auto)` sites and implementation selection in
+//! the kernel-variant registry. The policy is deterministic greedy
+//! probing (the ε=0 corner of ε-greedy): cycle the arms round-robin
+//! until each has [`PROBE_ROUNDS`] cost samples, then lock to the arm
+//! with the lowest mean cost. Round-robin probing makes every arm's
+//! sample count equal before the comparison (the fairness property
+//! successive halving also relies on), and locking makes the steady
+//! state free of exploration noise — the right trade for loop sites
+//! that run thousands of times with a stationary best schedule. A site
+//! whose behavior shifts with scale is re-probed through the trip
+//! bucket in its [`SiteKey`], not by unlocking.
+
+use super::site::SiteKey;
+use crate::sched::Schedule;
+use parking_lot::Mutex;
+
+/// Cost samples per arm before the lock-in comparison.
+pub(crate) const PROBE_ROUNDS: u32 = 3;
+
+/// Probe-then-lock arm selector over `arms` candidates.
+#[derive(Debug)]
+pub(crate) struct Learner {
+    next: usize,
+    count: Vec<u32>,
+    total: Vec<f64>,
+    locked: Option<usize>,
+}
+
+impl Learner {
+    pub(crate) fn new(arms: usize) -> Self {
+        debug_assert!(arms > 0);
+        Learner {
+            next: 0,
+            count: vec![0; arms],
+            total: vec![0.0; arms],
+            locked: None,
+        }
+    }
+
+    /// The arm to play now.
+    pub(crate) fn decide(&mut self) -> usize {
+        self.locked.unwrap_or(self.next)
+    }
+
+    /// Record one cost sample for `arm`. Returns `true` on the sample
+    /// that causes the learner to lock (convergence).
+    pub(crate) fn record(&mut self, arm: usize, cost: f64) -> bool {
+        if self.locked.is_some() || arm >= self.count.len() {
+            return false;
+        }
+        self.count[arm] += 1;
+        self.total[arm] += cost.max(0.0);
+        // Advance the probe cursor past fully-sampled arms. Concurrent
+        // teams can over-sample an arm (decide/decide/record/record);
+        // the cursor just skips ahead.
+        while self.next < self.count.len() && self.count[self.next] >= PROBE_ROUNDS {
+            self.next += 1;
+        }
+        if self.next < self.count.len() {
+            return false;
+        }
+        // Every arm fully sampled: lock to the lowest mean cost.
+        let best = (0..self.count.len())
+            .min_by(|&a, &b| self.mean(a).total_cmp(&self.mean(b)))
+            .unwrap_or(0);
+        self.locked = Some(best);
+        true
+    }
+
+    pub(crate) fn mean(&self, arm: usize) -> f64 {
+        if self.count[arm] == 0 {
+            f64::INFINITY
+        } else {
+            self.total[arm] / self.count[arm] as f64
+        }
+    }
+
+    pub(crate) fn locked(&self) -> Option<usize> {
+        self.locked
+    }
+}
+
+/// Candidate schedules for a site with `trip` iterations on `threads`
+/// threads: the four families of the issue's candidate set, with chunk
+/// sizes scaled so each candidate is a *reasonable* member of its
+/// family (≈4 chunks/thread static, ≈8 chunks/thread dynamic — enough
+/// slack to rebalance without drowning in dispatch).
+pub(crate) fn candidates(trip: u64, threads: usize) -> [Schedule; 4] {
+    let t = threads.max(1) as u64;
+    [
+        Schedule::static_block(),
+        Schedule::static_chunk((trip / (t * 4)).max(1)),
+        Schedule::dynamic_chunk((trip / (t * 8)).max(1)),
+        Schedule::guided(),
+    ]
+}
+
+// The team-uniform decision travels through one `WsSlot` atomic:
+// `arm << 56 | kind << 48 | chunk`. Chunks above 2^48 saturate — a
+// chunk that large covers any real trip in one piece anyway.
+const CHUNK_MASK: u64 = (1 << 48) - 1;
+
+pub(crate) fn encode_decision(arm: usize, sched: Schedule) -> u64 {
+    let (kind, chunk) = match sched {
+        Schedule::Static { chunk: None } => (0u64, 0u64),
+        Schedule::Static { chunk: Some(c) } => (1, c),
+        Schedule::Dynamic { chunk } => (2, chunk),
+        Schedule::Guided { chunk } => (3, chunk),
+        // `candidates` never emits these.
+        Schedule::Runtime | Schedule::Auto => (0, 0),
+    };
+    ((arm as u64) << 56) | (kind << 48) | chunk.min(CHUNK_MASK)
+}
+
+pub(crate) fn decode_decision(bits: u64) -> (usize, Schedule) {
+    let arm = (bits >> 56) as usize;
+    let chunk = bits & CHUNK_MASK;
+    let sched = match (bits >> 48) & 0xff {
+        0 => Schedule::static_block(),
+        1 => Schedule::static_chunk(chunk.max(1)),
+        2 => Schedule::dynamic_chunk(chunk.max(1)),
+        _ => Schedule::guided_chunk(chunk.max(1)),
+    };
+    (arm, sched)
+}
+
+/// Mutable learner state for one site, behind the entry's mutex.
+#[derive(Debug)]
+struct SiteState {
+    learner: Learner,
+    /// Fixed at the first decision from the first-seen (trip, threads);
+    /// trips within the bucket are within 2× of each other, so the set
+    /// stays representative.
+    candidates: Option<[Schedule; 4]>,
+    probes: u64,
+    imbalance_first: Option<f64>,
+    imbalance_last: f64,
+}
+
+/// One site's history-table entry: the learner plus its observability
+/// surface (probe count, imbalance trajectory).
+#[derive(Debug)]
+pub struct SiteEntry {
+    key: SiteKey,
+    state: Mutex<SiteState>,
+}
+
+impl SiteEntry {
+    pub(crate) fn new(key: SiteKey) -> Self {
+        SiteEntry {
+            key,
+            state: Mutex::new(SiteState {
+                learner: Learner::new(4),
+                candidates: None,
+                probes: 0,
+                imbalance_first: None,
+                imbalance_last: 1.0,
+            }),
+        }
+    }
+
+    pub(crate) fn key(&self) -> &SiteKey {
+        &self.key
+    }
+
+    /// The schedule this construct should run, encoded for the slot.
+    /// Called by the one thread that installs the worksharing slot, so
+    /// the whole team executes the same candidate.
+    pub(crate) fn decide(&self, trip: u64, threads: usize) -> u64 {
+        let mut s = self.state.lock();
+        let cands = *s
+            .candidates
+            .get_or_insert_with(|| candidates(trip, threads));
+        let arm = s.learner.decide();
+        encode_decision(arm, cands[arm])
+    }
+
+    /// Record one construct's measured cost (the slowest thread's busy
+    /// time, in seconds) and imbalance ratio (max/mean busy time, ≥ 1).
+    /// Called by the last thread to finish the construct.
+    pub(crate) fn record(&self, arm: usize, cost: f64, imbalance: f64) {
+        let mut s = self.state.lock();
+        if s.imbalance_first.is_none() {
+            s.imbalance_first = Some(imbalance);
+        }
+        s.imbalance_last = imbalance;
+        if s.learner.locked().is_none() {
+            s.probes += 1;
+            crate::stats::bump(&crate::stats::stats().tune_probes);
+            if s.learner.record(arm, cost) {
+                crate::stats::bump(&crate::stats::stats().tune_converged);
+            }
+        }
+    }
+
+    /// Observability snapshot for the tune table / bench dump.
+    pub(crate) fn sample(&self) -> TuneSample {
+        let s = self.state.lock();
+        let chosen = s
+            .learner
+            .locked()
+            .and_then(|arm| s.candidates.map(|c| c[arm]));
+        TuneSample {
+            site: self.key.site.to_string(),
+            bucket: self.key.bucket,
+            converged: chosen.is_some(),
+            chosen: chosen.map(|sched| sched.to_string()),
+            probes: s.probes,
+            imbalance_first: s.imbalance_first.unwrap_or(1.0),
+            imbalance_last: s.imbalance_last,
+        }
+    }
+}
+
+/// Machine-readable view of one site's learning state (the bench dump
+/// hook: see [`crate::tune::dump`]).
+#[derive(Debug, Clone)]
+pub struct TuneSample {
+    /// Site display name (`file:line:col` or the explicit name).
+    pub site: String,
+    /// Log2 trip bucket.
+    pub bucket: u32,
+    /// Has the learner locked to a schedule?
+    pub converged: bool,
+    /// The locked schedule, rendered in clause syntax.
+    pub chosen: Option<String>,
+    /// Probe constructs recorded before convergence.
+    pub probes: u64,
+    /// Imbalance ratio of the first recorded construct.
+    pub imbalance_first: f64,
+    /// Imbalance ratio of the most recent construct.
+    pub imbalance_last: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learner_probes_round_robin_then_locks_to_cheapest() {
+        let mut l = Learner::new(3);
+        let costs = [5.0, 1.0, 3.0];
+        let mut converged_events = 0;
+        for _ in 0..(3 * PROBE_ROUNDS) {
+            let arm = l.decide();
+            if l.record(arm, costs[arm]) {
+                converged_events += 1;
+            }
+        }
+        assert_eq!(converged_events, 1);
+        assert_eq!(l.locked(), Some(1));
+        // Locked: decide is stable and record is a no-op.
+        assert_eq!(l.decide(), 1);
+        assert!(!l.record(1, 100.0));
+        assert_eq!(l.locked(), Some(1));
+    }
+
+    #[test]
+    fn learner_tolerates_oversampling() {
+        let mut l = Learner::new(2);
+        // Two teams probing concurrently: decide twice, record twice.
+        // Extra samples pile onto the cursor arm, but the learner still
+        // reaches full coverage and locks.
+        let mut rounds = 0;
+        while l.locked().is_none() {
+            rounds += 1;
+            assert!(rounds < 100, "oversampled learner never locked");
+            let a = l.decide();
+            let b = l.decide();
+            l.record(a, 2.0);
+            l.record(b, 2.0);
+        }
+        assert!(l.locked().is_some());
+    }
+
+    #[test]
+    fn decision_encoding_round_trips() {
+        for (arm, sched) in [
+            (0usize, Schedule::static_block()),
+            (1, Schedule::static_chunk(17)),
+            (2, Schedule::dynamic_chunk(1)),
+            (3, Schedule::guided_chunk(9)),
+        ] {
+            let (a, s) = decode_decision(encode_decision(arm, sched));
+            assert_eq!(a, arm);
+            assert_eq!(s, sched);
+        }
+        // Oversized chunks saturate instead of corrupting the kind bits.
+        let (a, s) = decode_decision(encode_decision(2, Schedule::dynamic_chunk(u64::MAX)));
+        assert_eq!(a, 2);
+        assert!(matches!(s, Schedule::Dynamic { chunk } if chunk == (1 << 48) - 1));
+    }
+
+    #[test]
+    fn candidates_cover_the_four_families_with_sane_chunks() {
+        let c = candidates(1000, 4);
+        assert_eq!(c[0], Schedule::static_block());
+        assert!(matches!(c[1], Schedule::Static { chunk: Some(ch) } if ch >= 1));
+        assert!(matches!(c[2], Schedule::Dynamic { chunk } if chunk >= 1));
+        assert!(matches!(c[3], Schedule::Guided { chunk } if chunk >= 1));
+        // Tiny trips degrade to chunk 1, never 0.
+        let c = candidates(1, 8);
+        assert!(matches!(c[1], Schedule::Static { chunk: Some(1) }));
+        assert!(matches!(c[2], Schedule::Dynamic { chunk: 1 }));
+    }
+
+    #[test]
+    fn site_entry_converges_and_reports() {
+        let e = SiteEntry::new(SiteKey::new(
+            super::super::SiteId::Named("policy-test"),
+            100,
+        ));
+        let mut iters = 0;
+        loop {
+            iters += 1;
+            let bits = e.decide(100, 4);
+            let (arm, _) = decode_decision(bits);
+            // Arm 2 (dynamic) is fastest in this synthetic cost model.
+            let cost = if arm == 2 { 1.0 } else { 4.0 };
+            e.record(arm, cost, 1.5);
+            if e.sample().converged {
+                break;
+            }
+            assert!(iters < 100, "never converged");
+        }
+        let s = e.sample();
+        assert_eq!(s.probes as u32, 4 * PROBE_ROUNDS);
+        assert!(s.chosen.as_deref().unwrap().starts_with("dynamic"));
+        assert_eq!(s.bucket, 7);
+    }
+}

@@ -1,0 +1,203 @@
+//! Kernel-variant registry: measured selection between interchangeable
+//! implementations.
+//!
+//! The GHOST library keys its sparse kernels by run-time parameters and
+//! picks an implementation at call time; this module is that pattern
+//! with the choice *learned* instead of table-driven. A call site
+//! registers N interchangeable closures under a name; the registry
+//! round-robins measurement windows across them (the same
+//! probe-then-lock learner as the schedule autotuner, cost = seconds
+//! per unit of work, i.e. the
+//! reciprocal of throughput) and then locks to the best-throughput
+//! variant. The key includes the log2 work bucket, so a kernel whose
+//! best variant depends on problem scale re-probes when the scale
+//! changes.
+//!
+//! ```
+//! use romp_runtime::tune::variants;
+//!
+//! let n = 1u64 << 14;
+//! let out = variants::run("demo-sum", n, 2, |which| match which {
+//!     0 => (0..n).sum::<u64>(),
+//!     _ => n * (n - 1) / 2,
+//! });
+//! assert_eq!(out, n * (n - 1) / 2);
+//! ```
+//!
+//! Selection happens on the calling thread — for a parallel kernel,
+//! select *before* the fork (or outside the construct) so the whole
+//! team runs the same variant.
+
+use super::policy::Learner;
+use super::site::trip_bucket;
+use crate::wtime::get_wtime;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+#[derive(Debug)]
+struct VarState {
+    learner: Learner,
+    probes: u64,
+}
+
+#[derive(Debug)]
+struct VarEntry {
+    name: &'static str,
+    bucket: u32,
+    variants: usize,
+    state: Mutex<VarState>,
+}
+
+/// (kernel name, log2 work bucket) → variant learner.
+type VarMap = HashMap<(&'static str, u32), Arc<VarEntry>>;
+
+fn registry() -> &'static Mutex<VarMap> {
+    static REGISTRY: OnceLock<Mutex<VarMap>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn entry(name: &'static str, bucket: u32, n_variants: usize) -> Arc<VarEntry> {
+    let mut reg = registry().lock();
+    reg.entry((name, bucket))
+        .or_insert_with(|| {
+            Arc::new(VarEntry {
+                name,
+                bucket,
+                variants: n_variants.max(1),
+                state: Mutex::new(VarState {
+                    learner: Learner::new(n_variants.max(1)),
+                    probes: 0,
+                }),
+            })
+        })
+        .clone()
+}
+
+/// A pending variant selection: which implementation to run, plus the
+/// key for reporting the measurement back via [`record`].
+#[derive(Debug)]
+#[must_use = "run the chosen variant and report it back with `record`"]
+pub struct VariantChoice {
+    entry: Arc<VarEntry>,
+    index: usize,
+    work: u64,
+}
+
+impl VariantChoice {
+    /// Index of the variant to execute (`0..n_variants`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// Choose which of `n_variants` implementations of `name` to run for a
+/// call doing `work` units (iterations, rows, bytes — any unit, as long
+/// as it is proportional to the call's intrinsic cost).
+pub fn select(name: &'static str, work: u64, n_variants: usize) -> VariantChoice {
+    let e = entry(name, trip_bucket(work), n_variants);
+    let index = e.state.lock().learner.decide().min(e.variants - 1);
+    VariantChoice {
+        entry: e,
+        index,
+        work: work.max(1),
+    }
+}
+
+/// Report the measured wall time of the variant chosen by [`select`].
+pub fn record(choice: VariantChoice, elapsed_sec: f64) {
+    let mut s = choice.entry.state.lock();
+    if s.learner.locked().is_none() {
+        s.probes += 1;
+        crate::stats::bump(&crate::stats::stats().tune_probes);
+        // Cost per unit of work: the learner minimizes it, which
+        // maximizes throughput.
+        if s.learner
+            .record(choice.index, elapsed_sec.max(0.0) / choice.work as f64)
+        {
+            crate::stats::bump(&crate::stats::stats().tune_converged);
+        }
+    }
+}
+
+/// Select, time and record in one call: run the `body` with the chosen
+/// variant index and return its result.
+pub fn run<R>(
+    name: &'static str,
+    work: u64,
+    n_variants: usize,
+    body: impl FnOnce(usize) -> R,
+) -> R {
+    let choice = select(name, work, n_variants);
+    let index = choice.index();
+    let t0 = get_wtime();
+    let out = body(index);
+    record(choice, get_wtime() - t0);
+    out
+}
+
+/// Observability rows for [`crate::tune::display_tune_table`]: one line
+/// per (name, bucket) — chosen variant index (or probe progress) and
+/// probe count.
+pub(crate) fn table_lines() -> Vec<String> {
+    let mut entries: Vec<Arc<VarEntry>> = registry().lock().values().cloned().collect();
+    entries.sort_by_key(|e| (e.name, e.bucket));
+    entries
+        .iter()
+        .map(|e| {
+            let s = e.state.lock();
+            let chosen = match s.learner.locked() {
+                Some(i) => format!("variant {i}/{}", e.variants),
+                None => format!("probing {}-way", e.variants),
+            };
+            format!(
+                "variant '{}' [2^{}] = {} (probes={})",
+                e.name, e.bucket, chosen, s.probes
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tune::policy::PROBE_ROUNDS;
+
+    #[test]
+    fn registry_locks_to_the_fastest_variant() {
+        // Unique name per test process run is unnecessary — the key is
+        // this literal, private to this test.
+        let name = "registry-test-fastest";
+        let work = 1u64 << 10;
+        let mut seen = Vec::new();
+        for _ in 0..(3 * PROBE_ROUNDS + 4) {
+            let c = select(name, work, 3);
+            let i = c.index();
+            seen.push(i);
+            // Variant 1 is 10x faster.
+            record(c, if i == 1 { 1e-6 } else { 1e-5 });
+        }
+        // After probing, every further selection is the fast variant.
+        assert!(seen[(3 * PROBE_ROUNDS) as usize..].iter().all(|&i| i == 1));
+    }
+
+    #[test]
+    fn bucket_change_reprobes() {
+        let name = "registry-test-buckets";
+        for _ in 0..PROBE_ROUNDS * 2 {
+            let c = select(name, 100, 2);
+            record(c, 1e-6);
+        }
+        // A different work scale lands in a fresh learner: probing
+        // restarts from variant 0.
+        let c = select(name, 1 << 20, 2);
+        assert_eq!(c.index(), 0);
+        record(c, 1e-6);
+    }
+
+    #[test]
+    fn run_helper_returns_the_body_result() {
+        let out = run("registry-test-run", 64, 2, |which| which + 41);
+        assert!(out == 41 || out == 42);
+    }
+}

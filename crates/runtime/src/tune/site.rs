@@ -1,0 +1,235 @@
+//! Loop-site identity and the sharded history table.
+//!
+//! Every worksharing loop that reaches the tuner is identified by a
+//! [`SiteKey`]: *where* the loop lives ([`SiteId`]) × *how big* it is
+//! (a log2 trip-count bucket). The key indexes a process-global table
+//! of [`SiteEntry`] learners. The table is sharded the same way as the
+//! idle-worker pool (PR 6): a key hashes to one of a fixed set of
+//! mutex-protected maps, so concurrent teams tuning different sites
+//! never serialize on a single global lock — and a construct takes at
+//! most two short critical sections (decide at install, record at the
+//! last report), never one per chunk.
+
+use super::policy::SiteEntry;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// Identity of one worksharing-loop site.
+///
+/// The macro and builder front ends stamp sites automatically through
+/// `#[track_caller]` propagation (the location of the `omp_for!` /
+/// `par_for` invocation in *user* code); an explicit name — the builder
+/// `.site("…")` method, the macro `site("…")` clause, or the translator
+/// stamp carrying the original `//#omp` source position — overrides it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteId {
+    /// An explicitly named site.
+    Named(&'static str),
+    /// A `#[track_caller]` call site.
+    Caller {
+        /// Source file of the invocation.
+        file: &'static str,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+}
+
+impl SiteId {
+    /// Build a site id from a caller location.
+    pub fn from_caller(loc: &'static core::panic::Location<'static>) -> Self {
+        SiteId::Caller {
+            file: loc.file(),
+            line: loc.line(),
+            col: loc.column(),
+        }
+    }
+}
+
+impl fmt::Display for SiteId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SiteId::Named(name) => f.write_str(name),
+            SiteId::Caller { file, line, col } => write!(f, "{file}:{line}:{col}"),
+        }
+    }
+}
+
+/// Log2 trip-count bucket: trips within a factor of two share a bucket
+/// (and therefore a learner), so the chosen schedule tracks the loop's
+/// *scale* without fragmenting history over exact trip counts.
+pub fn trip_bucket(trip: u64) -> u32 {
+    64 - trip.leading_zeros()
+}
+
+/// History-table key: loop site × trip bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SiteKey {
+    /// Where the loop lives.
+    pub site: SiteId,
+    /// [`trip_bucket`] of the normalized trip count.
+    pub bucket: u32,
+}
+
+impl SiteKey {
+    /// Key for `site` running `trip` iterations.
+    pub fn new(site: SiteId, trip: u64) -> Self {
+        SiteKey {
+            site,
+            bucket: trip_bucket(trip),
+        }
+    }
+}
+
+impl fmt::Display for SiteKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [2^{}]", self.site, self.bucket)
+    }
+}
+
+/// Shard count. Fixed (not hardware-derived): the table is consulted
+/// once per tuned construct, not per chunk, so 16 ways of parallelism
+/// is plenty while keeping the full-table snapshot cheap.
+const SHARDS: usize = 16;
+
+/// Per-shard entry cap. A site set larger than `SHARDS * SHARD_CAP`
+/// (1024 live learners) evicts arbitrarily — tuning degrades to
+/// re-probing, never to unbounded memory.
+const SHARD_CAP: usize = 64;
+
+struct Table {
+    shards: Vec<Mutex<HashMap<SiteKey, Arc<SiteEntry>>>>,
+}
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| Table {
+        shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+    })
+}
+
+fn shard_of(key: &SiteKey) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() as usize) % SHARDS
+}
+
+/// Fetch (or create) the learner for `key`.
+pub(crate) fn site_entry(key: SiteKey) -> Arc<SiteEntry> {
+    site_entry_in(table(), key)
+}
+
+fn site_entry_in(t: &Table, key: SiteKey) -> Arc<SiteEntry> {
+    let mut shard = t.shards[shard_of(&key)].lock();
+    if let Some(e) = shard.get(&key) {
+        return e.clone();
+    }
+    if shard.len() >= SHARD_CAP {
+        // Capacity: drop an arbitrary resident learner. Its site will
+        // simply re-probe if it comes back.
+        if let Some(victim) = shard.keys().next().copied() {
+            shard.remove(&victim);
+            crate::stats::bump(&crate::stats::stats().tune_evictions);
+        }
+    }
+    let e = Arc::new(SiteEntry::new(key));
+    shard.insert(key, e.clone());
+    e
+}
+
+/// Snapshot every live learner, ordered by site for stable display.
+pub(crate) fn entries() -> Vec<Arc<SiteEntry>> {
+    let mut all: Vec<Arc<SiteEntry>> = Vec::new();
+    for shard in &table().shards {
+        all.extend(shard.lock().values().cloned());
+    }
+    all.sort_by_key(|e| (e.key().to_string(), e.key().bucket));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trip_bucket_is_log2() {
+        assert_eq!(trip_bucket(0), 0);
+        assert_eq!(trip_bucket(1), 1);
+        assert_eq!(trip_bucket(2), 2);
+        assert_eq!(trip_bucket(3), 2);
+        assert_eq!(trip_bucket(4), 3);
+        assert_eq!(trip_bucket(1 << 20), 21);
+        assert_eq!(trip_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn same_site_same_bucket_shares_an_entry() {
+        let site = SiteId::Named("tune-site-test-a");
+        let a = site_entry(SiteKey::new(site, 1000));
+        let b = site_entry(SiteKey::new(site, 1023)); // same 2^10 bucket
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = site_entry(SiteKey::new(site, 5000)); // different bucket
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn distinct_sites_get_distinct_entries() {
+        let a = site_entry(SiteKey::new(SiteId::Named("tune-site-test-b"), 64));
+        let b = site_entry(SiteKey::new(SiteId::Named("tune-site-test-c"), 64));
+        assert!(!Arc::ptr_eq(&a, &b));
+        let ca = site_entry(SiteKey::new(
+            SiteId::Caller {
+                file: "x.rs",
+                line: 1,
+                col: 5,
+            },
+            64,
+        ));
+        let cb = site_entry(SiteKey::new(
+            SiteId::Caller {
+                file: "x.rs",
+                line: 2,
+                col: 5,
+            },
+            64,
+        ));
+        assert!(!Arc::ptr_eq(&ca, &cb));
+    }
+
+    #[test]
+    fn shard_cap_evicts_instead_of_growing() {
+        // Flood a private table far past its capacity (the live global
+        // table is shared with concurrently running tests); every
+        // shard must stay at or under its cap.
+        let t = Table {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        };
+        let evicted_before = crate::stats::stats()
+            .tune_evictions
+            .load(std::sync::atomic::Ordering::Relaxed);
+        for line in 0..(SHARDS as u32 * SHARD_CAP as u32 * 3) {
+            site_entry_in(
+                &t,
+                SiteKey::new(
+                    SiteId::Caller {
+                        file: "tune-site-test-flood.rs",
+                        line,
+                        col: 1,
+                    },
+                    64,
+                ),
+            );
+        }
+        for shard in &t.shards {
+            assert!(shard.lock().len() <= SHARD_CAP);
+        }
+        let evicted_after = crate::stats::stats()
+            .tune_evictions
+            .load(std::sync::atomic::Ordering::Relaxed);
+        assert!(evicted_after > evicted_before);
+    }
+}

@@ -52,6 +52,11 @@ pub mod prelude {
     pub use romp_core::prelude::*;
 }
 
+// The kernel-variant registry (`romp::variants::run` and friends): N
+// interchangeable implementations of a kernel, measured and locked to
+// the fastest. See `romp_runtime::tune`.
+pub use romp_runtime::variants;
+
 // Re-export the directive macros at the crate root (macro_export places
 // them at `romp_core`'s root; alias the crate so `romp::omp_parallel!`
 // also works through the prelude).

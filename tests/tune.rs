@@ -1,0 +1,158 @@
+//! End-to-end tests for the adaptive schedule autotuner: convergence of
+//! `schedule(auto)` on a skewed loop, site-key identity (stable across
+//! repeated forks, distinct across distinct sites), and the disarmed
+//! (`ROMP_TUNE=0`) no-op pin.
+//!
+//! CI runs this binary three ways: plain (hardware default threads),
+//! env-pinned at `OMP_NUM_THREADS=2` and `4`, and with `ROMP_TUNE=0`.
+//! The armed tests return early when tuning is disarmed and vice versa,
+//! so every leg is meaningful.
+
+use proptest::prelude::*;
+use romp::prelude::*;
+use romp::runtime::tune::{self, trip_bucket, SiteId, SiteKey};
+use std::hint::black_box;
+
+fn tuning_disarmed() -> bool {
+    matches!(
+        std::env::var("ROMP_TUNE").ok().as_deref(),
+        Some("0") | Some("off")
+    )
+}
+
+const SKEW_TRIP: usize = 2048;
+
+/// One pass of a triangular loop: iteration `i` costs O(i), the classic
+/// skew that block-static handles worst and chunked/guided handle well.
+fn skewed_pass(site: &'static str) {
+    omp_parallel_for!(
+        schedule(auto),
+        site(site),
+        for i in 0..SKEW_TRIP {
+            let mut acc = 0u64;
+            for k in 0..i {
+                acc = acc.wrapping_add(black_box(k as u64));
+            }
+            black_box(acc);
+        }
+    );
+}
+
+#[test]
+fn auto_schedule_converges_on_a_skewed_loop() {
+    if tuning_disarmed() {
+        return;
+    }
+    // 4 candidate arms x 3 probe rounds = 12 measured constructs before
+    // the learner locks; run extra passes so the test also exercises
+    // the post-lock fast path.
+    for _ in 0..20 {
+        skewed_pass("skew-convergence");
+    }
+    let samples = tune::dump();
+    let s = samples
+        .iter()
+        .find(|s| s.site == "skew-convergence")
+        .unwrap_or_else(|| panic!("site never recorded; dump: {samples:?}"));
+    assert!(s.converged, "learner still probing after 20 passes: {s:?}");
+    assert!(s.chosen.is_some(), "{s:?}");
+    assert!(s.probes >= 12, "{s:?}");
+}
+
+#[test]
+fn repeated_forks_share_one_site_entry() {
+    if tuning_disarmed() {
+        return;
+    }
+    for _ in 0..6 {
+        skewed_pass("skew-stable");
+    }
+    let hits: Vec<_> = tune::dump()
+        .into_iter()
+        .filter(|s| s.site == "skew-stable")
+        .collect();
+    // Same site name + same trip -> one history entry, accumulating.
+    assert_eq!(hits.len(), 1, "{hits:?}");
+    assert!(hits[0].probes >= 6, "{hits:?}");
+}
+
+fn auto_loop_here() {
+    par_for(0usize..512).schedule(Schedule::Auto).run(|i| {
+        black_box(i);
+    });
+}
+
+fn auto_loop_there() {
+    par_for(0usize..512).schedule(Schedule::Auto).run(|i| {
+        black_box(i);
+    });
+}
+
+#[test]
+fn caller_stamped_sites_are_distinct() {
+    if tuning_disarmed() {
+        return;
+    }
+    // No explicit site: `#[track_caller]` stamps the `par_for(..)`
+    // expression inside each helper, so the two loops must land in two
+    // distinct history entries keyed by this file's line numbers.
+    for _ in 0..3 {
+        auto_loop_here();
+        auto_loop_there();
+    }
+    let sites: Vec<String> = tune::dump()
+        .into_iter()
+        .filter(|s| s.site.contains("tune.rs") && s.bucket == trip_bucket(512))
+        .map(|s| s.site)
+        .collect();
+    assert!(
+        sites.len() >= 2,
+        "expected two caller-stamped sites, got {sites:?}"
+    );
+    assert!(
+        sites
+            .iter()
+            .all(|s| sites.iter().filter(|t| *t == s).count() == 1),
+        "duplicate site entries: {sites:?}"
+    );
+}
+
+#[test]
+fn disarmed_tuning_records_nothing() {
+    if !tuning_disarmed() {
+        return;
+    }
+    // With ROMP_TUNE=0 the fork snapshots tuning off: auto loops take
+    // the plain resolved-schedule path and the history table stays
+    // untouched (the armed tests above all early-return in this leg,
+    // so the table is empty process-wide).
+    for _ in 0..4 {
+        skewed_pass("skew-disarmed");
+    }
+    auto_loop_here();
+    assert!(tune::dump().is_empty(), "{:?}", tune::dump());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The history-table key is a pure function of (site, log2 trip
+    /// bucket): stable across repeated construction, shared within a
+    /// bucket, distinct across sites and across buckets.
+    #[test]
+    fn site_key_is_stable_and_bucketed(trip in 1u64..1_000_000_000) {
+        let a = SiteKey::new(SiteId::Named("pk-a"), trip);
+        prop_assert_eq!(a, SiteKey::new(SiteId::Named("pk-a"), trip));
+        prop_assert_eq!(a.bucket, trip_bucket(trip));
+
+        // Distinct site names never collide, whatever the trip.
+        prop_assert_ne!(a, SiteKey::new(SiteId::Named("pk-b"), trip));
+
+        // The smallest trip in the same power-of-two bucket shares the
+        // key; doubling the trip always moves to the next bucket.
+        let lo = 1u64 << (a.bucket - 1);
+        prop_assert_eq!(a, SiteKey::new(SiteId::Named("pk-a"), lo));
+        let doubled = SiteKey::new(SiteId::Named("pk-a"), trip * 2);
+        prop_assert_eq!(doubled.bucket, a.bucket + 1);
+    }
+}
