@@ -26,6 +26,13 @@
 //! `BENCH_syncbench.json`) to seed the perf trajectory; the JSON's
 //! `summary` block carries the headline `parallel@4` cold/hot ratio.
 //!
+//! The **nested probe** prices a 2×2 nested fork (an outer `parallel`
+//! of two threads whose every member opens an inner `parallel` of two)
+//! under `max-active-levels = 2`, hot vs cold and unbound vs
+//! `proc_bind(spread)`. Hot mode exercises the hierarchical lease tree
+//! — after warm-up no fork at either level may spawn an OS thread —
+//! and the acceptance bar is hot beating cold by ≥3×.
+//!
 //! **Server mode** measures many-master fork *throughput*: M
 //! concurrent masters (default M = 1/2/4/8) each drive a tight loop of
 //! small parallel regions, and the suite reports aggregate regions/sec
@@ -44,7 +51,7 @@
 use romp_bench::{render_table, Args};
 use romp_core::prelude::*;
 use romp_runtime::stats::stats;
-use romp_runtime::{critical, display_env, icv, pool, CancelKind, SumOp};
+use romp_runtime::{critical, display_env, icv, pool, CancelKind, ProcBind, SumOp};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -193,6 +200,57 @@ fn run_skew_probe(outer: usize, reps: usize) -> Vec<SkewCell> {
             per_loop_us: bench_skew(t, Schedule::Auto, site, outer, reps) * 1e6,
         });
     }
+    cells
+}
+
+// ---------------- nested-fork probe ----------------
+
+/// One nested-probe measurement.
+struct NestedCell {
+    mode: &'static str,
+    bind: &'static str,
+    per_nest_us: f64,
+}
+
+/// Mean time of one 2×2 nested fork/join: an outer `parallel@2` whose
+/// every thread opens an inner `parallel@2`. Warm-up builds the whole
+/// team tree (hot) / grows the pool (cold) outside the timed window.
+fn bench_nested(outer: usize, reps: usize) -> f64 {
+    for _ in 0..20 {
+        fork(ForkSpec::with_num_threads(2), |_| {
+            fork(ForkSpec::with_num_threads(2), |_| {});
+        });
+    }
+    time_mean(outer, reps, |n| {
+        for _ in 0..n {
+            fork(ForkSpec::with_num_threads(2), |_| {
+                fork(ForkSpec::with_num_threads(2), |_| {});
+            });
+        }
+    })
+}
+
+/// Measure the 2×2 nest in all four (bind × hot) configurations. The
+/// bind is driven through the global `bind-var` list — inner forks
+/// come from pool workers, which read the globals, not the master's
+/// thread-local overrides.
+fn run_nested_probe(outer: usize, reps: usize) -> Vec<NestedCell> {
+    let prev_mal = icv::with_global_mut(|i| std::mem::replace(&mut i.max_active_levels, 2));
+    let mut cells = Vec::new();
+    for &(bind_name, bind) in &[("unbound", ProcBind::False), ("spread", ProcBind::Spread)] {
+        let prev_bind = icv::with_global_mut(|i| std::mem::replace(&mut i.proc_bind, vec![bind]));
+        for &mode in &["cold", "hot"] {
+            set_hot_teams(mode == "hot");
+            cells.push(NestedCell {
+                mode,
+                bind: bind_name,
+                per_nest_us: bench_nested(outer, reps) * 1e6,
+            });
+        }
+        icv::with_global_mut(|i| i.proc_bind = prev_bind);
+    }
+    set_hot_teams(true);
+    icv::with_global_mut(|i| i.max_active_levels = prev_mal);
     cells
 }
 
@@ -613,6 +671,47 @@ fn main() {
     // converged here after their warm-up passes.
     println!("{}", romp_runtime::tune::display_tune_table());
 
+    // ---------------- nested-fork probe ----------------
+    let nested_cells = run_nested_probe(outer, (reps / 8).max(25));
+    let nested_lookup = |mode: &str, bind: &str| {
+        nested_cells
+            .iter()
+            .find(|c| c.mode == mode && c.bind == bind)
+            .map(|c| c.per_nest_us)
+            .unwrap_or(f64::NAN)
+    };
+    {
+        let mut rows = Vec::new();
+        for &bind in &["unbound", "spread"] {
+            let cold = nested_lookup("cold", bind);
+            let hot = nested_lookup("hot", bind);
+            rows.push(vec![
+                bind.to_string(),
+                format!("{cold:.2}"),
+                format!("{hot:.2}"),
+                format!("{:.2}x", cold / hot),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(
+                "syncbench nested probe — 2x2 nested parallel (max-active-levels=2), \
+                 cold pool vs hierarchical hot teams",
+                &["bind", "cold (us)", "hot (us)", "cold/hot"],
+                &rows,
+            )
+        );
+        let s = stats().snapshot();
+        println!(
+            "nested hot-team counters: nested_hits={} nested_misses={} \
+             affinity_binds={} affinity_bind_failures={}",
+            s.hot_team_nested_hits,
+            s.hot_team_nested_misses,
+            s.affinity_binds,
+            s.affinity_bind_failures
+        );
+    }
+
     // ---------------- server mode ----------------
     let (server_cells, baseline_cells) = if args.has("no-server") || server_ms.is_empty() {
         (Vec::new(), None)
@@ -736,6 +835,56 @@ fn main() {
         json,
         "      \"auto_over_best_fixed_4t\": {}",
         json_escape_f(auto4 / best4)
+    );
+    let _ = writeln!(json, "    }}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"nested\": {{");
+    let _ = writeln!(json, "    \"geometry\": \"2x2\",");
+    let _ = writeln!(json, "    \"results\": [");
+    for (i, c) in nested_cells.iter().enumerate() {
+        let comma = if i + 1 == nested_cells.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"mode\": \"{}\", \"bind\": \"{}\", \"per_nest_us\": {}}}{comma}",
+            c.mode,
+            c.bind,
+            json_escape_f(c.per_nest_us)
+        );
+    }
+    let _ = writeln!(json, "    ],");
+    let n_cold = nested_lookup("cold", "unbound");
+    let n_hot = nested_lookup("hot", "unbound");
+    let n_hot_spread = nested_lookup("hot", "spread");
+    let _ = writeln!(json, "    \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "      \"nested_2x2_cold_us\": {},",
+        json_escape_f(n_cold)
+    );
+    let _ = writeln!(
+        json,
+        "      \"nested_2x2_hot_us\": {},",
+        json_escape_f(n_hot)
+    );
+    let _ = writeln!(
+        json,
+        "      \"nested_2x2_cold_over_hot\": {},",
+        json_escape_f(n_cold / n_hot)
+    );
+    let _ = writeln!(
+        json,
+        "      \"nested_hot_3x_target_met\": {},",
+        n_cold / n_hot >= 3.0
+    );
+    let _ = writeln!(
+        json,
+        "      \"nested_2x2_hot_spread_us\": {},",
+        json_escape_f(n_hot_spread)
+    );
+    let _ = writeln!(
+        json,
+        "      \"spread_over_unbound_hot\": {}",
+        json_escape_f(n_hot_spread / n_hot)
     );
     let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");

@@ -61,10 +61,22 @@ impl Parallel {
         self
     }
 
-    /// The `proc_bind` clause: recorded on the team and reported through
-    /// `omp_get_proc_bind` (affinity enforcement is advisory in romp).
+    /// The `proc_bind` clause: recorded on the team, reported through
+    /// `omp_get_proc_bind`, and enforced by place-partitioning the team
+    /// where the platform supports it (see `romp_runtime::affinity`).
     pub fn proc_bind(mut self, bind: ProcBind) -> Self {
         self.spec.proc_bind = Some(bind);
+        self
+    }
+
+    /// The `teams` construct: form a league of `n` initial teams. The
+    /// region spreads across the place partition (unless an explicit
+    /// [`proc_bind`](Self::proc_bind) overrides it), so nested
+    /// `parallel` regions inside each team inherit a disjoint,
+    /// locality-friendly slice of the machine. League geometry is
+    /// reported through `omp_get_num_teams` / `omp_get_team_num`.
+    pub fn teams(mut self, n: usize) -> Self {
+        self.spec = self.spec.teams(n);
         self
     }
 
@@ -313,6 +325,9 @@ impl<S: IterSpace> ParFor<S> {
         if spec.proc_bind.is_some() {
             self.spec.proc_bind = spec.proc_bind;
         }
+        if spec.league {
+            self.spec.league = true;
+        }
         self
     }
 
@@ -551,6 +566,18 @@ mod tests {
                 hits[i].fetch_add(1, Ordering::Relaxed);
             });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn teams_builder_forms_a_league() {
+        parallel().teams(2).run(|ctx| {
+            assert_eq!(romp_runtime::omp_get_num_teams(), ctx.num_threads());
+            assert_eq!(romp_runtime::omp_get_team_num(), ctx.thread_num());
+            assert_eq!(ctx.proc_bind(), ProcBind::Spread);
+        });
+        // Outside any teams construct the league is trivial.
+        assert_eq!(romp_runtime::omp_get_num_teams(), 1);
+        assert_eq!(romp_runtime::omp_get_team_num(), 0);
     }
 
     #[test]

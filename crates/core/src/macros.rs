@@ -12,6 +12,7 @@
 //! | `#pragma omp parallel for collapse(2)` + nest | `omp_parallel_for!(collapse(2), for (i, j) in (0..n, 0..m) { … })` |
 //! | `#pragma omp for collapse(3)` + nest | `omp_for!(ctx, collapse(3), for (i, j, k) in (0..n, 0..m, 0..p) { … })` |
 //! | `for (i = a; i < b; i += s)` loop header | `omp_for!(ctx, step(s), for i in a..b { … })` (`i: i64`; `s` may be negative) |
+//! | `#pragma omp teams num_teams(4)` + block | `omp_teams!(num_teams(4), \|ctx\| { … })` |
 //! | `#pragma omp single` | `omp_single!(ctx, { … })` |
 //! | `#pragma omp master` | `omp_master!(ctx, { … })` |
 //! | `#pragma omp critical [(name)]` | `omp_critical!([name,] { … })` |
@@ -151,6 +152,9 @@ macro_rules! __omp_parallel {
     (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; proc_bind($k:ident), $($rest:tt)*) => {
         $crate::__omp_parallel!(@ {$spec.proc_bind($crate::__omp_proc_bind!($k))} [$($fp)*] [$($pv)*] ; $($rest)*)
     };
+    (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; num_teams($e:expr), $($rest:tt)*) => {
+        $crate::__omp_parallel!(@ {$spec.teams($e)} [$($fp)*] [$($pv)*] ; $($rest)*)
+    };
     (@ {$spec:expr} [$($fp:ident)*] [$($pv:ident)*] ; firstprivate($($v:ident),*), $($rest:tt)*) => {
         $crate::__omp_parallel!(@ {$spec} [$($fp)* $($v)*] [$($pv)*] ; $($rest)*)
     };
@@ -173,6 +177,37 @@ macro_rules! __omp_parallel {
             $body
         });
     }};
+}
+
+/// `teams` construct: a league of initial teams, lowered onto an outer
+/// parallel region that spreads across the place partition (so nested
+/// `parallel` regions inside each team inherit a disjoint slice of the
+/// machine — see `romp_runtime::affinity`). Clauses: `num_teams(e)`
+/// plus everything [`omp_parallel!`] accepts; an explicit
+/// `proc_bind(kind)` overrides the spread default. Body: `|ctx| { … }`;
+/// league geometry is reported by `omp_get_num_teams` /
+/// `omp_get_team_num`.
+///
+/// ```
+/// use romp_core::prelude::*;
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let seen = AtomicUsize::new(0);
+/// omp_teams!(num_teams(2), |ctx| {
+///     assert_eq!(romp_core::runtime::omp_get_num_teams(), 2);
+///     seen.fetch_add(romp_core::runtime::omp_get_team_num() + 1, Ordering::Relaxed);
+/// });
+/// assert_eq!(seen.load(Ordering::Relaxed), 1 + 2);
+/// ```
+#[macro_export]
+macro_rules! omp_teams {
+    ($($t:tt)*) => {
+        $crate::__omp_parallel!(@ {{
+            let mut __romp_spec = $crate::runtime::ForkSpec::new();
+            __romp_spec.league = true;
+            __romp_spec
+        }} [] [] ; $($t)*)
+    };
 }
 
 /// Worksharing `for` inside an existing region. Clauses: `schedule(..)`,

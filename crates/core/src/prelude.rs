@@ -5,7 +5,7 @@ pub use crate::space::{collapse2, collapse3, IterSpace, StridedRange};
 pub use crate::{
     omp_barrier, omp_cancel, omp_cancellation_point, omp_critical, omp_for, omp_master,
     omp_ordered, omp_parallel, omp_parallel_for, omp_sections, omp_single, omp_task, omp_taskgroup,
-    omp_taskloop, omp_taskwait,
+    omp_taskloop, omp_taskwait, omp_teams,
 };
 pub use romp_runtime::{
     cancel_taskgroup, cancellation_point_taskgroup, critical, critical_named, fork,

@@ -163,7 +163,9 @@ fn emit_directive(
                 }
             };
             match d.kind {
-                DirectiveKind::Parallel => emit_parallel(cx, out, d, fd, &construct, depth),
+                DirectiveKind::Parallel | DirectiveKind::Teams => {
+                    emit_parallel(cx, out, d, fd, &construct, depth)
+                }
                 DirectiveKind::For => {
                     emit_for(cx, out, d, fd, &construct, ctx.unwrap(), depth, false)
                 }
@@ -423,7 +425,14 @@ fn emit_parallel(
     c: &NextConstruct,
     depth: usize,
 ) -> usize {
-    let Some((open, close)) = expect_block(cx, fd, c, "parallel") else {
+    // `teams` shares this emitter: it is `parallel` with league
+    // semantics, lowered onto `omp_teams!` (an outer spread region).
+    let mac = if d.kind == DirectiveKind::Teams {
+        "omp_teams"
+    } else {
+        "omp_parallel"
+    };
+    let Some((open, close)) = expect_block(cx, fd, c, d.kind.name()) else {
         return block_span(c).1 + 1;
     };
     if !reductions(d).is_empty() {
@@ -447,6 +456,7 @@ fn emit_parallel(
             }),
             Clause::Shared(vars) => clause_txt.push_str(&format!("shared({}), ", vars.join(", "))),
             Clause::ProcBind(kind) => clause_txt.push_str(&format!("proc_bind({kind}), ")),
+            Clause::NumTeams(e) => clause_txt.push_str(&format!("num_teams({e}), ")),
             // private/firstprivate handled by the macro's own clauses.
             Clause::Private(vars) => {
                 clause_txt.push_str(&format!("private({}), ", vars.join(", ")))
@@ -459,7 +469,7 @@ fn emit_parallel(
     }
     let body = transform_range(cx, open + 1, close, Some(&ctx_name), depth + 1);
     out.push_str(&format!(
-        "romp_core::omp_parallel!({clause_txt}|{ctx_name}| {{{body}}});"
+        "romp_core::{mac}!({clause_txt}|{ctx_name}| {{{body}}});"
     ));
     close + 1
 }
@@ -845,6 +855,22 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("after();"));
+    }
+
+    #[test]
+    fn teams_directive_lowers_to_omp_teams() {
+        let out = t("//#omp teams num_teams(4)
+{ work(); }");
+        assert!(
+            out.contains("romp_core::omp_teams!(num_teams(4), "),
+            "teams must lower onto the omp_teams! macro: {out}"
+        );
+        let out = t("//#omp teams num_teams(2) proc_bind(close)
+{ work(); }");
+        assert!(
+            out.contains("num_teams(2), ") && out.contains("proc_bind(close), "),
+            "teams forwards num_teams and an explicit proc_bind: {out}"
+        );
     }
 
     #[test]

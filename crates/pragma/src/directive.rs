@@ -19,6 +19,9 @@ pub enum DirectiveKind {
     For,
     /// `parallel for` — combined construct.
     ParallelFor,
+    /// `teams` — a league of initial teams over the following block,
+    /// lowered onto an outer spread parallel region.
+    Teams,
     /// `single`.
     Single,
     /// `master`.
@@ -92,6 +95,7 @@ impl DirectiveKind {
             DirectiveKind::Parallel => "parallel",
             DirectiveKind::For => "for",
             DirectiveKind::ParallelFor => "parallel for",
+            DirectiveKind::Teams => "teams",
             DirectiveKind::Single => "single",
             DirectiveKind::Master => "master",
             DirectiveKind::Critical => "critical",
@@ -214,8 +218,11 @@ pub enum Clause {
     /// `for (i = lo; i < hi; i += step)`, which Rust range syntax
     /// cannot spell for negative strides.
     Step(String),
-    /// `proc_bind(kind)` — accepted, advisory.
+    /// `proc_bind(kind)` — recorded on the team and enforced by
+    /// place-partitioning where the platform supports it.
     ProcBind(String),
+    /// `num_teams(expr)` on `teams`.
+    NumTeams(String),
     /// `(name)` on `critical`.
     CriticalName(String),
     /// `depend(in|out|inout: list)` on `task` — items are lvalue
@@ -246,6 +253,7 @@ impl Clause {
             Clause::Collapse(_) => "collapse",
             Clause::Step(_) => "step",
             Clause::ProcBind(_) => "proc_bind",
+            Clause::NumTeams(_) => "num_teams",
             Clause::CriticalName(_) => "(name)",
             Clause::Depend(..) => "depend",
             Clause::Final(_) => "final",
@@ -521,6 +529,7 @@ pub fn parse(text: &str) -> Result<Directive, ParseError> {
             }
         }
         "for" => DirectiveKind::For,
+        "teams" => DirectiveKind::Teams,
         "single" => DirectiveKind::Single,
         "master" => DirectiveKind::Master,
         "critical" => DirectiveKind::Critical,
@@ -651,6 +660,14 @@ fn parse_clause(p: &mut Parser<'_>, name: &str) -> Result<Clause, ParseError> {
             }
             p.expect(Token::RParen, "`)`")?;
             Ok(Clause::ProcBind(v))
+        }
+        "num_teams" => {
+            p.expect(Token::LParen, "`(` after num_teams")?;
+            let e = p.raw_until_rparen()?;
+            if e.is_empty() {
+                return Err(p.err("empty expression in num_teams clause"));
+            }
+            Ok(Clause::NumTeams(e))
         }
         "collapse" => {
             p.expect(Token::LParen, "`(` after collapse")?;
@@ -826,6 +843,15 @@ fn validate(d: &Directive) -> Result<(), ParseError> {
             "reduction",
             "collapse",
             "step",
+        ],
+        DirectiveKind::Teams => &[
+            "num_teams",
+            "if",
+            "default",
+            "shared",
+            "private",
+            "firstprivate",
+            "proc_bind",
         ],
         DirectiveKind::Single => &["private", "firstprivate", "nowait"],
         DirectiveKind::Task => &[

@@ -128,10 +128,50 @@ pub fn omp_get_schedule() -> Schedule {
 
 /// `omp_get_proc_bind`: the thread-affinity policy of the current
 /// region — the fork's `proc_bind` clause if one was given, else the
-/// `bind-var` ICV (`OMP_PROC_BIND`). romp records and reports the
-/// policy; core pinning itself is advisory.
+/// entry of the `bind-var` ICV list (`OMP_PROC_BIND`) for the next
+/// nesting level. Where the OS allows, the policy is enforced by
+/// place-partitioning the team at fork (see [`crate::affinity`]).
 pub fn omp_get_proc_bind() -> crate::icv::ProcBind {
-    with_current(|r| Some(r.team.proc_bind()), || None).unwrap_or_else(|| icv::current().proc_bind)
+    with_current(|r| Some(r.team.proc_bind()), || None)
+        .unwrap_or_else(|| icv::current().proc_bind_for_level(omp_get_level()))
+}
+
+/// `omp_get_num_places`: number of places in the place list
+/// (`OMP_PLACES`, or one place per hardware thread when unset).
+pub fn omp_get_num_places() -> usize {
+    crate::affinity::place_list_len()
+}
+
+/// `omp_get_place_num`: the place this thread executes in, or `None`
+/// when it is unbound (the C API returns -1).
+pub fn omp_get_place_num() -> Option<usize> {
+    crate::ctx::current_place_partition().map(|(_, _, _, place)| place)
+}
+
+/// `omp_get_partition_num_places`: size of the place partition of the
+/// innermost implicit task (0 when unbound).
+pub fn omp_get_partition_num_places() -> usize {
+    crate::ctx::current_place_partition().map_or(0, |(_, _, count, _)| count)
+}
+
+/// `omp_get_partition_place_nums`: the place numbers of the innermost
+/// implicit task's partition (empty when unbound).
+pub fn omp_get_partition_place_nums() -> Vec<usize> {
+    crate::ctx::current_place_partition().map_or_else(Vec::new, |(_, first, count, _)| {
+        (first..first + count).collect()
+    })
+}
+
+/// `omp_get_num_teams`: size of the innermost league (1 outside any
+/// `teams` construct).
+pub fn omp_get_num_teams() -> usize {
+    crate::ctx::innermost_league().map_or(1, |(size, _)| size)
+}
+
+/// `omp_get_team_num`: this thread's team number in the innermost
+/// league (0 outside any `teams` construct).
+pub fn omp_get_team_num() -> usize {
+    crate::ctx::innermost_league().map_or(0, |(_, num)| num)
 }
 
 /// `omp_get_cancellation`: is the cancellation machinery armed

@@ -76,6 +76,43 @@ pub(crate) fn with_current<R>(f: impl FnOnce(&RegionInfo) -> R, default: impl Fn
     })
 }
 
+/// The calling thread's inherited place partition: `(place list, first
+/// place, place count, current place)` from the innermost enclosing
+/// region that carries places. `None` outside any bound region — the
+/// initial thread then partitions the full `OMP_PLACES` list. Regions
+/// forked with `proc_bind(false)` build no partition of their own, so
+/// the lookup walks outward past them (OpenMP inherits
+/// `place-partition-var` through unbound regions).
+#[allow(clippy::type_complexity)] // one tuple, one internal caller
+pub(crate) fn current_place_partition() -> Option<(Arc<Vec<Vec<usize>>>, usize, usize, usize)> {
+    REGION_STACK.with(|s| {
+        let stack = s.borrow();
+        for r in stack.iter().rev() {
+            if let Some(p) = r.team.places() {
+                let (first, count) = p.parts[r.thread_num];
+                return Some((p.list.clone(), first, count, p.place_of[r.thread_num]));
+            }
+        }
+        None
+    })
+}
+
+/// The innermost enclosing **league** region (`teams` construct), as
+/// `(num_teams, team_num)` — the league team's size and the calling
+/// thread's position in it (constant through nested parallel regions
+/// inside a team). `None` outside any league.
+pub(crate) fn innermost_league() -> Option<(usize, usize)> {
+    REGION_STACK.with(|s| {
+        let stack = s.borrow();
+        for r in stack.iter().rev() {
+            if r.team.is_league() {
+                return Some((r.team.size(), r.thread_num));
+            }
+        }
+        None
+    })
+}
+
 /// Marker payload used to unwind sibling threads when one team member
 /// panics; the master rethrows the original payload, not this one.
 pub struct SiblingPanic;
@@ -344,12 +381,41 @@ impl<'scope> ThreadCtx<'scope> {
         self.team.level
     }
 
-    /// The region's effective thread-affinity request
+    /// The region's effective thread-affinity policy
     /// (`omp_get_proc_bind`): the fork's `proc_bind` clause if one was
-    /// given, else the `bind-var` ICV. Recorded and reported; actual
-    /// core pinning is advisory in romp.
+    /// given, else the per-level `bind-var` ICV. Enforced through the
+    /// team's place partition where the platform supports
+    /// `sched_setaffinity`; advisory elsewhere.
     pub fn proc_bind(&self) -> crate::icv::ProcBind {
         self.team.proc_bind()
+    }
+
+    /// This thread's inherited place sub-partition, as place indices
+    /// into the `OMP_PLACES` list (`omp_get_partition_place_nums`).
+    /// Empty when the region runs unbound. Under an outer
+    /// `proc_bind(spread)` team, sibling threads report **disjoint**
+    /// partitions — the slice their own nested teams will stay inside.
+    pub fn place_partition(&self) -> Vec<usize> {
+        match self.team.places() {
+            None => Vec::new(),
+            Some(p) => {
+                let (first, count) = p.parts[self.thread_num];
+                (first..first + count).collect()
+            }
+        }
+    }
+
+    /// The place this thread is bound to (`omp_get_place_num`), as an
+    /// index into the `OMP_PLACES` list; `None` when unbound.
+    pub fn place_num(&self) -> Option<usize> {
+        self.team.places().map(|p| p.place_of[self.thread_num])
+    }
+
+    /// League geometry (`omp_get_num_teams`, `omp_get_team_num`): when
+    /// this region — or an enclosing one — is a `teams` league, the
+    /// league size and this thread's team number; `(1, 0)` otherwise.
+    pub fn league_position(&self) -> (usize, usize) {
+        innermost_league().unwrap_or((1, 0))
     }
 
     pub(crate) fn team(&self) -> &Arc<Team> {

@@ -12,7 +12,8 @@
 //! | `OMP_NESTED` (deprecated) | `max-active-levels-var` | `true` → ∞ |
 //! | `OMP_THREAD_LIMIT` | `thread-limit-var` | integer |
 //! | `OMP_WAIT_POLICY` | `wait-policy-var` | `active`/`passive` |
-//! | `OMP_PROC_BIND` | `bind-var` | `true/false/close/spread/master` |
+//! | `OMP_PROC_BIND` | `bind-var` | per-level list of `true/false/close/spread/master/primary` |
+//! | `OMP_PLACES` | `place-partition-var` | `threads`/`cores`/`sockets` or `{a,b},{lo:count[:stride]},…` |
 //! | `OMP_STACKSIZE` | `stacksize-var` | `n[B|K|M|G]` (default KiB) |
 //! | `OMP_CANCELLATION` | `cancel-var` | `true`/`false` (default false) |
 //! | `ROMP_BARRIER` | barrier algorithm | `central`/`dissemination` |
@@ -79,7 +80,7 @@ pub fn parse_stacksize(s: &str) -> Option<usize> {
     n.checked_mul(mult).filter(|&b| b > 0)
 }
 
-/// Parse `OMP_PROC_BIND`.
+/// Parse one `OMP_PROC_BIND` policy token.
 pub fn parse_proc_bind(s: &str) -> Option<ProcBind> {
     match s.trim().to_ascii_lowercase().as_str() {
         "false" => Some(ProcBind::False),
@@ -88,6 +89,102 @@ pub fn parse_proc_bind(s: &str) -> Option<ProcBind> {
         "spread" => Some(ProcBind::Spread),
         "master" | "primary" => Some(ProcBind::Master),
         _ => None,
+    }
+}
+
+/// Parse the full `OMP_PROC_BIND` syntax: a comma-separated per-level
+/// policy list (`spread,close` = spread the outer team, pack inner
+/// teams). All-or-nothing, like `OMP_NUM_THREADS`.
+pub fn parse_proc_bind_list(s: &str) -> Option<Vec<ProcBind>> {
+    let v: Option<Vec<ProcBind>> = s.split(',').map(parse_proc_bind).collect();
+    v.filter(|v| !v.is_empty())
+}
+
+/// Parse `OMP_PLACES` into a place list (each place a non-empty set of
+/// CPU ids). Accepted syntax:
+///
+/// * `threads` / `cores` — one place per hardware thread (romp does not
+///   distinguish SMT siblings from cores; the spec allows this
+///   degeneration on topology-blind runtimes);
+/// * `sockets` — one place per physical package, read from
+///   `/sys/devices/system/cpu/*/topology/physical_package_id`, falling
+///   back to a single all-CPU place where sysfs is unavailable;
+/// * an explicit list of brace groups: `{0,1},{2,3}`, `{0:4}` (start:
+///   count), `{0:4:2}` (start:count:stride), and combinations.
+///
+/// Anything else is rejected (`None`) — the caller warns and disables
+/// placement rather than guessing.
+pub fn parse_places(s: &str) -> Option<Vec<Vec<usize>>> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "threads" | "cores" => Some(
+            (0..crate::icv::hardware_threads())
+                .map(|c| vec![c])
+                .collect(),
+        ),
+        "sockets" => Some(socket_places()),
+        _ => parse_place_list(s),
+    }
+}
+
+/// Group the CPUs by physical package id (sysfs), one place per socket.
+fn socket_places() -> Vec<Vec<usize>> {
+    let hw = crate::icv::hardware_threads();
+    let mut sockets: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for cpu in 0..hw {
+        let id = std::fs::read_to_string(format!(
+            "/sys/devices/system/cpu/cpu{cpu}/topology/physical_package_id"
+        ))
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+        sockets.entry(id).or_default().push(cpu);
+    }
+    if sockets.is_empty() {
+        vec![(0..hw).collect()]
+    } else {
+        sockets.into_values().collect()
+    }
+}
+
+/// The explicit `{..},{..}` arm of [`parse_places`].
+fn parse_place_list(s: &str) -> Option<Vec<Vec<usize>>> {
+    let mut places = Vec::new();
+    let mut rest = s.trim();
+    if rest.is_empty() {
+        return None;
+    }
+    loop {
+        rest = rest.trim_start();
+        rest = rest.strip_prefix('{')?;
+        let end = rest.find('}')?;
+        let mut cpus = Vec::new();
+        for part in rest[..end].split(',') {
+            let mut it = part.trim().split(':');
+            let start: usize = it.next()?.trim().parse().ok()?;
+            match it.next() {
+                None => cpus.push(start),
+                Some(count) => {
+                    let count: usize = count.trim().parse().ok().filter(|&c| c > 0)?;
+                    let stride: usize = match it.next() {
+                        None => 1,
+                        Some(st) => st.trim().parse().ok().filter(|&v| v > 0)?,
+                    };
+                    if it.next().is_some() {
+                        return None;
+                    }
+                    cpus.extend((0..count).map(|k| start + k * stride));
+                }
+            }
+        }
+        if cpus.is_empty() {
+            return None;
+        }
+        places.push(cpus);
+        rest = rest[end + 1..].trim_start();
+        if rest.is_empty() {
+            return Some(places);
+        }
+        rest = rest.strip_prefix(',')?;
     }
 }
 
@@ -183,8 +280,26 @@ pub fn icvs_from_lookup_with_warnings(get: impl Fn(&str) -> Option<String>) -> (
     {
         icvs.wait_policy = v;
     }
-    if let Some(v) = get("OMP_PROC_BIND").as_deref().and_then(parse_proc_bind) {
-        icvs.proc_bind = v;
+    if let Some(raw) = get("OMP_PROC_BIND") {
+        match parse_proc_bind_list(&raw) {
+            Some(v) => icvs.proc_bind = v,
+            None => warnings.push(format!(
+                "OMP_PROC_BIND='{}' ignored: expected a comma-separated list of \
+                 true|false|master|primary|close|spread, one per nesting level \
+                 (keeping no binding)",
+                raw.trim()
+            )),
+        }
+    }
+    if let Some(raw) = get("OMP_PLACES") {
+        match parse_places(&raw) {
+            Some(v) => icvs.places = Some(std::sync::Arc::new(v)),
+            None => warnings.push(format!(
+                "OMP_PLACES='{}' ignored: expected threads|cores|sockets or an \
+                 explicit {{a,b}},{{lo:count[:stride]}} list (affinity disabled)",
+                raw.trim()
+            )),
+        }
     }
     if let Some(v) = get("OMP_STACKSIZE").as_deref().and_then(parse_stacksize) {
         icvs.stacksize = Some(v);
@@ -281,7 +396,39 @@ pub fn display_env(icvs: &Icvs) -> String {
             crate::icv::WaitPolicy::Hybrid => "HYBRID (default)",
         }
     );
-    let _ = writeln!(out, "  OMP_PROC_BIND = '{:?}'", icvs.proc_bind);
+    let proc_bind = if icvs.proc_bind.is_empty() {
+        "false".to_string()
+    } else {
+        icvs.proc_bind
+            .iter()
+            .map(|b| match b {
+                ProcBind::False => "false",
+                ProcBind::True => "true",
+                ProcBind::Close => "close",
+                ProcBind::Spread => "spread",
+                ProcBind::Master => "master",
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let _ = writeln!(out, "  OMP_PROC_BIND = '{proc_bind}'");
+    let places = match icvs.places.as_deref() {
+        None => "unset".to_string(),
+        Some(list) => list
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{{}}}",
+                    p.iter()
+                        .map(|c| c.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(","),
+    };
+    let _ = writeln!(out, "  OMP_PLACES = '{places}'");
     let _ = writeln!(
         out,
         "  OMP_STACKSIZE = '{}'",
@@ -390,7 +537,7 @@ mod tests {
         assert_eq!(icvs.max_active_levels, 3);
         assert_eq!(icvs.thread_limit, 32);
         assert_eq!(icvs.wait_policy, WaitPolicy::Passive);
-        assert_eq!(icvs.proc_bind, ProcBind::Spread);
+        assert_eq!(icvs.proc_bind, vec![ProcBind::Spread]);
         assert_eq!(icvs.stacksize, Some(8 * 1024 * 1024));
         assert_eq!(icvs.barrier_kind, BarrierKind::Dissemination);
         assert!(!icvs.hot_teams);
@@ -515,6 +662,104 @@ mod tests {
         assert_eq!(icvs.pool_shards, 0, "0 must fall back to auto");
         assert_eq!(warnings.len(), 1, "{warnings:?}");
         assert!(warnings[0].contains("ROMP_POOL_SHARDS"), "{warnings:?}");
+    }
+
+    #[test]
+    fn proc_bind_list_parses_per_level() {
+        assert_eq!(
+            parse_proc_bind_list("spread,close"),
+            Some(vec![ProcBind::Spread, ProcBind::Close])
+        );
+        assert_eq!(
+            parse_proc_bind_list(" PRIMARY "),
+            Some(vec![ProcBind::Master])
+        );
+        assert_eq!(parse_proc_bind_list("spread,,close"), None);
+        assert_eq!(parse_proc_bind_list("banana"), None);
+        assert_eq!(parse_proc_bind_list(""), None);
+        let icvs = env(&[("OMP_PROC_BIND", "spread,close")]);
+        assert_eq!(icvs.proc_bind_for_level(0), ProcBind::Spread);
+        assert_eq!(icvs.proc_bind_for_level(1), ProcBind::Close);
+        assert_eq!(icvs.proc_bind_for_level(3), ProcBind::Close);
+    }
+
+    #[test]
+    fn proc_bind_garbage_warns_and_keeps_no_binding() {
+        let (icvs, warnings) = env_warn(&[("OMP_PROC_BIND", "banana")]);
+        assert!(icvs.proc_bind.is_empty());
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("OMP_PROC_BIND"), "{warnings:?}");
+        let (_, warnings) = env_warn(&[("OMP_PROC_BIND", "spread")]);
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn places_named_sets_cover_all_cpus() {
+        let hw = crate::icv::hardware_threads();
+        let cores = parse_places("cores").unwrap();
+        assert_eq!(cores.len(), hw);
+        assert!(cores.iter().enumerate().all(|(i, p)| p == &vec![i]));
+        assert_eq!(parse_places("threads").unwrap().len(), hw);
+        let sockets = parse_places("sockets").unwrap();
+        assert!(!sockets.is_empty());
+        let total: usize = sockets.iter().map(Vec::len).sum();
+        assert_eq!(total, hw, "sockets must cover every cpu: {sockets:?}");
+    }
+
+    #[test]
+    fn places_explicit_lists_and_intervals() {
+        assert_eq!(
+            parse_places("{0,1},{2,3}"),
+            Some(vec![vec![0, 1], vec![2, 3]])
+        );
+        assert_eq!(parse_places("{0:4}"), Some(vec![vec![0, 1, 2, 3]]));
+        assert_eq!(
+            parse_places("{0:2:4},{1:2:4}"),
+            Some(vec![vec![0, 4], vec![1, 5]])
+        );
+        assert_eq!(
+            parse_places(" {0} , {8:2} "),
+            Some(vec![vec![0], vec![8, 9]])
+        );
+    }
+
+    #[test]
+    fn places_garbage_warns_and_disables_affinity() {
+        for bad in [
+            "0,1",       // braces required for explicit lists
+            "{}",        // empty place
+            "{0:0}",     // zero-length interval
+            "{a}",       // not a number
+            "{0},",      // trailing comma
+            "{0}{1}",    // missing separator
+            "numa",      // unknown keyword
+            "{0:2:1:9}", // too many fields
+        ] {
+            assert_eq!(parse_places(bad), None, "{bad:?}");
+            let (icvs, warnings) = env_warn(&[("OMP_PLACES", bad)]);
+            assert!(icvs.places.is_none(), "{bad:?}");
+            assert_eq!(warnings.len(), 1, "{bad:?} -> {warnings:?}");
+            assert!(warnings[0].contains("OMP_PLACES"), "{warnings:?}");
+        }
+        let (icvs, warnings) = env_warn(&[("OMP_PLACES", "{0,1},{2,3}")]);
+        assert_eq!(icvs.places.as_deref(), Some(&vec![vec![0, 1], vec![2, 3]]));
+        assert!(warnings.is_empty(), "{warnings:?}");
+    }
+
+    #[test]
+    fn display_env_renders_proc_bind_and_places() {
+        let banner = display_env(&Icvs::default());
+        assert!(banner.contains("OMP_PROC_BIND = 'false'"), "{banner}");
+        assert!(banner.contains("OMP_PLACES = 'unset'"), "{banner}");
+        let banner = display_env(&env(&[
+            ("OMP_PROC_BIND", "spread,close"),
+            ("OMP_PLACES", "{0,1},{2,3}"),
+        ]));
+        assert!(
+            banner.contains("OMP_PROC_BIND = 'spread,close'"),
+            "{banner}"
+        );
+        assert!(banner.contains("OMP_PLACES = '{0,1},{2,3}'"), "{banner}");
     }
 
     #[test]

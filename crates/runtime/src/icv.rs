@@ -43,9 +43,12 @@ impl WaitPolicy {
     }
 }
 
-/// Thread-affinity request (`OMP_PROC_BIND`). We parse and record the
-/// policy; actual core pinning is outside the scope of a portable runtime,
-/// so the policy is observable (for tests and reports) but advisory.
+/// Thread-affinity policy (`OMP_PROC_BIND` / `proc_bind` clause). The
+/// policy is **enforced** where the platform allows: at fork time the
+/// team partitions its master's `OMP_PLACES` slice per this policy and
+/// each thread is pinned with `sched_setaffinity` (see
+/// [`crate::affinity`]); where the syscall is unavailable the policy
+/// degrades to advisory — counted and warned once, never fatal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProcBind {
     /// No binding requested.
@@ -91,8 +94,15 @@ pub struct Icvs {
     pub run_sched: Schedule,
     /// `wait-policy-var`.
     pub wait_policy: WaitPolicy,
-    /// `bind-var`.
-    pub proc_bind: ProcBind,
+    /// `bind-var`: requested thread-affinity policy per nesting level
+    /// (`OMP_PROC_BIND=spread,close` means spread the outer team over
+    /// the places, pack each inner team close to its master). Empty =
+    /// no binding requested ([`ProcBind::False`] at every level).
+    pub proc_bind: Vec<ProcBind>,
+    /// `place-partition-var` seed: the parsed `OMP_PLACES` list (each
+    /// place a set of CPU ids). `None` = no places configured; binding
+    /// requests then fall back to one place per hardware thread.
+    pub places: Option<std::sync::Arc<Vec<Vec<usize>>>>,
     /// `stacksize-var` (`OMP_STACKSIZE`), bytes; applied to spawned
     /// workers.
     pub stacksize: Option<usize>,
@@ -156,7 +166,8 @@ impl Default for Icvs {
             thread_limit: 4 * hardware_threads().max(64),
             run_sched: Schedule::Static { chunk: None },
             wait_policy: WaitPolicy::Hybrid,
-            proc_bind: ProcBind::False,
+            proc_bind: Vec::new(),
+            places: None,
             stacksize: None,
             barrier_kind: BarrierKind::Central,
             hot_teams: true,
@@ -176,6 +187,17 @@ impl Icvs {
         } else {
             let idx = level.min(self.nthreads.len() - 1);
             self.nthreads[idx].max(1)
+        }
+    }
+
+    /// Requested affinity policy for a region starting at nesting
+    /// `level` (same per-level-list-then-saturate rule as
+    /// [`Self::nthreads_for_level`]; empty list = no binding).
+    pub fn proc_bind_for_level(&self, level: usize) -> ProcBind {
+        if self.proc_bind.is_empty() {
+            ProcBind::False
+        } else {
+            self.proc_bind[level.min(self.proc_bind.len() - 1)]
         }
     }
 }
@@ -212,6 +234,12 @@ pub fn current() -> Icvs {
             if let Some(t) = ovr.tune {
                 base.tune = t;
             }
+            if let Some(pb) = ovr.proc_bind.as_ref() {
+                base.proc_bind = pb.clone();
+            }
+            if let Some(pl) = ovr.places.as_ref() {
+                base.places = Some(pl.clone());
+            }
         }
     });
     base
@@ -223,7 +251,7 @@ pub fn with_global_mut<R>(f: impl FnOnce(&mut Icvs) -> R) -> R {
 }
 
 /// Per-OS-thread ICV overrides set through the `omp_set_*` API.
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone)]
 pub(crate) struct TlsOverride {
     pub num_threads: Option<usize>,
     pub dynamic: Option<bool>,
@@ -244,6 +272,14 @@ pub(crate) struct TlsOverride {
     /// without mutating the process-global block under concurrent
     /// tests.
     pub tune: Option<TuneMode>,
+    /// Per-thread `bind-var` override (see [`set_proc_bind_override`]):
+    /// lets tests and benches request a binding policy for the forks of
+    /// one thread without mutating the process-global block.
+    pub proc_bind: Option<Vec<ProcBind>>,
+    /// Per-thread place-list override (see [`set_places_override`]):
+    /// lets tests drive partition logic with a synthetic `OMP_PLACES`
+    /// list, hermetically.
+    pub places: Option<std::sync::Arc<Vec<Vec<usize>>>>,
 }
 
 thread_local! {
@@ -294,6 +330,32 @@ pub fn set_tune_override(v: Option<TuneMode>) -> Option<TuneMode> {
     })
 }
 
+/// Override the per-level `bind-var` list for forks from the calling
+/// thread (romp extension). `Some(v)` shadows the global ICV, `None`
+/// restores it. Returns the previous override so callers can scope the
+/// change.
+pub fn set_proc_bind_override(v: Option<Vec<ProcBind>>) -> Option<Vec<ProcBind>> {
+    TLS_OVERRIDE.with(|o| {
+        let mut b = o.borrow_mut();
+        let slot = b.get_or_insert_with(TlsOverride::default);
+        std::mem::replace(&mut slot.proc_bind, v)
+    })
+}
+
+/// Override the place list for forks from the calling thread (romp
+/// extension; tests use synthetic places so partition assertions don't
+/// depend on the host's CPU count). `Some(v)` shadows the global ICV,
+/// `None` restores it. Returns the previous override.
+pub fn set_places_override(
+    v: Option<std::sync::Arc<Vec<Vec<usize>>>>,
+) -> Option<std::sync::Arc<Vec<Vec<usize>>>> {
+    TLS_OVERRIDE.with(|o| {
+        let mut b = o.borrow_mut();
+        let slot = b.get_or_insert_with(TlsOverride::default);
+        std::mem::replace(&mut slot.places, v)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +400,33 @@ mod tests {
         assert!(current().cancellation);
         set_cancellation_override(prev);
         assert_eq!(current().cancellation, global_cell().read().cancellation);
+        TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
+    }
+
+    #[test]
+    fn proc_bind_for_level_uses_list_then_saturates() {
+        let icvs = Icvs {
+            proc_bind: vec![ProcBind::Spread, ProcBind::Close],
+            ..Icvs::default()
+        };
+        assert_eq!(icvs.proc_bind_for_level(0), ProcBind::Spread);
+        assert_eq!(icvs.proc_bind_for_level(1), ProcBind::Close);
+        assert_eq!(icvs.proc_bind_for_level(7), ProcBind::Close);
+        assert_eq!(Icvs::default().proc_bind_for_level(0), ProcBind::False);
+    }
+
+    #[test]
+    fn proc_bind_and_places_overrides_shadow_and_restore() {
+        let prev = set_proc_bind_override(Some(vec![ProcBind::Spread]));
+        assert_eq!(current().proc_bind_for_level(0), ProcBind::Spread);
+        set_proc_bind_override(prev);
+        let places = std::sync::Arc::new(vec![vec![0usize], vec![1]]);
+        let prev = set_places_override(Some(places.clone()));
+        assert!(std::sync::Arc::ptr_eq(
+            current().places.as_ref().unwrap(),
+            &places
+        ));
+        set_places_override(prev);
         TLS_OVERRIDE.with(|o| *o.borrow_mut() = None);
     }
 

@@ -40,6 +40,10 @@
 //!   sites*: a per-callsite learner probes four candidate schedules and
 //!   locks to the measured-fastest, with a kernel-variant registry on
 //!   the same learner ([`tune`], re-exported as [`variants`]).
+//! * **Affinity & places** — `OMP_PLACES` / `OMP_PROC_BIND` parsing,
+//!   place-partition inheritance across nesting levels, and real
+//!   `sched_setaffinity` pinning on Linux with graceful degradation
+//!   elsewhere ([`affinity`]).
 //! * **ICVs and environment** — `OMP_NUM_THREADS`, `OMP_SCHEDULE`,
 //!   `OMP_DYNAMIC`, `OMP_WAIT_POLICY`, `ROMP_TUNE`, … ([`icv`],
 //!   [`mod@env`]).
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_op_in_unsafe_fn)]
 
+pub mod affinity;
 pub mod api;
 pub mod atomic;
 pub mod barrier;

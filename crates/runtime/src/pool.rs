@@ -96,9 +96,15 @@ pub struct ForkSpec {
     /// region.
     pub if_clause: Option<bool>,
     /// `proc_bind(kind)` clause; `None` = use the `bind-var` ICV. The
-    /// effective policy is recorded on the team and reported through
-    /// `omp_get_proc_bind`; core pinning itself is advisory in romp.
+    /// effective policy is recorded on the team and, where the OS allows,
+    /// enforced by partitioning the place list across the team at fork
+    /// (see [`crate::affinity`]).
     pub proc_bind: Option<ProcBind>,
+    /// `teams` semantics: the region forms a league and each team member
+    /// is an initial team of one. Implies `proc_bind(spread)` unless a
+    /// bind was given explicitly, so leagues land on disjoint place
+    /// subsets and nested `parallel` regions inherit a local slice.
+    pub league: bool,
 }
 
 impl ForkSpec {
@@ -130,6 +136,15 @@ impl ForkSpec {
     /// Attach a `proc_bind` clause.
     pub fn proc_bind(mut self, bind: ProcBind) -> Self {
         self.proc_bind = Some(bind);
+        self
+    }
+
+    /// Request `teams(n)` semantics: a league of `n` initial teams that
+    /// spreads across the place partition (unless an explicit `proc_bind`
+    /// overrides the spread default).
+    pub fn teams(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self.league = true;
         self
     }
 }
@@ -471,9 +486,18 @@ fn worker_main(slot: Arc<WorkerSlot>) {
                 // after the decrement may touch the job or team borrows.
                 signal_completion(&team);
                 drop(team);
+                // A worker must never carry nested sub-team leases into
+                // the idle pool: their cache keys pin the identity of a
+                // parent team this worker is no longer part of.
+                drop_hot_leases_from(0);
             }
             Assignment::Bind(channel) => {
                 hot_worker_loop(&channel);
+                // Release order matters: leases this worker grew while
+                // bound (it was a nested master) are parented by
+                // `channel.team`, which the channel Arc keeps alive
+                // until the line after next.
+                drop_hot_leases_from(0);
                 drop(channel);
                 // The releasing master already pushed this slot back to
                 // the idle list (`HotTeam::drop`); self-releasing too
@@ -516,6 +540,13 @@ fn run_region(team: &Arc<Team>, thread_num: usize, job: Job) {
             thread_num,
         })
     });
+    // Pin this thread to its place before any user code runs. The
+    // placement rides in the fork snapshot, so a recycled hot team
+    // re-reads it every region; the per-thread memo in `apply` makes
+    // the unchanged case syscall-free.
+    if let Some(places) = team.places() {
+        crate::affinity::apply(&places, thread_num);
+    }
     // A region forked from a final task is executed by final implicit
     // tasks on *every* team thread: re-establish the TLS flag here so
     // tasks spawned by any member come out included (undeferred).
@@ -755,8 +786,17 @@ fn hot_worker_loop(ch: &HotChannel) {
     }
 }
 
-/// Cache key: the team shape. A fork whose shape differs rebuilds the
-/// hot team (counted as a resize).
+/// Cache key: the team shape plus, for nested leases, the identity of
+/// the enclosing team. A fork whose key differs rebuilds the hot team
+/// (counted as a resize).
+///
+/// The effective `proc_bind`/places are deliberately **not** part of
+/// the key: the placement rides in the [`ForkSnap`], which
+/// `Team::recycle` rewrites on every hit, and `run_region` re-applies
+/// it per thread through the [`crate::affinity`] memo — so a binding
+/// change re-pins the *reused* team instead of tearing it down
+/// (asserted by `hot_reuse_survives_proc_bind_change` in
+/// `tests/hot_team.rs`).
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct HotKey {
     /// Requested team size (post `if`/nesting/limit clamping).
@@ -769,6 +809,17 @@ struct HotKey {
     wait_policy: WaitPolicy,
     /// `dyn-var`: a change re-evaluates team sizing, so it rebuilds.
     dynamic: bool,
+    /// Identity of the enclosing team (`Arc::as_ptr`), 0 for an
+    /// outermost fork. A nested lease is only valid while its parent
+    /// team is alive and unchanged; the parent's own lease (or the
+    /// worker's channel binding) keeps that team allocation alive for
+    /// exactly as long as this lease can exist, so the pointer cannot
+    /// be ABA-reused while the key is live (see the teardown notes on
+    /// [`drop_hot_leases_from`]).
+    parent: usize,
+    /// This thread's rank within the enclosing team — a different rank
+    /// means a different inherited place partition.
+    parent_thread: usize,
 }
 
 /// The master's cached team: the `Team` allocation plus the doorbells
@@ -814,20 +865,56 @@ impl Drop for HotTeam {
     }
 }
 
+/// Deepest forking level the hot cache serves. The busy mask is one
+/// machine word; forks nested deeper than this (absurd in practice)
+/// take the cold pool path.
+const MAX_HOT_LEVELS: usize = 64;
+
 thread_local! {
-    /// This thread's cached hot team (populated on its first
-    /// outermost-level fork with hot teams enabled).
-    static HOT_TEAM: RefCell<Option<HotTeam>> = const { RefCell::new(None) };
-    /// Re-entrancy backstop: set while this thread is between a hot
-    /// ring and the completion of the matching join. In the current
-    /// code no `fork` can observe it — every task the master executes
-    /// while joining runs with the region stack pushed
-    /// (`execute_joining_task`), so such forks already see nesting
-    /// level ≥ 1 and route cold on the `level == 0` check alone. Kept
-    /// as a cheap guard against a future task-execution path that
-    /// forgets to push the stack: recycling the team mid-region would
-    /// be memory-unsafe, not just wrong.
-    static HOT_BUSY: Cell<bool> = const { Cell::new(false) };
+    /// This thread's hot-team leases, indexed by **forking level** (0 =
+    /// outermost). Slot 0 is the classic flat hot team; a thread that
+    /// becomes a nested master — a bound worker, or the master forking
+    /// from inside its own region — leases its own doorbell-driven
+    /// sub-team at its forking level. Together with every other
+    /// thread's vector this forms the process-wide team tree: each node
+    /// is owned by the thread that is its master.
+    ///
+    /// Teardown discipline (what makes the raw parent pointer in
+    /// [`HotKey`] sound): rebuilding or evicting the lease at level `L`
+    /// first drops all deeper leases (they are parented by the team
+    /// being torn down), and a worker drops its whole vector before
+    /// releasing the channel that keeps its parent team alive.
+    static HOT_TEAMS_TLS: RefCell<Vec<Option<HotTeam>>> = const { RefCell::new(Vec::new()) };
+    /// Re-entrancy backstop, one bit per forking level: bit `L` is set
+    /// while this thread is between a hot ring at level `L` and the
+    /// completion of the matching join. In the current code no `fork`
+    /// can observe its own level's bit — every task executed while
+    /// joining runs with the region stack pushed
+    /// (`execute_joining_task`), so such forks see forking level `L+1`
+    /// and consult bit `L+1`, which is clear. Kept as a cheap guard
+    /// against a future task-execution path that forgets to push the
+    /// stack: recycling a team mid-region would be memory-unsafe, not
+    /// just wrong.
+    static HOT_BUSY: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Drop this thread's hot-team leases at `level` and deeper (releasing
+/// their bound workers back to the global pool). Dropping a prefix is
+/// never valid — a lease at `L+1` is parented by the lease at `L`'s
+/// team — which is why the only teardown primitive is suffix
+/// truncation.
+fn drop_hot_leases_from(level: usize) {
+    HOT_TEAMS_TLS.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if cache.len() > level {
+            // Deepest first: a lease's parent team must still be alive
+            // (and its workers bound) while the lease's own release
+            // rings go out.
+            while cache.len() > level {
+                cache.pop();
+            }
+        }
+    });
 }
 
 /// Effective wait policy for a team of `size`: oversubscribed teams
@@ -842,19 +929,31 @@ fn effective_wait_policy(size: usize, icvs: &Icvs) -> WaitPolicy {
     }
 }
 
-/// Fork through the hot-team cache (nesting level 0 only). Returns the
-/// team so the caller can rethrow a recorded panic.
-fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
+/// Fork through the hot-team cache at forking level `level` (0 =
+/// outermost; a nested master leases its own sub-team at its level).
+/// Returns the team so the caller can rethrow a recorded panic.
+fn hot_fork(
+    n: usize,
+    level: usize,
+    active_level: usize,
+    icvs: &Icvs,
+    snap: ForkSnap,
+    job: Job,
+) -> Arc<Team> {
     // The barrier and idle ladders adjust per the oversubscription
     // heuristic, but the key carries the *raw* ICV (the adjustment is a
     // pure function of it and the delivered size), so an
     // `OMP_WAIT_POLICY` change always rebuilds — even when
     // oversubscription would mask it at the barrier.
+    let (parent, parent_thread) =
+        crate::ctx::with_current(|r| (Arc::as_ptr(&r.team) as usize, r.thread_num), || (0, 0));
     let key = HotKey {
         n,
         barrier_kind: icvs.barrier_kind,
         wait_policy: icvs.wait_policy,
         dynamic: icvs.dynamic,
+        parent,
+        parent_thread,
     };
     // A team that the pool delivered short (thread-limit pressure) is
     // never cached — it could never hit (a hit requires delivered size
@@ -862,13 +961,16 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
     // same-shape fork tear it down as a bogus "resize". It still runs
     // through the hot machinery; the lease is dropped after the join.
     let mut uncached: Option<HotTeam> = None;
-    let team = HOT_TEAM.with(|cell| {
+    let team = HOT_TEAMS_TLS.with(|cell| {
         let mut cache = cell.borrow_mut();
+        if cache.len() <= level {
+            cache.resize_with(level + 1, || None);
+        }
         // A hit requires the cached team to have actually delivered the
         // requested size (short teams are not cached — see above), so a
         // capped build retries acquisition on every fork, like the cold
         // path does.
-        if let Some(ht) = cache.as_ref().filter(|ht| ht.key == key) {
+        if let Some(ht) = cache[level].as_ref().filter(|ht| ht.key == key) {
             // Hit: recycle in place and ring the doorbells. Prime in
             // *reverse* chain order: a still-spinning worker can observe
             // its own epoch bump the instant it lands and immediately
@@ -878,6 +980,9 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
             // re-park and, the doorbell park being untimed, the worker
             // is stranded forever (and the join with it).
             bump(&stats().hot_team_hits);
+            if level > 0 {
+                bump(&stats().hot_team_nested_hits);
+            }
             ht.team.recycle(snap);
             for ch in ht.channels.iter().rev() {
                 prime(ch, Some(job));
@@ -887,12 +992,21 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
             }
             return ht.team.clone();
         }
-        if cache.take().is_some() {
+        // Rebuild: leases deeper than this level are parented by the
+        // team about to be dropped, so they must go first (deepest
+        // first — see `drop_hot_leases_from`).
+        while cache.len() > level + 1 {
+            cache.pop();
+        }
+        if cache[level].take().is_some() {
             // Shape changed: drop the lease (workers return to the
             // pool, possibly to be re-acquired two lines down).
             bump(&stats().hot_team_resizes);
         } else {
             bump(&stats().hot_team_misses);
+        }
+        if level > 0 {
+            bump(&stats().hot_team_nested_misses);
         }
         let workers = pool().acquire(n.saturating_sub(1), icvs);
         let size = workers.len() + 1;
@@ -903,11 +1017,13 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
         let bell = IdleWait::doorbell(icvs.wait_policy, size > icv::hardware_threads());
         let team = Arc::new(Team::new(
             size,
-            1,
-            if size > 1 { 1 } else { 0 },
+            level + 1,
+            // Same active-level rule as the cold path: a team delivered
+            // short at size 1 is not an active region.
+            active_level + usize::from(size > 1),
             icvs.barrier_kind,
             barrier_policy,
-            vec![(0, 1)],
+            forking_ancestors(),
             snap,
             false,
             true,
@@ -947,7 +1063,7 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
             slots: workers,
         };
         if size == key.n {
-            *cache = Some(ht);
+            cache[level] = Some(ht);
         } else {
             uncached = Some(ht);
         }
@@ -961,7 +1077,12 @@ fn hot_fork(n: usize, icvs: &Icvs, snap: ForkSnap, job: Job) -> Arc<Team> {
     hot_join(&team, join_idle);
     // A short team's lease ends with its one region (Drop rings the
     // release and hands the slots back) — safe only now, after the join.
-    drop(uncached);
+    // Any deeper leases this master grew *inside* the region are
+    // parented by the uncached team: deepest first, parent last.
+    if uncached.is_some() {
+        drop_hot_leases_from(level + 1);
+        drop(uncached);
+    }
     team
 }
 
@@ -1016,14 +1137,6 @@ fn execute_joining_task(team: &Arc<Team>, task: crate::task::RawTask) {
     }
 }
 
-/// Drop this thread's hot-team lease, if any (releases the bound
-/// workers back to the global pool).
-fn drop_hot_lease() {
-    HOT_TEAM.with(|cell| {
-        cell.borrow_mut().take();
-    });
-}
-
 // ---------------------------------------------------------------------
 // fork
 // ---------------------------------------------------------------------
@@ -1037,10 +1150,12 @@ fn drop_hot_lease() {
 /// by `thread-limit-var` and by how many workers the pool can actually
 /// deliver.
 ///
-/// Outermost-level forks go through the hot-team cache (see the module
-/// docs) unless `ROMP_HOT_TEAMS=0`; nested forks, forks from final
-/// tasks, and re-entrant forks from tasks executed during a hot join
-/// take the cold pool path.
+/// Forks go through the hot-team cache (see the module docs) unless
+/// `ROMP_HOT_TEAMS=0` — including **nested** forks: a thread that is
+/// already inside a hot region leases its own sub-team at its forking
+/// level, so after warmup an inner region is as cheap as an outer one.
+/// Forks from final tasks, forks whose enclosing team is cold, and
+/// forks nested deeper than `MAX_HOT_LEVELS` take the cold pool path.
 ///
 /// The `'env` lifetime plays the role of `std::thread::scope`'s
 /// environment lifetime: closures handed to
@@ -1074,44 +1189,77 @@ where
     bump(&stats().forks);
 
     let job = make_job(&f);
+    // The effective binding: clause beats the per-level `bind-var`
+    // list. A league defaults to `spread` so member teams land on
+    // disjoint place subsets.
+    let bind = spec.proc_bind.unwrap_or_else(|| {
+        let b = icvs.proc_bind_for_level(level);
+        if spec.league && b == ProcBind::False {
+            ProcBind::Spread
+        } else {
+            b
+        }
+    });
+    // The place partition is recomputed at *every* fork — including hot
+    // recycles, where it rides into the team through `recycle`'s snap
+    // rewrite — so placement never needs to participate in the cache
+    // key (see [`HotKey`]). Serialized regions keep the enclosing
+    // partition (the stack walk in `affinity::team_places` starts from
+    // the innermost *placed* region).
+    let places = if n > 1 {
+        crate::affinity::team_places(bind, n, &icvs)
+    } else {
+        None
+    };
     let snap = ForkSnap {
         run_sched: icvs.run_sched,
-        proc_bind: spec.proc_bind.unwrap_or(icvs.proc_bind),
+        proc_bind: bind,
+        places,
+        league: spec.league,
         cancellable: icvs.cancellation,
         tune: icvs.tune != crate::icv::TuneMode::Off,
     };
 
-    // Hot fast path: outermost-level forks of actual teams only (a
-    // bound worker set is per master thread; nested teams and
-    // final-task forks keep the one-shot path). Serialized regions
-    // (`if(false)`, `num_threads(1)`) fall through to the inline path
-    // below *without touching the cache* — evicting a multi-thread
-    // lease for a team of one would thrash workers on every
-    // serial/parallel alternation, and a serial region gains nothing
-    // from cached workers anyway.
-    if level == 0 && !parent_final && !HOT_BUSY.with(|b| b.get()) {
+    // Hot fast path: actual teams only, at any nesting level whose
+    // enclosing team is itself hot (a cold or final-task parent cannot
+    // guarantee the lease's parent-identity key stays alive — see
+    // [`HotKey`]). Serialized regions (`if(false)`, `num_threads(1)`,
+    // nesting beyond `max-active-levels`) fall through to the inline
+    // path below *without touching the cache* — evicting a
+    // multi-thread lease for a team of one would thrash workers on
+    // every serial/parallel alternation, and a serial region gains
+    // nothing from cached workers anyway.
+    let parent_hot = level == 0 || crate::ctx::with_current(|r| r.team.hot, || false);
+    if !parent_final
+        && parent_hot
+        && level < MAX_HOT_LEVELS
+        && HOT_BUSY.with(|b| b.get()) & (1u64 << level) == 0
+    {
         if icvs.hot_teams && n > 1 {
-            struct BusyGuard;
+            struct BusyGuard(usize);
             impl Drop for BusyGuard {
                 fn drop(&mut self) {
-                    HOT_BUSY.with(|b| b.set(false));
+                    HOT_BUSY.with(|b| b.set(b.get() & !(1u64 << self.0)));
                 }
             }
-            HOT_BUSY.with(|b| b.set(true));
-            let _busy = BusyGuard;
-            let team = hot_fork(n, &icvs, snap, job);
+            HOT_BUSY.with(|b| b.set(b.get() | (1u64 << level)));
+            let _busy = BusyGuard(level);
+            let team = hot_fork(n, level, active_level, &icvs, snap, job);
             if team.abort.load(Ordering::Acquire) {
                 // Never reuse a team a panic tore through: release the
-                // workers and rebuild cold state on the next fork.
-                drop_hot_lease();
+                // workers (and any sub-leases parented by them) and
+                // rebuild cold state on the next fork.
+                drop_hot_leases_from(level);
                 rethrow(&team);
             }
             return;
         }
         if !icvs.hot_teams {
             // Hot teams were switched off between regions: stop
-            // hoarding the bound workers.
-            drop_hot_lease();
+            // hoarding the bound workers at this level and deeper
+            // (shallower leases belong to still-active enclosing
+            // regions).
+            drop_hot_leases_from(level);
         }
     }
 
@@ -1428,7 +1576,21 @@ mod tests {
         );
         // Without the clause the bind-var ICV shows through.
         fork(ForkSpec::with_num_threads(2), |ctx| {
-            assert_eq!(ctx.proc_bind(), icv::current().proc_bind);
+            assert_eq!(ctx.proc_bind(), icv::current().proc_bind_for_level(0));
+        });
+    }
+
+    #[test]
+    fn teams_spec_forms_a_spread_league() {
+        fork(ForkSpec::new().teams(2), |ctx| {
+            assert_eq!(ctx.proc_bind(), ProcBind::Spread);
+            let (num_teams, team_num) = ctx.league_position();
+            assert_eq!(num_teams, ctx.num_threads());
+            assert_eq!(team_num, ctx.thread_num());
+        });
+        // An explicit proc_bind clause beats the league's spread default.
+        fork(ForkSpec::new().teams(2).proc_bind(ProcBind::Close), |ctx| {
+            assert_eq!(ctx.proc_bind(), ProcBind::Close);
         });
     }
 

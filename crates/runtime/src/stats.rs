@@ -58,6 +58,19 @@ pub struct Stats {
     /// Forks that rebuilt a cached hot team because `num_threads` or a
     /// team-shape ICV (wait policy, barrier kind, `dyn-var`) changed.
     pub hot_team_resizes: AtomicU64,
+    /// Hot-team hits at nesting level ≥ 1 (a worker's own cached
+    /// sub-team answered a nested fork; also counted in
+    /// `hot_team_hits`).
+    pub hot_team_nested_hits: AtomicU64,
+    /// Hot-team builds at nesting level ≥ 1 (also counted in
+    /// `hot_team_misses`/`hot_team_resizes`).
+    pub hot_team_nested_misses: AtomicU64,
+    /// Threads successfully bound to an `OMP_PLACES` place
+    /// (`sched_setaffinity` accepted the mask).
+    pub affinity_binds: AtomicU64,
+    /// Bind attempts the kernel (or an unsupported platform) rejected;
+    /// each degrades gracefully to an unbound thread.
+    pub affinity_bind_failures: AtomicU64,
     /// `cancel` requests that activated cancellation (cancel-var was
     /// true and the flag was raised).
     pub cancels_activated: AtomicU64,
@@ -93,6 +106,10 @@ static STATS: Stats = Stats {
     hot_team_hits: AtomicU64::new(0),
     hot_team_misses: AtomicU64::new(0),
     hot_team_resizes: AtomicU64::new(0),
+    hot_team_nested_hits: AtomicU64::new(0),
+    hot_team_nested_misses: AtomicU64::new(0),
+    affinity_binds: AtomicU64::new(0),
+    affinity_bind_failures: AtomicU64::new(0),
     cancels_activated: AtomicU64::new(0),
     tasks_discarded: AtomicU64::new(0),
     tune_probes: AtomicU64::new(0),
@@ -144,6 +161,14 @@ pub struct Snapshot {
     pub hot_team_misses: u64,
     /// See [`Stats::hot_team_resizes`].
     pub hot_team_resizes: u64,
+    /// See [`Stats::hot_team_nested_hits`].
+    pub hot_team_nested_hits: u64,
+    /// See [`Stats::hot_team_nested_misses`].
+    pub hot_team_nested_misses: u64,
+    /// See [`Stats::affinity_binds`].
+    pub affinity_binds: u64,
+    /// See [`Stats::affinity_bind_failures`].
+    pub affinity_bind_failures: u64,
     /// See [`Stats::cancels_activated`].
     pub cancels_activated: u64,
     /// See [`Stats::tasks_discarded`].
@@ -178,6 +203,10 @@ impl Stats {
             hot_team_hits: self.hot_team_hits.load(Ordering::Relaxed),
             hot_team_misses: self.hot_team_misses.load(Ordering::Relaxed),
             hot_team_resizes: self.hot_team_resizes.load(Ordering::Relaxed),
+            hot_team_nested_hits: self.hot_team_nested_hits.load(Ordering::Relaxed),
+            hot_team_nested_misses: self.hot_team_nested_misses.load(Ordering::Relaxed),
+            affinity_binds: self.affinity_binds.load(Ordering::Relaxed),
+            affinity_bind_failures: self.affinity_bind_failures.load(Ordering::Relaxed),
             cancels_activated: self.cancels_activated.load(Ordering::Relaxed),
             tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
             tune_probes: self.tune_probes.load(Ordering::Relaxed),
@@ -209,6 +238,10 @@ impl Snapshot {
             hot_team_hits: later.hot_team_hits - self.hot_team_hits,
             hot_team_misses: later.hot_team_misses - self.hot_team_misses,
             hot_team_resizes: later.hot_team_resizes - self.hot_team_resizes,
+            hot_team_nested_hits: later.hot_team_nested_hits - self.hot_team_nested_hits,
+            hot_team_nested_misses: later.hot_team_nested_misses - self.hot_team_nested_misses,
+            affinity_binds: later.affinity_binds - self.affinity_binds,
+            affinity_bind_failures: later.affinity_bind_failures - self.affinity_bind_failures,
             cancels_activated: later.cancels_activated - self.cancels_activated,
             tasks_discarded: later.tasks_discarded - self.tasks_discarded,
             tune_probes: later.tune_probes - self.tune_probes,
@@ -234,6 +267,18 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
     let _ = writeln!(out, "  hot_team_hits = '{}'", s.hot_team_hits);
     let _ = writeln!(out, "  hot_team_misses = '{}'", s.hot_team_misses);
     let _ = writeln!(out, "  hot_team_resizes = '{}'", s.hot_team_resizes);
+    let _ = writeln!(out, "  hot_team_nested_hits = '{}'", s.hot_team_nested_hits);
+    let _ = writeln!(
+        out,
+        "  hot_team_nested_misses = '{}'",
+        s.hot_team_nested_misses
+    );
+    let _ = writeln!(out, "  affinity_binds = '{}'", s.affinity_binds);
+    let _ = writeln!(
+        out,
+        "  affinity_bind_failures = '{}'",
+        s.affinity_bind_failures
+    );
     let _ = writeln!(out, "  cancels_activated = '{}'", s.cancels_activated);
     let _ = writeln!(out, "  tasks_discarded = '{}'", s.tasks_discarded);
     let _ = writeln!(out, "  workers_spawned = '{}'", s.workers_spawned);
@@ -319,6 +364,10 @@ mod tests {
             "hot_team_hits",
             "hot_team_misses",
             "hot_team_resizes",
+            "hot_team_nested_hits",
+            "hot_team_nested_misses",
+            "affinity_binds",
+            "affinity_bind_failures",
             "cancels_activated",
             "tasks_discarded",
             "workers_spawned",

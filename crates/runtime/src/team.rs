@@ -27,12 +27,14 @@
 //! (a thread can only want generation `g + WS_SLOTS` after finishing
 //! `g`, which requires `g` to be fully done).
 
+use crate::affinity::TeamPlaces;
 use crate::barrier::{BarrierKind, TeamBarrier};
 use crate::icv::{ProcBind, WaitPolicy};
 use crate::task::TaskSystem;
 use parking_lot::{Condvar, Mutex, RwLock};
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of in-flight worksharing constructs a team supports before
 /// fast threads must wait for slow ones (libomp uses 7 dispatch buffers).
@@ -216,7 +218,7 @@ impl RedCell {
 /// region to region. A cold team takes them at construction; a recycled
 /// hot team overwrites them at each fork ([`Team::recycle`]), which is
 /// why they live behind one `RwLock` instead of being plain fields.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub(crate) struct ForkSnap {
     /// `run-sched-var` snapshot from the master's data environment at
     /// fork time: `schedule(runtime)` loops must resolve identically on
@@ -224,10 +226,19 @@ pub(crate) struct ForkSnap {
     /// (per OpenMP ICV inheritance), not read per-thread mid-loop.
     pub run_sched: crate::sched::Schedule,
     /// Effective thread affinity request for this region: the
-    /// `proc_bind` clause if present, else the `bind-var` ICV. Recorded
-    /// and reported (`omp_get_proc_bind`); actual core pinning is
-    /// outside the scope of a portable runtime.
+    /// `proc_bind` clause if present, else the per-level `bind-var`
+    /// ICV. Reported (`omp_get_proc_bind`) and enforced through
+    /// [`ForkSnap::places`] where the platform supports it.
     pub proc_bind: ProcBind,
+    /// Place partition for this region (None = unbound): per-thread
+    /// place assignment plus the sub-partition each thread hands to its
+    /// own nested teams. Recomputed at every fork — including hot-team
+    /// recycles — so a binding change re-pins a reused team.
+    pub places: Option<Arc<TeamPlaces>>,
+    /// Is this team a **league** of teams (a `teams` construct lowered
+    /// onto an outer parallel region)? Reported through
+    /// `omp_get_num_teams`/`omp_get_team_num`.
+    pub league: bool,
     /// `cancel-var` snapshot: is cancellation armed for this region?
     /// Fork-time so a recycled hot team observes ICV changes, and so
     /// the non-cancelled hot path can skip every flag check with one
@@ -365,6 +376,16 @@ impl Team {
         self.snap.read().proc_bind
     }
 
+    /// The region's place partition (`None` = threads run unbound).
+    pub(crate) fn places(&self) -> Option<Arc<TeamPlaces>> {
+        self.snap.read().places.clone()
+    }
+
+    /// Is this team a league of teams (`teams` construct)?
+    pub(crate) fn is_league(&self) -> bool {
+        self.snap.read().league
+    }
+
     /// Is cancellation armed for this region (`cancel-var` snapshot)?
     pub(crate) fn cancellable(&self) -> bool {
         self.snap.read().cancellable
@@ -439,6 +460,8 @@ mod tests {
             ForkSnap {
                 run_sched: crate::sched::Schedule::default(),
                 proc_bind: ProcBind::False,
+                places: None,
+                league: false,
                 cancellable: false,
                 tune: false,
             },
@@ -557,6 +580,8 @@ mod tests {
         team.recycle(ForkSnap {
             run_sched: crate::sched::Schedule::dynamic_chunk(5),
             proc_bind: ProcBind::Spread,
+            places: None,
+            league: true,
             cancellable: true,
             tune: true,
         });
@@ -569,6 +594,7 @@ mod tests {
         assert_eq!(team.remaining.load(Ordering::SeqCst), 1);
         assert_eq!(team.run_sched(), crate::sched::Schedule::dynamic_chunk(5));
         assert_eq!(team.proc_bind(), ProcBind::Spread);
+        assert!(team.is_league());
         assert_eq!(team.reduce_cells[0].lock().gen, u64::MAX);
         // Slot generation is back at its initial value: a fresh thread
         // (generation counter 0) can install again.

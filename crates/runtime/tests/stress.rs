@@ -65,11 +65,14 @@ fn barrier_phase_lockstep_both_kinds() {
     }
 }
 
-/// Nested parallelism with default ICVs (`max-active-levels = 1`)
-/// serializes the inner region: inner teams have size 1, the inner
-/// region still runs, and levels are reported correctly.
+/// Nested parallelism respects `max-active-levels`: at the default of
+/// 1 the inner region is serialized to a 1-thread team; when CI pins
+/// `OMP_MAX_ACTIVE_LEVELS=2` it may be genuinely parallel. Either way
+/// the inner region runs, levels are reported correctly, and inner
+/// worksharing covers its whole space exactly once per region.
 #[test]
 fn nested_fork_serializes_by_default() {
+    let max_active = romp_runtime::icv::current().max_active_levels;
     let inner_total = AtomicU64::new(0);
     let outer_granted = AtomicUsize::new(0);
     fork(ForkSpec::with_num_threads(4), |ctx| {
@@ -77,9 +80,9 @@ fn nested_fork_serializes_by_default() {
         assert_eq!(ctx.level(), 1);
         let outer_id = ctx.thread_num();
         fork(ForkSpec::with_num_threads(8), |inner| {
-            // Default max_active_levels is 1: the inner region must be
-            // a 1-thread team nested at level 2.
-            assert_eq!(inner.num_threads(), 1, "inner region was not serialized");
+            if max_active <= 1 {
+                assert_eq!(inner.num_threads(), 1, "inner region was not serialized");
+            }
             assert_eq!(inner.level(), 2);
             assert_eq!(
                 romp_runtime::omp_get_ancestor_thread_num(1),

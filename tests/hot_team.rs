@@ -10,6 +10,13 @@
 //! recycle, and a panic inside a region must never poison the cached
 //! team — the next fork from the same master rebuilds cleanly.
 //!
+//! The second half of the file covers the *hierarchical* cache: nested
+//! forks lease one sub-team per (master thread, nesting level), so a
+//! warmed 2×2 nest must spawn zero OS threads, survive `proc_bind`
+//! changes (placement is re-snapshotted, not part of the cache key),
+//! keep the level/ancestor APIs exact at every depth, and confine
+//! cancellation to the inner team it was requested in.
+//!
 //! Each scenario runs on its own freshly-spawned thread: the hot-team
 //! cache is per master OS thread, so a dedicated thread gives a
 //! deterministic cold start and exercises the lease-release-on-exit
@@ -20,11 +27,12 @@
 
 use romp::runtime::stats::stats;
 use romp::runtime::{
-    fork, icv, omp_get_num_threads, omp_get_schedule, omp_set_num_threads, omp_set_schedule,
-    BarrierKind, ForkSpec, Schedule, WaitPolicy,
+    fork, icv, omp_get_active_level, omp_get_ancestor_thread_num, omp_get_level,
+    omp_get_num_threads, omp_get_proc_bind, omp_get_schedule, omp_get_team_size,
+    omp_set_num_threads, omp_set_schedule, BarrierKind, ForkSpec, ProcBind, Schedule, WaitPolicy,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 static ICV_LOCK: Mutex<()> = Mutex::new(());
 
@@ -416,6 +424,298 @@ fn recycled_team_retakes_the_run_sched_snapshot() {
         fork(ForkSpec::with_num_threads(2), |_| {
             assert_eq!(omp_get_schedule(), Schedule::Guided { chunk: 2 });
         });
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Hierarchical cache: nested forks, placement, level APIs, cancellation.
+// ---------------------------------------------------------------------------
+
+/// A synthetic four-place list (`{0},{1},{2},{3}`). Partition geometry
+/// is computed from the list alone, so these tests stay exact even on a
+/// one-CPU container where binding to CPUs 1–3 degrades gracefully.
+fn four_places() -> Arc<Vec<Vec<usize>>> {
+    Arc::new((0..4).map(|c| vec![c]).collect())
+}
+
+#[test]
+fn hot_reuse_survives_proc_bind_change() {
+    // Placement is deliberately NOT part of the hot-team cache key: the
+    // fork snapshot (and with it the place partition) is rewritten on
+    // every recycle. A bind change between same-shape regions must
+    // therefore still hit, while the *reported* bind and the partition
+    // each thread inherits move to the new policy.
+    on_fresh_thread(|| {
+        let prev_p = icv::set_places_override(Some(four_places()));
+        let prev_b = icv::set_proc_bind_override(Some(vec![ProcBind::Spread]));
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            assert_eq!(omp_get_proc_bind(), ProcBind::Spread);
+            // Spread splits the four places into disjoint halves.
+            let want = if ctx.thread_num() == 0 {
+                vec![0, 1]
+            } else {
+                vec![2, 3]
+            };
+            assert_eq!(ctx.place_partition(), want);
+        });
+        let before = stats().snapshot();
+        icv::set_proc_bind_override(Some(vec![ProcBind::Close]));
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            assert_eq!(omp_get_proc_bind(), ProcBind::Close);
+            // Close keeps the master's whole partition for everyone and
+            // packs threads onto consecutive places.
+            assert_eq!(ctx.place_partition(), vec![0, 1, 2, 3]);
+            assert_eq!(ctx.place_num(), Some(ctx.thread_num()));
+        });
+        let d = before.delta(&stats().snapshot());
+        assert!(
+            d.hot_team_hits >= 1,
+            "a bind change must not evict the lease (hits: {}, misses: {})",
+            d.hot_team_hits,
+            d.hot_team_misses
+        );
+        assert_eq!(
+            d.workers_spawned, 0,
+            "re-pinning must reuse the bound workers"
+        );
+        icv::set_proc_bind_override(prev_b);
+        icv::set_places_override(prev_p);
+    });
+}
+
+#[test]
+fn spread_team_workers_inherit_disjoint_place_partitions() {
+    on_fresh_thread(|| {
+        let prev_p = icv::set_places_override(Some(four_places()));
+        let prev_b = icv::set_proc_bind_override(Some(vec![ProcBind::Spread]));
+        let parts: Mutex<Vec<Vec<usize>>> = Mutex::new(Vec::new());
+        fork(ForkSpec::with_num_threads(2), |ctx| {
+            parts.lock().unwrap().push(ctx.place_partition());
+        });
+        let parts = parts.into_inner().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert!(
+            parts.iter().all(|p| p.len() == 2),
+            "balanced halves: {parts:?}"
+        );
+        // Covering every place exactly once == disjoint + complete.
+        let mut all: Vec<usize> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(
+            all,
+            vec![0, 1, 2, 3],
+            "partitions must tile the place list: {parts:?}"
+        );
+        icv::set_proc_bind_override(prev_b);
+        icv::set_places_override(prev_p);
+    });
+}
+
+/// Run a 2×2 nest `rounds` times, asserting exact inner geometry.
+fn run_2x2_nest(rounds: usize) {
+    for _ in 0..rounds {
+        let inner_bodies = AtomicUsize::new(0);
+        fork(ForkSpec::with_num_threads(2), |_| {
+            fork(ForkSpec::with_num_threads(2), |ctx| {
+                assert_eq!(ctx.num_threads(), 2);
+                assert_eq!(omp_get_level(), 2);
+                assert_eq!(omp_get_active_level(), 2);
+                inner_bodies.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(
+            inner_bodies.load(Ordering::SeqCst),
+            4,
+            "2 teams x 2 threads"
+        );
+    }
+}
+
+#[test]
+fn warmed_nested_forks_spawn_no_new_threads() {
+    // The headline property of the hierarchical cache: once the team
+    // *tree* is warm (outer team + one sub-team per outer thread), a
+    // 2×2 nested fork touches no OS thread creation at all — every
+    // inner fork is answered from the forking thread's own lease.
+    on_fresh_thread(|| {
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.max_active_levels, 2));
+        run_2x2_nest(3); // warm the whole tree
+        let before = stats().snapshot();
+        run_2x2_nest(20);
+        let d = before.delta(&stats().snapshot());
+        icv::with_global_mut(|i| i.max_active_levels = prev);
+        assert_eq!(
+            d.workers_spawned, 0,
+            "warmed nested forks must spawn zero OS threads"
+        );
+        assert!(
+            d.hot_team_nested_hits >= 40,
+            "every inner fork (2 per round) must be served from the lease tree \
+             (nested hits: {}, nested misses: {})",
+            d.hot_team_nested_hits,
+            d.hot_team_nested_misses
+        );
+    });
+}
+
+/// Walk a 2×2 nest (plus one serialized level-3 fork) asserting the
+/// level/ancestor/team-size APIs return exact values at every depth.
+/// Requires `max-active-levels >= 2`.
+fn assert_level_apis_through_a_2x2_nest() {
+    assert_eq!(omp_get_level(), 0);
+    assert_eq!(omp_get_active_level(), 0);
+    assert_eq!(omp_get_ancestor_thread_num(0), Some(0));
+    assert_eq!(omp_get_team_size(0), Some(1));
+    assert_eq!(omp_get_ancestor_thread_num(1), None);
+    fork(ForkSpec::with_num_threads(2), |octx| {
+        let outer_tn = octx.thread_num();
+        assert_eq!(omp_get_level(), 1);
+        assert_eq!(omp_get_active_level(), 1);
+        assert_eq!(omp_get_ancestor_thread_num(0), Some(0));
+        assert_eq!(omp_get_ancestor_thread_num(1), Some(outer_tn));
+        assert_eq!(omp_get_ancestor_thread_num(2), None);
+        assert_eq!(omp_get_team_size(0), Some(1));
+        assert_eq!(omp_get_team_size(1), Some(2));
+        assert_eq!(omp_get_team_size(2), None);
+        fork(ForkSpec::with_num_threads(2), |ictx| {
+            let inner_tn = ictx.thread_num();
+            assert_eq!(omp_get_level(), 2);
+            assert_eq!(omp_get_active_level(), 2);
+            assert_eq!(omp_get_ancestor_thread_num(0), Some(0));
+            assert_eq!(omp_get_ancestor_thread_num(1), Some(outer_tn));
+            assert_eq!(omp_get_ancestor_thread_num(2), Some(inner_tn));
+            assert_eq!(omp_get_ancestor_thread_num(3), None);
+            assert_eq!(omp_get_team_size(1), Some(2));
+            assert_eq!(omp_get_team_size(2), Some(2));
+            // One level past max-active-levels: the fork serializes
+            // (team of one) but still nests — the level counter moves,
+            // the active-level counter does not.
+            fork(ForkSpec::with_num_threads(2), |sctx| {
+                assert_eq!(sctx.num_threads(), 1);
+                assert_eq!(omp_get_level(), 3);
+                assert_eq!(omp_get_active_level(), 2);
+                assert_eq!(omp_get_ancestor_thread_num(1), Some(outer_tn));
+                assert_eq!(omp_get_ancestor_thread_num(2), Some(inner_tn));
+                assert_eq!(omp_get_ancestor_thread_num(3), Some(0));
+                assert_eq!(omp_get_team_size(3), Some(1));
+            });
+        });
+    });
+}
+
+#[test]
+fn level_apis_are_exact_on_the_nested_hot_path() {
+    on_fresh_thread(|| {
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.max_active_levels, 2));
+        // Twice: the first walk builds the team tree cold, the second
+        // runs entirely on recycled leases — the hit path re-derives
+        // nothing, so its geometry must be just as exact.
+        assert_level_apis_through_a_2x2_nest();
+        assert_level_apis_through_a_2x2_nest();
+        icv::with_global_mut(|i| i.max_active_levels = prev);
+    });
+}
+
+#[test]
+fn level_apis_are_exact_with_hot_teams_disabled() {
+    on_fresh_thread(|| {
+        let (prev_hot, prev_mal) = icv::with_global_mut(|i| {
+            (
+                std::mem::replace(&mut i.hot_teams, false),
+                std::mem::replace(&mut i.max_active_levels, 2),
+            )
+        });
+        assert_level_apis_through_a_2x2_nest();
+        assert_level_apis_through_a_2x2_nest();
+        icv::with_global_mut(|i| {
+            i.hot_teams = prev_hot;
+            i.max_active_levels = prev_mal;
+        });
+    });
+}
+
+#[test]
+fn inner_cancel_does_not_poison_the_outer_team() {
+    // `cancel parallel` is scoped to the innermost region: the inner
+    // team winds down early, but the *outer* region's barrier and the
+    // whole lease tree must come through unscathed — cancellation is
+    // cooperative completion, not a panic.
+    on_fresh_thread(|| {
+        let (prev_mal, prev_cancel) = icv::with_global_mut(|i| {
+            (
+                std::mem::replace(&mut i.max_active_levels, 2),
+                std::mem::replace(&mut i.cancellation, true),
+            )
+        });
+        run_2x2_nest(2); // warm the tree
+        let before = stats().snapshot();
+        for round in 0..8 {
+            let inner_done = AtomicUsize::new(0);
+            let outer_done = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(2), |octx| {
+                fork(ForkSpec::with_num_threads(2), |ictx| {
+                    if ictx.thread_num() == round % 2 {
+                        assert!(ictx.cancel(romp::runtime::CancelKind::Parallel));
+                    } else {
+                        // Blocked at the inner barrier; the cancel must
+                        // release it without touching the outer team.
+                        ictx.barrier();
+                    }
+                    inner_done.fetch_add(1, Ordering::SeqCst);
+                });
+                octx.barrier();
+                outer_done.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(inner_done.load(Ordering::SeqCst), 4, "round {round}");
+            assert_eq!(outer_done.load(Ordering::SeqCst), 2, "round {round}");
+        }
+        let d = before.delta(&stats().snapshot());
+        icv::with_global_mut(|i| {
+            i.max_active_levels = prev_mal;
+            i.cancellation = prev_cancel;
+        });
+        assert_eq!(
+            d.workers_spawned, 0,
+            "cancelled inner regions must recycle their sub-teams"
+        );
+    });
+}
+
+#[test]
+fn nested_dependence_tasks_drain_before_inner_join() {
+    // Dependence-ordered tasks spawned at level 2 must run in order and
+    // be fully drained by the *inner* join — the outer region observes
+    // the completed chain immediately after the inner fork returns.
+    on_fresh_thread(|| {
+        let prev = icv::with_global_mut(|i| std::mem::replace(&mut i.max_active_levels, 2));
+        for _ in 0..4 {
+            let chains = AtomicUsize::new(0);
+            fork(ForkSpec::with_num_threads(2), |_| {
+                let stamp = AtomicUsize::new(0);
+                let token = 0u8;
+                fork(ForkSpec::with_num_threads(2), |ictx| {
+                    if ictx.thread_num() == 0 {
+                        let s = &stamp;
+                        ictx.task_spec(romp::runtime::TaskSpec::new().output(&token), move || {
+                            s.compare_exchange(0, 1, Ordering::SeqCst, Ordering::SeqCst)
+                                .expect("producer must run first");
+                        });
+                        ictx.task_spec(romp::runtime::TaskSpec::new().input(&token), move || {
+                            s.compare_exchange(1, 2, Ordering::SeqCst, Ordering::SeqCst)
+                                .expect("consumer must run after the producer");
+                        });
+                    }
+                });
+                assert_eq!(
+                    stamp.load(Ordering::SeqCst),
+                    2,
+                    "the inner join must have drained the dependence chain"
+                );
+                chains.fetch_add(1, Ordering::SeqCst);
+            });
+            assert_eq!(chains.load(Ordering::SeqCst), 2);
+        }
+        icv::with_global_mut(|i| i.max_active_levels = prev);
     });
 }
 

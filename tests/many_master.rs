@@ -105,12 +105,20 @@ fn many_masters_mixed_churn_geometry_and_no_strand() {
                         let want = 2 + (r + m) % 3;
                         checked_fork(want);
                         if r % 10 == 9 {
-                            // A nested fork mid-churn must serialize
-                            // (max-active-levels default) without
-                            // disturbing the pool accounting.
+                            // A nested fork mid-churn must respect
+                            // max-active-levels without disturbing the
+                            // pool accounting: serialized at the
+                            // default of 1; genuinely parallel when CI
+                            // pins OMP_MAX_ACTIVE_LEVELS=2 (delivery
+                            // may still be short under pool pressure).
+                            let mal = icv::current().max_active_levels;
                             fork(ForkSpec::with_num_threads(2), |_| {
                                 fork(ForkSpec::with_num_threads(2), |inner| {
-                                    assert_eq!(inner.num_threads(), 1);
+                                    if mal <= 1 {
+                                        assert_eq!(inner.num_threads(), 1);
+                                    } else {
+                                        assert!(inner.num_threads() <= 2);
+                                    }
                                 });
                             });
                         }
