@@ -1,0 +1,369 @@
+//! spmvbench — SELL-C-σ vs CSR sparse-kernel throughput.
+//!
+//! The sparse leg of the perf trajectory: measures `y = A·x` (spmv)
+//! and one colored Kaczmarz sweep (kacz) in both storage formats, over
+//! format × threads × schedule, on two class-S-scale matrices — the
+//! CARP class-S banded system (the red-black zoning path) and an
+//! irregular random-sparsity matrix of the same scale (the
+//! multicoloring path, where σ-sorting earns its keep). Reported
+//! figures are GFLOP/s (2·nnz flops per spmv, 4·nnz per sweep) plus
+//! the SELL padding overhead (`padded_nnz / nnz`; the acceptance bar
+//! for class S is < 2×).
+//!
+//! An adaptive probe runs the `romp::variants` entries
+//! (`"sparse-spmv"`, `"carp-dkswp"`) enough times to drive the
+//! probe-then-lock selection, and the registry state
+//! (`variants::dump()`) is serialized into the JSON so a committed
+//! report records *which* format the machine locked to.
+//!
+//! Results are printed as a table and written as machine-readable JSON
+//! (default `BENCH_spmv.json`, committed alongside
+//! `BENCH_syncbench.json` with the same timestamp-free `meta` block).
+//!
+//! Usage: `spmvbench [--reps N] [--outer N] [--out PATH]`.
+
+use romp_bench::{render_table, Args};
+use romp_core::prelude::*;
+use romp_npb::carp::{SELL_C, SELL_SIGMA};
+use romp_npb::Class;
+use romp_runtime::tune::variants;
+use romp_sparse::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured cell.
+struct Row {
+    matrix: &'static str,
+    kernel: &'static str,
+    format: &'static str,
+    threads: usize,
+    schedule: &'static str,
+    gflops: f64,
+}
+
+/// One benchmarked matrix with both layouts prebuilt.
+struct Problem {
+    name: &'static str,
+    mat: Csr,
+    coloring: Coloring,
+    sell: Sell,
+    colored: ColoredSell,
+    norms: Vec<f64>,
+    b: Vec<f64>,
+}
+
+impl Problem {
+    fn build(name: &'static str, mat: Csr) -> Problem {
+        let coloring = romp_sparse::color::auto(&mat, 4);
+        let sell = Sell::from_csr(&mat, SELL_C, SELL_SIGMA);
+        let colored = ColoredSell::build(&mat, &coloring, SELL_C, SELL_SIGMA);
+        let norms = mat.row_norms_sq();
+        let b = matgen::consistent_rhs(&mat);
+        Problem {
+            name,
+            mat,
+            coloring,
+            sell,
+            colored,
+            norms,
+            b,
+        }
+    }
+}
+
+/// Mean seconds per inner repetition of `body`, over `outer` trials,
+/// with a small untimed warm-up (team build, variant probing).
+fn time_mean(outer: usize, reps: usize, mut body: impl FnMut()) -> f64 {
+    for _ in 0..3 {
+        body();
+    }
+    let mut total = 0.0;
+    for _ in 0..outer {
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            body();
+        }
+        total += t0.elapsed().as_secs_f64() / reps as f64;
+    }
+    total / outer as f64
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let reps: usize = args
+        .value_of("reps")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
+    let outer: usize = args
+        .value_of("outer")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let out_path = args.value_of("out").unwrap_or("BENCH_spmv.json");
+
+    // The two class-S-scale systems: the CARP class-S banded matrix
+    // (zoned coloring) and an irregular general-sparsity matrix of the
+    // same dimension (multicolored; σ-sorting actually reorders rows).
+    let problems = [
+        Problem::build("carp-S", romp_npb::carp::setup(Class::S).mat),
+        Problem::build("random-S", matgen::random_sparse(1400, 10, 271_828)),
+    ];
+
+    let thread_counts = [1usize, 2, 4];
+    let schedules: [(&'static str, Schedule); 3] = [
+        ("static", Schedule::static_block()),
+        ("dynamic,16", Schedule::dynamic_chunk(16)),
+        ("guided", Schedule::guided()),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for prob in &problems {
+        let nnz = prob.mat.nnz();
+        let spmv_flops = 2.0 * nnz as f64;
+        let sweep_flops = 4.0 * nnz as f64;
+        let x: Vec<f64> = (0..prob.mat.n)
+            .map(|i| 1.0 + (i % 13) as f64 * 0.1)
+            .collect();
+        let mut y = vec![0.0; prob.mat.n];
+        let x0: Vec<f64> = vec![0.0; prob.mat.n];
+        for &t in &thread_counts {
+            for &(sname, sched) in &schedules {
+                let secs = time_mean(outer, reps, || {
+                    prob.mat.spmv(&x, &mut y, t, sched);
+                });
+                rows.push(Row {
+                    matrix: prob.name,
+                    kernel: "spmv",
+                    format: "csr",
+                    threads: t,
+                    schedule: sname,
+                    gflops: spmv_flops / secs / 1e9,
+                });
+                let secs = time_mean(outer, reps, || {
+                    prob.sell.spmv(&x, &mut y, t, sched);
+                });
+                rows.push(Row {
+                    matrix: prob.name,
+                    kernel: "spmv",
+                    format: "sell",
+                    threads: t,
+                    schedule: sname,
+                    gflops: spmv_flops / secs / 1e9,
+                });
+                let secs = time_mean(outer, reps, || {
+                    let mut xs = x0.clone();
+                    sweep_csr_builder(
+                        &prob.mat,
+                        &prob.norms,
+                        &prob.coloring,
+                        &mut xs,
+                        &prob.b,
+                        1.0,
+                        Direction::Forward,
+                        t,
+                        sched,
+                    );
+                });
+                rows.push(Row {
+                    matrix: prob.name,
+                    kernel: "kacz",
+                    format: "csr",
+                    threads: t,
+                    schedule: sname,
+                    gflops: sweep_flops / secs / 1e9,
+                });
+                let secs = time_mean(outer, reps, || {
+                    let mut xs = x0.clone();
+                    prob.colored.sweep_builder(
+                        &prob.norms,
+                        &mut xs,
+                        &prob.b,
+                        1.0,
+                        Direction::Forward,
+                        t,
+                        sched,
+                    );
+                });
+                rows.push(Row {
+                    matrix: prob.name,
+                    kernel: "kacz",
+                    format: "sell",
+                    threads: t,
+                    schedule: sname,
+                    gflops: sweep_flops / secs / 1e9,
+                });
+            }
+        }
+        // Drive the adaptive entries through their probe rounds so the
+        // registry locks a choice this run can report.
+        for _ in 0..8 {
+            spmv_adaptive(
+                &prob.mat,
+                &prob.sell,
+                &x,
+                &mut y,
+                4,
+                Schedule::static_block(),
+            );
+        }
+    }
+    {
+        // One adaptive solve per problem populates "carp-dkswp" too.
+        for prob in &problems {
+            let csr_op = SweepMat::Csr {
+                mat: &prob.mat,
+                coloring: &prob.coloring,
+            };
+            let sell_op = SweepMat::Sell(&prob.colored);
+            let opts = CarpOptions {
+                threads: 4,
+                max_iters: 50,
+                tol: 1e-6,
+                ..Default::default()
+            };
+            for _ in 0..4 {
+                let _ = carp_cg_adaptive(&csr_op, &sell_op, &prob.norms, &prob.b, &opts);
+            }
+        }
+    }
+
+    // ---------------- tables ----------------
+    let mut table = Vec::new();
+    for r in &rows {
+        table.push(vec![
+            r.matrix.to_string(),
+            r.kernel.to_string(),
+            r.format.to_string(),
+            r.threads.to_string(),
+            r.schedule.to_string(),
+            format!("{:.3}", r.gflops),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            "spmvbench — sparse kernel throughput (GFLOP/s), CSR vs SELL-C-σ",
+            &["matrix", "kernel", "format", "threads", "schedule", "GFLOP/s"],
+            &table,
+        )
+    );
+    for prob in &problems {
+        println!(
+            "{}: n={} nnz={} | SELL(C={SELL_C},σ={SELL_SIGMA}) fill={:.3}x, \
+             colored fill={:.3}x, {} coloring phases",
+            prob.name,
+            prob.mat.n,
+            prob.mat.nnz(),
+            prob.sell.fill_ratio(),
+            prob.colored.sell.fill_ratio(),
+            prob.coloring.nphases(),
+        );
+    }
+    println!("{}", variants::display_variants_table());
+
+    // ---------------- JSON ----------------
+    let best = |matrix: &str, kernel: &str, format: &str| {
+        rows.iter()
+            .filter(|r| r.matrix == matrix && r.kernel == kernel && r.format == format)
+            .map(|r| r.gflops)
+            .fold(f64::NAN, f64::max)
+    };
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"spmv\",");
+    let _ = writeln!(json, "  \"meta\": {},", romp_bench::meta_json());
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"outer\": {outer},");
+    let _ = writeln!(json, "  \"matrices\": [");
+    for (i, prob) in problems.iter().enumerate() {
+        let comma = if i + 1 == problems.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n\": {}, \"nnz\": {}, \"sell_c\": {SELL_C}, \
+             \"sell_sigma\": {SELL_SIGMA}, \"sell_fill_ratio\": {}, \
+             \"colored_sell_fill_ratio\": {}, \"coloring_phases\": {}}}{comma}",
+            prob.name,
+            prob.mat.n,
+            prob.mat.nnz(),
+            json_f(prob.sell.fill_ratio()),
+            json_f(prob.colored.sell.fill_ratio()),
+            prob.coloring.nphases(),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"matrix\": \"{}\", \"kernel\": \"{}\", \"format\": \"{}\", \
+             \"threads\": {}, \"schedule\": \"{}\", \"gflops\": {}}}{comma}",
+            r.matrix,
+            r.kernel,
+            r.format,
+            r.threads,
+            r.schedule,
+            json_f(r.gflops),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let samples = variants::dump();
+    let _ = writeln!(json, "  \"variants\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 == samples.len() { "" } else { "," };
+        let chosen = s
+            .chosen
+            .map(|c| c.to_string())
+            .unwrap_or_else(|| "null".into());
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"bucket\": {}, \"n_variants\": {}, \
+             \"chosen\": {chosen}, \"probes\": {}}}{comma}",
+            s.name, s.bucket, s.n_variants, s.probes,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let carp_fill = problems[0].sell.fill_ratio();
+    let _ = writeln!(json, "  \"summary\": {{");
+    let _ = writeln!(
+        json,
+        "    \"carp_s_sell_fill_ratio\": {},",
+        json_f(carp_fill)
+    );
+    let _ = writeln!(
+        json,
+        "    \"padding_under_2x_target_met\": {},",
+        carp_fill < 2.0
+    );
+    let _ = writeln!(
+        json,
+        "    \"carp_s_best_spmv_csr_gflops\": {},",
+        json_f(best("carp-S", "spmv", "csr"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"carp_s_best_spmv_sell_gflops\": {},",
+        json_f(best("carp-S", "spmv", "sell"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"carp_s_best_kacz_csr_gflops\": {},",
+        json_f(best("carp-S", "kacz", "csr"))
+    );
+    let _ = writeln!(
+        json,
+        "    \"carp_s_best_kacz_sell_gflops\": {}",
+        json_f(best("carp-S", "kacz", "sell"))
+    );
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    std::fs::write(out_path, &json).expect("write BENCH_spmv.json");
+    println!("wrote {out_path}");
+}

@@ -787,6 +787,7 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"syncbench\",");
+    let _ = writeln!(json, "  \"meta\": {},", romp_bench::meta_json());
     let _ = writeln!(json, "  \"hardware_threads\": {},", icv::hardware_threads());
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "  \"outer\": {outer},");

@@ -58,6 +58,40 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The git revision describing this build: `ROMP_BENCH_GIT_REV` when
+/// set (CI pins it to the exact commit under test), else `git
+/// rev-parse --short HEAD`, else `"unknown"` (tarball builds).
+pub fn git_rev() -> String {
+    if let Ok(rev) = std::env::var("ROMP_BENCH_GIT_REV") {
+        let rev = rev.trim().to_string();
+        if !rev.is_empty() {
+            return rev;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The run-metadata object every committed `BENCH_*.json` carries, as
+/// a JSON fragment (`{"git_rev": ..., "hardware_threads": ...}`).
+/// Deliberately **timestamp-free**: regenerating a report on the same
+/// commit and machine must produce a clean diff, so trajectory tooling
+/// aligns runs by revision, not wall clock.
+pub fn meta_json() -> String {
+    format!(
+        "{{\"git_rev\": \"{}\", \"hardware_threads\": {}}}",
+        git_rev().replace('"', ""),
+        romp_runtime::icv::hardware_threads()
+    )
+}
+
 /// Render kernel results as an aligned table, one row per variant.
 pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
@@ -147,6 +181,15 @@ mod tests {
         .unwrap();
         let body = std::fs::read_to_string(p).unwrap();
         assert_eq!(body, "k,v\na,1\nb,2\n");
+    }
+
+    #[test]
+    fn meta_is_valid_and_timestamp_free() {
+        let m = meta_json();
+        assert!(m.starts_with('{') && m.ends_with('}'), "{m}");
+        assert!(m.contains("\"git_rev\": \""), "{m}");
+        assert!(m.contains("\"hardware_threads\": "), "{m}");
+        assert!(!m.to_lowercase().contains("time"), "{m}");
     }
 
     #[test]

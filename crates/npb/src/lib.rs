@@ -4,8 +4,10 @@
 //! (Conjugate Gradient), EP (Embarrassingly Parallel), IS (Integer
 //! Sort) — plus its Mandelbrot set benchmark, a blocked
 //! Smith-Waterman-style wavefront ([`sw`], the task-dependence-graph
-//! workload), and a first-match early-exit search ([`search`], the
-//! cancellation workload), in the paper's two configurations each:
+//! workload), a first-match early-exit search ([`search`], the
+//! cancellation workload), and the sparse CARP-CG solver ([`carp`],
+//! the paper's SELL-C-σ/Kaczmarz workload in NPB harness dress), in
+//! the paper's two configurations each:
 //!
 //! * **`reference`** — a direct translation of the NPB reference code
 //!   structure. CG and EP (Fortran originals) are invoked through the
@@ -28,6 +30,7 @@
 
 #![warn(missing_docs)]
 
+pub mod carp;
 pub mod cg;
 pub mod classes;
 pub mod ep;

@@ -322,12 +322,15 @@ pub fn display_pool_shards() -> String {
 }
 
 /// [`display_stats_snapshot`] over the live global counters, followed by
-/// the live per-shard pool counters ([`display_pool_shards`]) and the
-/// autotuner's site table ([`crate::tune::display_tune_table`]).
+/// the live per-shard pool counters ([`display_pool_shards`]), the
+/// autotuner's site table ([`crate::tune::display_tune_table`]) and the
+/// kernel-variant registry
+/// ([`crate::tune::variants::display_variants_table`]).
 pub fn display_stats() -> String {
     let mut out = display_stats_snapshot(&stats().snapshot());
     out.push_str(&display_pool_shards());
     out.push_str(&crate::tune::display_tune_table());
+    out.push_str(&crate::tune::variants::display_variants_table());
     out
 }
 

@@ -39,8 +39,11 @@
 //! Observability: [`display_tune_table`] renders every live site
 //! (chosen schedule, imbalance before/after) and appears in the stats
 //! banner; [`dump`] is the machine-readable hook benches embed in their
-//! JSON; `tune_probes` / `tune_converged` / `tune_evictions` count in
-//! [`crate::stats`].
+//! JSON. The variant registry mirrors both —
+//! [`variants::display_variants_table`](registry::display_variants_table)
+//! is its banner section and [`variants::dump`](registry::dump) its
+//! machine-readable snapshot. `tune_probes` / `tune_converged` /
+//! `tune_evictions` count in [`crate::stats`].
 
 pub mod registry;
 
@@ -101,13 +104,14 @@ pub fn dump() -> Vec<TuneSample> {
 }
 
 /// Render the tune table: one line per live site with its learning
-/// state, then one per variant-registry entry. Shown in the stats
-/// banner (`ROMP_DISPLAY_ENV=true` and the bench reports).
+/// state. Shown in the stats banner (`ROMP_DISPLAY_ENV=true` and the
+/// bench reports); the kernel-variant registry renders as its own
+/// section right after it ([`registry::display_variants_table`]).
 pub fn display_tune_table() -> String {
     let mut out = String::new();
     let _ = writeln!(out, "ROMP TUNE TABLE BEGIN");
     let entries: Vec<Arc<SiteEntry>> = site::entries();
-    if entries.is_empty() && registry::table_lines().is_empty() {
+    if entries.is_empty() {
         let _ = writeln!(out, "  (no tuned sites)");
     }
     for e in &entries {
@@ -121,9 +125,6 @@ pub fn display_tune_table() -> String {
             "  site '{}' [2^{}] = {} (probes={} imbalance {:.2} -> {:.2})",
             s.site, s.bucket, chosen, s.probes, s.imbalance_first, s.imbalance_last
         );
-    }
-    for line in registry::table_lines() {
-        let _ = writeln!(out, "  {line}");
     }
     let _ = writeln!(out, "ROMP TUNE TABLE END");
     out

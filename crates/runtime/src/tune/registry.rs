@@ -136,26 +136,69 @@ pub fn run<R>(
     out
 }
 
-/// Observability rows for [`crate::tune::display_tune_table`]: one line
-/// per (name, bucket) — chosen variant index (or probe progress) and
-/// probe count.
-pub(crate) fn table_lines() -> Vec<String> {
+/// Machine-readable snapshot of one registry entry: the counterpart of
+/// [`crate::tune::TuneSample`] for kernel-variant selection, so bench
+/// JSON and tests can see *which* implementation each (kernel, scale)
+/// pair locked to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariantSample {
+    /// Kernel name as registered with [`select`]/[`run`].
+    pub name: &'static str,
+    /// Log2 work bucket the entry is keyed under.
+    pub bucket: u32,
+    /// How many interchangeable implementations were offered.
+    pub n_variants: usize,
+    /// The locked variant index, or `None` while still probing.
+    pub chosen: Option<usize>,
+    /// Measurement windows recorded so far.
+    pub probes: u64,
+}
+
+/// Machine-readable snapshot of every live registry entry, sorted by
+/// (name, bucket) — the variant-registry counterpart of
+/// [`crate::tune::dump`].
+pub fn dump() -> Vec<VariantSample> {
     let mut entries: Vec<Arc<VarEntry>> = registry().lock().values().cloned().collect();
     entries.sort_by_key(|e| (e.name, e.bucket));
     entries
         .iter()
         .map(|e| {
             let s = e.state.lock();
-            let chosen = match s.learner.locked() {
-                Some(i) => format!("variant {i}/{}", e.variants),
-                None => format!("probing {}-way", e.variants),
-            };
-            format!(
-                "variant '{}' [2^{}] = {} (probes={})",
-                e.name, e.bucket, chosen, s.probes
-            )
+            VariantSample {
+                name: e.name,
+                bucket: e.bucket,
+                n_variants: e.variants,
+                chosen: s.learner.locked(),
+                probes: s.probes,
+            }
         })
         .collect()
+}
+
+/// Render the registry as a stats-banner section (mirrors
+/// [`crate::tune::display_tune_table`]): one line per (kernel, bucket)
+/// with the locked variant or probe progress.
+pub fn display_variants_table() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "ROMP VARIANT REGISTRY BEGIN");
+    let samples = dump();
+    if samples.is_empty() {
+        let _ = writeln!(out, "  (no registered kernels)");
+    }
+    for s in samples {
+        let chosen = match s.chosen {
+            Some(i) => format!("variant {i}/{}", s.n_variants),
+            None => format!("probing {}-way", s.n_variants),
+        };
+        let _ = writeln!(
+            out,
+            "  kernel '{}' [2^{}] = {} (probes={})",
+            s.name, s.bucket, chosen, s.probes
+        );
+    }
+    let _ = writeln!(out, "ROMP VARIANT REGISTRY END");
+    out
 }
 
 #[cfg(test)]
@@ -199,5 +242,27 @@ mod tests {
     fn run_helper_returns_the_body_result() {
         let out = run("registry-test-run", 64, 2, |which| which + 41);
         assert!(out == 41 || out == 42);
+    }
+
+    #[test]
+    fn dump_and_banner_expose_selection_state() {
+        let name = "registry-test-dump";
+        for _ in 0..(2 * PROBE_ROUNDS + 2) {
+            let c = select(name, 1 << 8, 2);
+            let i = c.index();
+            record(c, if i == 0 { 1e-6 } else { 1e-5 });
+        }
+        let sample = dump()
+            .into_iter()
+            .find(|s| s.name == name)
+            .expect("dumped entry");
+        assert_eq!(sample.n_variants, 2);
+        assert_eq!(sample.chosen, Some(0), "locked to the fast variant");
+        assert!(sample.probes > 0);
+        let banner = display_variants_table();
+        assert!(banner.contains("ROMP VARIANT REGISTRY BEGIN"));
+        assert!(banner.contains(name));
+        assert!(banner.contains("variant 0/2"));
+        assert!(banner.contains("ROMP VARIANT REGISTRY END"));
     }
 }

@@ -1,0 +1,194 @@
+//! Compressed Sparse Row: the baseline format every other piece of the
+//! crate is defined against.
+//!
+//! CSR is the format the solver-side mathematics is easiest to state
+//! in (a row is a contiguous `cols`/`vals` run), so it serves three
+//! roles here: the construction format ([`Csr::from_triplets`]), the
+//! sequential-reference format for the Kaczmarz verification ladder,
+//! and the baseline the SELL-C-σ kernels are benchmarked against.
+//!
+//! Bit-exactness contract: [`Csr::row_dot`] accumulates a row's
+//! products strictly left to right in stored-nonzero order. The
+//! SELL-C-σ kernels preserve each row's nonzero order when they
+//! re-lay the matrix out, so per-row dot products — and therefore
+//! whole Kaczmarz projections — are bitwise identical across formats.
+
+use romp_core::prelude::*;
+
+/// A sparse `n × n` matrix in compressed sparse row form (0-based,
+/// rows sorted by column, duplicates combined).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Matrix dimension (square: rows == columns == `n`).
+    pub n: usize,
+    /// Row `i`'s nonzeros live at `rowptr[i]..rowptr[i+1]`.
+    pub rowptr: Vec<usize>,
+    /// Column index of each stored nonzero.
+    pub cols: Vec<usize>,
+    /// Value of each stored nonzero.
+    pub vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from `(row, col, value)` triplets: entries are sorted by
+    /// `(row, col)` and duplicate coordinates are summed. Panics on
+    /// out-of-range coordinates.
+    pub fn from_triplets(n: usize, entries: &[(usize, usize, f64)]) -> Csr {
+        let mut sorted: Vec<(usize, usize, f64)> = entries.to_vec();
+        for &(r, c, _) in &sorted {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range for n={n}");
+        }
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut rowptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(sorted.len());
+        let mut vals = Vec::with_capacity(sorted.len());
+        let mut prev: Option<(usize, usize)> = None;
+        for &(r, c, v) in &sorted {
+            if prev == Some((r, c)) {
+                // Duplicate coordinate (adjacent after the sort): combine.
+                let last = vals.last_mut().expect("non-empty when combining");
+                *last += v;
+            } else {
+                cols.push(c);
+                vals.push(v);
+                rowptr[r + 1] += 1;
+                prev = Some((r, c));
+            }
+        }
+        for i in 0..n {
+            rowptr[i + 1] += rowptr[i];
+        }
+        Csr {
+            n,
+            rowptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row `i` as parallel `(cols, vals)` slices.
+    pub fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let span = self.rowptr[i]..self.rowptr[i + 1];
+        (&self.cols[span.clone()], &self.vals[span])
+    }
+
+    /// `⟨a_i, x⟩`, accumulated strictly in stored-nonzero order (the
+    /// cross-format bit-exactness anchor — see the module docs).
+    #[inline]
+    pub fn row_dot(&self, i: usize, x: &[f64]) -> f64 {
+        let (cols, vals) = self.row(i);
+        let mut acc = 0.0;
+        for (&c, &v) in cols.iter().zip(vals) {
+            acc += v * x[c];
+        }
+        acc
+    }
+
+    /// `‖a_i‖²` for every row, in stored-nonzero order.
+    pub fn row_norms_sq(&self) -> Vec<f64> {
+        (0..self.n)
+            .map(|i| {
+                let (_, vals) = self.row(i);
+                let mut acc = 0.0;
+                for &v in vals {
+                    acc += v * v;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Half bandwidth: `max |i − col|` over stored nonzeros (0 for a
+    /// diagonal or empty matrix).
+    pub fn half_bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for i in 0..self.n {
+            let (cols, _) = self.row(i);
+            for &c in cols {
+                bw = bw.max(i.abs_diff(c));
+            }
+        }
+        bw
+    }
+
+    /// Sequential `y = A·x`.
+    pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, slot) in y.iter_mut().enumerate() {
+            *slot = self.row_dot(i, x);
+        }
+    }
+
+    /// Parallel `y = A·x` over `threads` with the given row schedule —
+    /// one safe `write_into` slot per row, so the result is bitwise
+    /// equal to [`Csr::spmv_serial`] under any schedule.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64], threads: usize, sched: Schedule) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        par_for(0..self.n)
+            .num_threads(threads)
+            .schedule(sched)
+            .write_into(y, |row, slot| *slot = self.row_dot(row, x));
+    }
+
+    /// Convenience serial `A·x` into a fresh vector.
+    pub fn mul(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.spmv_serial(x, &mut y);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Csr {
+        // [ 2 1 0 ]
+        // [ 0 3 0 ]
+        // [ 4 0 5 ]
+        Csr::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, 1.0),
+                (1, 1, 3.0),
+                (2, 0, 4.0),
+                (2, 2, 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn triplets_sorted_and_combined() {
+        let m = Csr::from_triplets(2, &[(1, 0, 1.0), (0, 0, 2.0), (1, 0, 0.5)]);
+        assert_eq!(m.rowptr, vec![0, 1, 2]);
+        assert_eq!(m.cols, vec![0, 0]);
+        assert_eq!(m.vals, vec![2.0, 1.5]);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    fn row_dot_and_spmv_agree() {
+        let m = small();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.row_dot(0, &x), 4.0);
+        assert_eq!(m.mul(&x), vec![4.0, 6.0, 19.0]);
+        let mut y = vec![0.0; 3];
+        m.spmv(&x, &mut y, 4, Schedule::dynamic_chunk(1));
+        assert_eq!(y, vec![4.0, 6.0, 19.0]);
+    }
+
+    #[test]
+    fn norms_and_bandwidth() {
+        let m = small();
+        assert_eq!(m.row_norms_sq(), vec![5.0, 9.0, 41.0]);
+        assert_eq!(m.half_bandwidth(), 2);
+    }
+}

@@ -1,0 +1,671 @@
+//! Multi-colored Kaczmarz sweeps (KACZ), over CSR and SELL-C-σ.
+//!
+//! One Kaczmarz step projects the iterate onto row `i`'s hyperplane:
+//!
+//! ```text
+//! x ← x + ω · (b_i − ⟨a_i, x⟩) / ‖a_i‖² · a_i
+//! ```
+//!
+//! A sweep applies the step to every row once, in order; the sweep is
+//! sequential by construction because step `i+1` reads what step `i`
+//! wrote. A [`Coloring`] breaks exactly that
+//! chain: within one phase, the parallel blocks touch pairwise-disjoint
+//! column sets (proved by `Coloring::validate`), so the projections of
+//! concurrent blocks read and write *disjoint* entries of `x` — any
+//! thread interleaving produces **bitwise** the result of the
+//! sequential sweep in the same permuted order. That makes the
+//! verification contract exact, not approximate: every parallel front
+//! end here is tested bitwise against [`sweep_seq`] on the matching
+//! order ([`SweepMat::sweep_order`]).
+//!
+//! The worksharing loops run `schedule(runtime)` by default and are
+//! named `site("kacz")`, so with `OMP_SCHEDULE=auto` the romp-tune
+//! learner picks the chunking per phase shape — the GHOST
+//! `sell_kacz_rb` kernels' `#pragma omp parallel for schedule(runtime)`
+//! made adaptive.
+
+use crate::color::Coloring;
+use crate::csr::Csr;
+use crate::sell::{Sell, PAD};
+use romp_core::prelude::*;
+use romp_core::slice::SharedSlice;
+
+/// Sweep direction. A backward sweep visits rows in exactly the
+/// reverse of the forward order (phases, blocks-in-unit and
+/// rows-in-block all reversed), which is what makes the double sweep
+/// (DKSWP) operator symmetric for CARP-CG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Sweep rows in the coloring's order.
+    Forward,
+    /// Sweep rows in the exact reverse order.
+    Backward,
+}
+
+/// The tuned-site name every KACZ worksharing loop carries.
+pub const KACZ_SITE: &str = "kacz";
+
+/// Project `x` onto row `row`'s hyperplane (serial `&mut` variant).
+#[inline]
+pub fn project_row(mat: &Csr, norms: &[f64], row: usize, x: &mut [f64], b: &[f64], omega: f64) {
+    let nrm = norms[row];
+    if nrm == 0.0 {
+        return;
+    }
+    let (cols, vals) = mat.row(row);
+    let mut dot = 0.0;
+    for (&c, &v) in cols.iter().zip(vals) {
+        dot += v * x[c];
+    }
+    let scale = omega * (b[row] - dot) / nrm;
+    for (&c, &v) in cols.iter().zip(vals) {
+        x[c] += scale * v;
+    }
+}
+
+/// [`project_row`] against a shared view of `x`.
+///
+/// # Safety
+///
+/// No other thread may concurrently access any column of `row` — the
+/// obligation a validated [`Coloring`] discharges for rows of
+/// concurrent blocks within one phase.
+#[inline]
+unsafe fn project_row_shared(
+    mat: &Csr,
+    norms: &[f64],
+    row: usize,
+    x: &SharedSlice<'_, f64>,
+    b: &[f64],
+    omega: f64,
+) {
+    let nrm = norms[row];
+    if nrm == 0.0 {
+        return;
+    }
+    let (cols, vals) = mat.row(row);
+    let mut dot = 0.0;
+    for (&c, &v) in cols.iter().zip(vals) {
+        // SAFETY: caller guarantees exclusivity of this row's columns.
+        dot += v * unsafe { x.read(c) };
+    }
+    let scale = omega * (b[row] - dot) / nrm;
+    for (&c, &v) in cols.iter().zip(vals) {
+        // SAFETY: as above.
+        unsafe {
+            let slot = x.get_mut(c);
+            *slot += scale * v;
+        }
+    }
+}
+
+/// The sequential reference: one Kaczmarz sweep over `order` (reversed
+/// for [`Direction::Backward`]). Every parallel sweep in this module
+/// is bitwise-equal to this on its matching order.
+pub fn sweep_seq(
+    mat: &Csr,
+    norms: &[f64],
+    order: &[usize],
+    x: &mut [f64],
+    b: &[f64],
+    omega: f64,
+    dir: Direction,
+) {
+    match dir {
+        Direction::Forward => {
+            for &row in order {
+                project_row(mat, norms, row, x, b, omega);
+            }
+        }
+        Direction::Backward => {
+            for &row in order.iter().rev() {
+                project_row(mat, norms, row, x, b, omega);
+            }
+        }
+    }
+}
+
+/// Sweep one coloring block sequentially (rows reversed when going
+/// backward).
+///
+/// # Safety
+///
+/// Same column-exclusivity obligation as [`project_row_shared`], for
+/// every row of the block.
+unsafe fn project_block(
+    mat: &Csr,
+    norms: &[f64],
+    rows: &[usize],
+    x: &SharedSlice<'_, f64>,
+    b: &[f64],
+    omega: f64,
+    dir: Direction,
+) {
+    match dir {
+        Direction::Forward => {
+            for &row in rows {
+                // SAFETY: forwarded obligation.
+                unsafe { project_row_shared(mat, norms, row, x, b, omega) };
+            }
+        }
+        Direction::Backward => {
+            for &row in rows.iter().rev() {
+                // SAFETY: forwarded obligation.
+                unsafe { project_row_shared(mat, norms, row, x, b, omega) };
+            }
+        }
+    }
+}
+
+/// In-region colored sweep over CSR: one worksharing loop per phase
+/// (blocks are the parallel units), `site("kacz")` named, construct
+/// barriers separating phases. This is the building block CARP-CG
+/// calls from inside its single long-lived region.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenMP kernel signature
+pub fn sweep_csr_ctx(
+    ctx: &ThreadCtx,
+    mat: &Csr,
+    norms: &[f64],
+    coloring: &Coloring,
+    x: &SharedSlice<'_, f64>,
+    b: &[f64],
+    omega: f64,
+    dir: Direction,
+    sched: Schedule,
+) {
+    let phases = coloring.nphases();
+    for i in 0..phases {
+        let p = match dir {
+            Direction::Forward => i,
+            Direction::Backward => phases - 1 - i,
+        };
+        let blocks = coloring.phase_blocks(p);
+        let base = blocks.start;
+        let _site = romp_core::runtime::tune::site_override(KACZ_SITE);
+        ctx.ws_for(0..blocks.len(), sched, false, |u| {
+            // SAFETY: blocks of one phase have disjoint column
+            // footprints (Coloring::validate), so this block's columns
+            // are untouched by every concurrent iteration; the
+            // construct barrier orders phases.
+            unsafe { project_block(mat, norms, coloring.block_rows(base + u), x, b, omega, dir) };
+        });
+    }
+}
+
+/// Colored sweep over CSR, builder front end: forks a team per phase
+/// (`par_for(...).site("kacz")`), the fork-join pair standing in for
+/// the phase barrier.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenMP kernel signature
+pub fn sweep_csr_builder(
+    mat: &Csr,
+    norms: &[f64],
+    coloring: &Coloring,
+    x: &mut [f64],
+    b: &[f64],
+    omega: f64,
+    dir: Direction,
+    threads: usize,
+    sched: Schedule,
+) {
+    let view = SharedSlice::new(x);
+    let phases = coloring.nphases();
+    for i in 0..phases {
+        let p = match dir {
+            Direction::Forward => i,
+            Direction::Backward => phases - 1 - i,
+        };
+        let blocks = coloring.phase_blocks(p);
+        let base = blocks.start;
+        par_for(0..blocks.len())
+            .num_threads(threads)
+            .schedule(sched)
+            .site(KACZ_SITE)
+            .run(|u| {
+                // SAFETY: same-phase blocks are column-disjoint
+                // (Coloring::validate); the join publishes the phase.
+                unsafe {
+                    project_block(
+                        mat,
+                        norms,
+                        coloring.block_rows(base + u),
+                        &view,
+                        b,
+                        omega,
+                        dir,
+                    )
+                };
+            });
+    }
+}
+
+/// Colored sweep over CSR, macro front end: `omp_parallel!` region with
+/// one `omp_for!(schedule(runtime), site("kacz"))` construct per phase.
+#[allow(clippy::too_many_arguments)] // mirrors the OpenMP kernel signature
+pub fn sweep_csr_macro(
+    mat: &Csr,
+    norms: &[f64],
+    coloring: &Coloring,
+    x: &mut [f64],
+    b: &[f64],
+    omega: f64,
+    dir: Direction,
+    threads: usize,
+) {
+    let view = SharedSlice::new(x);
+    let phases = coloring.nphases();
+    omp_parallel!(num_threads(threads), |ctx| {
+        for i in 0..phases {
+            let p = match dir {
+                Direction::Forward => i,
+                Direction::Backward => phases - 1 - i,
+            };
+            let blocks = coloring.phase_blocks(p);
+            let base = blocks.start;
+            omp_for!(
+                ctx,
+                schedule(runtime),
+                site("kacz"),
+                for u in 0..(blocks.len()) {
+                    // SAFETY: same-phase blocks are column-disjoint
+                    // (Coloring::validate); the construct barrier
+                    // orders phases.
+                    unsafe {
+                        project_block(
+                            mat,
+                            norms,
+                            coloring.block_rows(base + u),
+                            &view,
+                            b,
+                            omega,
+                            dir,
+                        )
+                    };
+                }
+            );
+        }
+    });
+}
+
+/// A SELL-C-σ matrix paired with the coloring that laid it out: the
+/// chunks of each parallel unit are contiguous and never mix rows of
+/// different units, so a unit sweep is a dense run of tiles.
+#[derive(Debug, Clone)]
+pub struct ColoredSell {
+    /// The SELL-C-σ storage (rows laid out in coloring order, chunks
+    /// aligned to unit boundaries).
+    pub sell: Sell,
+    /// Parallel units as `(first_chunk, end_chunk)` ranges, grouped by
+    /// phase through `phase_unit_ptr`.
+    unit_chunks: Vec<(usize, usize)>,
+    /// Phase `p` owns units `phase_unit_ptr[p]..phase_unit_ptr[p+1]`.
+    phase_unit_ptr: Vec<usize>,
+}
+
+impl ColoredSell {
+    /// Lay `mat` out in SELL-C-σ form aligned to `coloring`:
+    /// multicolorings (singleton blocks) segment by *phase* — any chunk
+    /// of a phase is a parallel unit, since all its rows share a color
+    /// — while zonings segment by *block* (a unit is a zone's chunk
+    /// run, swept sequentially inside). σ-sorting stays within a
+    /// segment, so it can only reorder rows that are already
+    /// interchangeable.
+    pub fn build(mat: &Csr, coloring: &Coloring, c: usize, sigma: usize) -> ColoredSell {
+        debug_assert_eq!(coloring.validate(mat), Ok(()));
+        let singleton = coloring.singleton_blocks();
+        let boundaries: Vec<usize> = if singleton {
+            coloring.phase_boundaries()
+        } else {
+            coloring.block_boundaries().to_vec()
+        };
+        let sell = Sell::from_csr_ordered(mat, c, sigma, &coloring.order, &boundaries);
+        let mut unit_chunks = Vec::new();
+        let mut phase_unit_ptr = vec![0usize];
+        if singleton {
+            // Segment s == phase s: every chunk is its own unit.
+            for s in 0..coloring.nphases() {
+                let (c0, c1) = (sell.segment_chunk_ptr[s], sell.segment_chunk_ptr[s + 1]);
+                for ch in c0..c1 {
+                    unit_chunks.push((ch, ch + 1));
+                }
+                phase_unit_ptr.push(unit_chunks.len());
+            }
+        } else {
+            // Segment b == block b: a unit is the block's chunk run.
+            for p in 0..coloring.nphases() {
+                for blk in coloring.phase_blocks(p) {
+                    unit_chunks
+                        .push((sell.segment_chunk_ptr[blk], sell.segment_chunk_ptr[blk + 1]));
+                }
+                phase_unit_ptr.push(unit_chunks.len());
+            }
+        }
+        ColoredSell {
+            sell,
+            unit_chunks,
+            phase_unit_ptr,
+        }
+    }
+
+    /// Number of barrier phases.
+    pub fn nphases(&self) -> usize {
+        self.phase_unit_ptr.len() - 1
+    }
+
+    /// The order a sequential reference must sweep in to match this
+    /// layout bitwise (slot order, padding skipped).
+    pub fn sweep_order(&self) -> Vec<usize> {
+        self.sell.sweep_order()
+    }
+
+    /// Sweep one unit's chunk run sequentially (everything reversed
+    /// when going backward).
+    ///
+    /// # Safety
+    ///
+    /// No other thread may concurrently access any column touched by
+    /// the unit's rows.
+    unsafe fn project_unit(
+        &self,
+        unit: usize,
+        norms: &[f64],
+        x: &SharedSlice<'_, f64>,
+        b: &[f64],
+        omega: f64,
+        dir: Direction,
+    ) {
+        let (c0, c1) = self.unit_chunks[unit];
+        let s = &self.sell;
+        let slot = |ch: usize, lane: usize| {
+            let row = s.slot_row[ch * s.c + lane];
+            if row == PAD {
+                return;
+            }
+            let nrm = norms[row];
+            if nrm == 0.0 {
+                return;
+            }
+            let base = s.chunk_ptr[ch];
+            let len = s.slot_len[ch * s.c + lane];
+            let mut dot = 0.0;
+            for j in 0..len {
+                let idx = base + j * s.c + lane;
+                // SAFETY: forwarded obligation (unit exclusivity).
+                dot += s.vals[idx] * unsafe { x.read(s.cols[idx]) };
+            }
+            let scale = omega * (b[row] - dot) / nrm;
+            for j in 0..len {
+                let idx = base + j * s.c + lane;
+                // SAFETY: as above.
+                unsafe {
+                    let cell = x.get_mut(s.cols[idx]);
+                    *cell += scale * s.vals[idx];
+                }
+            }
+        };
+        match dir {
+            Direction::Forward => {
+                for ch in c0..c1 {
+                    for lane in 0..s.c {
+                        slot(ch, lane);
+                    }
+                }
+            }
+            Direction::Backward => {
+                for ch in (c0..c1).rev() {
+                    for lane in (0..s.c).rev() {
+                        slot(ch, lane);
+                    }
+                }
+            }
+        }
+    }
+
+    /// In-region colored sweep over the SELL tiles: one `site("kacz")`
+    /// worksharing loop per phase, units as iterations.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_ctx(
+        &self,
+        ctx: &ThreadCtx,
+        norms: &[f64],
+        x: &SharedSlice<'_, f64>,
+        b: &[f64],
+        omega: f64,
+        dir: Direction,
+        sched: Schedule,
+    ) {
+        let phases = self.nphases();
+        for i in 0..phases {
+            let p = match dir {
+                Direction::Forward => i,
+                Direction::Backward => phases - 1 - i,
+            };
+            let units = self.phase_unit_ptr[p]..self.phase_unit_ptr[p + 1];
+            let base = units.start;
+            let _site = romp_core::runtime::tune::site_override(KACZ_SITE);
+            ctx.ws_for(0..units.len(), sched, false, |u| {
+                // SAFETY: units of one phase cover column-disjoint row
+                // sets (Coloring::validate on the layout's coloring);
+                // the construct barrier orders phases.
+                unsafe { self.project_unit(base + u, norms, x, b, omega, dir) };
+            });
+        }
+    }
+
+    /// Colored sweep, builder front end (fork-join per phase).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_builder(
+        &self,
+        norms: &[f64],
+        x: &mut [f64],
+        b: &[f64],
+        omega: f64,
+        dir: Direction,
+        threads: usize,
+        sched: Schedule,
+    ) {
+        let view = SharedSlice::new(x);
+        let phases = self.nphases();
+        for i in 0..phases {
+            let p = match dir {
+                Direction::Forward => i,
+                Direction::Backward => phases - 1 - i,
+            };
+            let units = self.phase_unit_ptr[p]..self.phase_unit_ptr[p + 1];
+            let base = units.start;
+            par_for(0..units.len())
+                .num_threads(threads)
+                .schedule(sched)
+                .site(KACZ_SITE)
+                .run(|u| {
+                    // SAFETY: same-phase units are column-disjoint; the
+                    // join publishes the phase.
+                    unsafe { self.project_unit(base + u, norms, &view, b, omega, dir) };
+                });
+        }
+    }
+}
+
+/// A sweepable operator: CSR + coloring, or a coloring-aligned
+/// SELL-C-σ layout. CARP-CG is format-generic through this (and the
+/// variant registry picks the format at run time).
+#[derive(Debug, Clone, Copy)]
+pub enum SweepMat<'a> {
+    /// Sweep the CSR storage in coloring order.
+    Csr {
+        /// The matrix.
+        mat: &'a Csr,
+        /// Its proven row partition.
+        coloring: &'a Coloring,
+    },
+    /// Sweep the SELL-C-σ tiles.
+    Sell(&'a ColoredSell),
+}
+
+impl SweepMat<'_> {
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        match self {
+            SweepMat::Csr { mat, .. } => mat.n,
+            SweepMat::Sell(cs) => cs.sell.n,
+        }
+    }
+
+    /// The sequential-reference sweep order matching this operator
+    /// bitwise.
+    pub fn sweep_order(&self) -> Vec<usize> {
+        match self {
+            SweepMat::Csr { coloring, .. } => coloring.order.clone(),
+            SweepMat::Sell(cs) => cs.sweep_order(),
+        }
+    }
+
+    /// Serial `A·x` (for residual checks; format-dispatched).
+    pub fn mul(&self, x: &[f64]) -> Vec<f64> {
+        match self {
+            SweepMat::Csr { mat, .. } => mat.mul(x),
+            SweepMat::Sell(cs) => {
+                let mut y = vec![0.0; cs.sell.n];
+                cs.sell.spmv_serial(x, &mut y);
+                y
+            }
+        }
+    }
+
+    /// In-region colored sweep (dispatches to the format's kernel).
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_ctx(
+        &self,
+        ctx: &ThreadCtx,
+        norms: &[f64],
+        x: &SharedSlice<'_, f64>,
+        b: &[f64],
+        omega: f64,
+        dir: Direction,
+        sched: Schedule,
+    ) {
+        match self {
+            SweepMat::Csr { mat, coloring } => {
+                sweep_csr_ctx(ctx, mat, norms, coloring, x, b, omega, dir, sched)
+            }
+            SweepMat::Sell(cs) => cs.sweep_ctx(ctx, norms, x, b, omega, dir, sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::color::{greedy_multicolor, red_black_zones};
+    use crate::matgen;
+
+    fn setup(n: usize) -> (Csr, Vec<f64>, Vec<f64>, Vec<f64>) {
+        let mat = matgen::banded(n, 3);
+        let norms = mat.row_norms_sq();
+        let xt = matgen::x_true(n);
+        let b = mat.mul(&xt);
+        let x0: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.25).collect();
+        (mat, norms, b, x0)
+    }
+
+    #[test]
+    fn colored_csr_sweep_is_bitwise_sequential() {
+        let (mat, norms, b, x0) = setup(97);
+        let coloring = greedy_multicolor(&mat);
+        for dir in [Direction::Forward, Direction::Backward] {
+            let mut want = x0.clone();
+            sweep_seq(&mat, &norms, &coloring.order, &mut want, &b, 1.0, dir);
+            for threads in [1, 2, 4] {
+                let mut got = x0.clone();
+                sweep_csr_builder(
+                    &mat,
+                    &norms,
+                    &coloring,
+                    &mut got,
+                    &b,
+                    1.0,
+                    dir,
+                    threads,
+                    Schedule::dynamic_chunk(1),
+                );
+                assert_eq!(got, want, "builder threads={threads} dir={dir:?}");
+                let mut got_m = x0.clone();
+                sweep_csr_macro(&mat, &norms, &coloring, &mut got_m, &b, 1.0, dir, threads);
+                assert_eq!(got_m, want, "macro threads={threads} dir={dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zoned_sell_sweep_is_bitwise_sequential() {
+        let (mat, norms, b, x0) = setup(128);
+        let coloring = red_black_zones(&mat, 4).expect("banded zones");
+        let cs = ColoredSell::build(&mat, &coloring, 4, 8);
+        let order = cs.sweep_order();
+        for dir in [Direction::Forward, Direction::Backward] {
+            let mut want = x0.clone();
+            sweep_seq(&mat, &norms, &order, &mut want, &b, 1.0, dir);
+            for threads in [1, 3] {
+                let mut got = x0.clone();
+                cs.sweep_builder(&norms, &mut got, &b, 1.0, dir, threads, Schedule::guided());
+                assert_eq!(got, want, "sell threads={threads} dir={dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multicolored_sell_matches_its_reference() {
+        let (mat, norms, b, x0) = setup(75);
+        let coloring = greedy_multicolor(&mat);
+        let cs = ColoredSell::build(&mat, &coloring, 4, 16);
+        let order = cs.sweep_order();
+        let mut want = x0.clone();
+        sweep_seq(&mat, &norms, &order, &mut want, &b, 1.0, Direction::Forward);
+        let mut got = x0.clone();
+        cs.sweep_builder(
+            &norms,
+            &mut got,
+            &b,
+            1.0,
+            Direction::Forward,
+            4,
+            Schedule::dynamic_chunk(1),
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sweeps_converge_toward_the_solution() {
+        let (mat, norms, b, mut x) = setup(60);
+        let xt = matgen::x_true(60);
+        let coloring = greedy_multicolor(&mat);
+        let r0: f64 = {
+            let ax = mat.mul(&x);
+            ax.iter().zip(&b).map(|(a, bi)| (bi - a) * (bi - a)).sum()
+        };
+        for _ in 0..50 {
+            sweep_csr_builder(
+                &mat,
+                &norms,
+                &coloring,
+                &mut x,
+                &b,
+                1.0,
+                Direction::Forward,
+                2,
+                Schedule::static_block(),
+            );
+        }
+        let r1: f64 = {
+            let ax = mat.mul(&x);
+            ax.iter().zip(&b).map(|(a, bi)| (bi - a) * (bi - a)).sum()
+        };
+        assert!(r1 < r0 * 1e-3, "residual {r0} -> {r1} did not drop");
+        // And it is heading toward the generating solution.
+        let err: f64 = x
+            .iter()
+            .zip(&xt)
+            .map(|(a, t)| (a - t).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1.0, "max err {err}");
+    }
+}

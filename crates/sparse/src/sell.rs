@@ -1,0 +1,346 @@
+//! SELL-C-σ: the sliced-ELLPACK format the paper's kernels run on.
+//!
+//! Rows are grouped into *chunks* of height `C`; within a chunk the
+//! nonzeros are stored column-major (`vals[chunk_ptr[ch] + j*C + lane]`
+//! is the `j`-th nonzero of the chunk's `lane`-th row), every row
+//! padded to the chunk's widest row so a chunk is a dense `C ×
+//! chunk_len` tile — the unit SIMD/streaming kernels want. To keep the
+//! padding small, rows are sorted by descending length within *sorting
+//! windows* of `σ` rows before chunking (full-matrix sorting would
+//! destroy locality; `σ = 1` is plain SELL-C).
+//!
+//! Two properties matter for correctness here:
+//!
+//! * **Within-row nonzero order is preserved** from the source CSR, and
+//!   every kernel accumulates per-row strictly in that order guarded by
+//!   the true row length ([`Sell::slot_len`]) rather than relying on
+//!   `0.0 × x` padding terms — so per-row dots are *bitwise* equal to
+//!   the CSR ones, which is what makes cross-format Kaczmarz
+//!   verification exact.
+//! * **Chunks never cross segment boundaries** passed to
+//!   [`Sell::from_csr_ordered`]. The Kaczmarz layer passes coloring
+//!   block/phase boundaries there, so a chunk never mixes rows from
+//!   different parallel units ([`crate::color`]); each segment is
+//!   padded up to a multiple of `C` independently ([`Sell::slot_row`]
+//!   holds [`PAD`] in the filler lanes).
+
+use crate::csr::Csr;
+use romp_core::prelude::*;
+use romp_core::slice::SharedSlice;
+
+/// Sentinel in [`Sell::slot_row`] for padding lanes (no source row).
+pub const PAD: usize = usize::MAX;
+
+/// A sparse matrix in SELL-C-σ form. See the module docs for layout.
+#[derive(Debug, Clone)]
+pub struct Sell {
+    /// Matrix dimension.
+    pub n: usize,
+    /// Chunk height.
+    pub c: usize,
+    /// Sorting-window size (in rows).
+    pub sigma: usize,
+    /// Stored nonzeros (excluding padding).
+    pub nnz: usize,
+    /// Slot → source row (`slot = chunk * c + lane`), [`PAD`] for
+    /// padding lanes. This is the row-permutation map.
+    pub slot_row: Vec<usize>,
+    /// Chunk `ch`'s tile starts at `chunk_ptr[ch]` in `cols`/`vals`.
+    pub chunk_ptr: Vec<usize>,
+    /// Width (longest row) of each chunk.
+    pub chunk_len: Vec<usize>,
+    /// True row length of each slot (0 for padding lanes): the
+    /// accumulation guard that keeps kernels bitwise-equal to CSR.
+    pub slot_len: Vec<usize>,
+    /// Column index per tile entry (0 in padding positions).
+    pub cols: Vec<usize>,
+    /// Value per tile entry (0.0 in padding positions).
+    pub vals: Vec<f64>,
+    /// Chunk index at which each input segment starts (one entry per
+    /// segment boundary, `segment_chunk_ptr.last() == nchunks`).
+    pub segment_chunk_ptr: Vec<usize>,
+}
+
+impl Sell {
+    /// Convert from CSR with identity row order and a single segment.
+    pub fn from_csr(mat: &Csr, c: usize, sigma: usize) -> Sell {
+        let order: Vec<usize> = (0..mat.n).collect();
+        Sell::from_csr_ordered(mat, c, sigma, &order, &[0, mat.n])
+    }
+
+    /// Convert from CSR laying rows out in `order`, σ-sorting and
+    /// chunking independently within each segment
+    /// `order[boundaries[s]..boundaries[s+1]]` (each segment padded to
+    /// a multiple of `c`, so chunks never straddle a boundary).
+    ///
+    /// `boundaries` must be ascending positions into `order` starting
+    /// at 0 and ending at `order.len()`; `order` must be a permutation
+    /// of `0..mat.n`.
+    pub fn from_csr_ordered(
+        mat: &Csr,
+        c: usize,
+        sigma: usize,
+        order: &[usize],
+        boundaries: &[usize],
+    ) -> Sell {
+        let n = mat.n;
+        let c = c.max(1);
+        let sigma = sigma.max(1);
+        assert_eq!(order.len(), n, "order must cover every row");
+        assert!(
+            boundaries.first() == Some(&0) && boundaries.last() == Some(&n),
+            "boundaries must span 0..=n"
+        );
+        assert!(
+            boundaries.windows(2).all(|w| w[0] <= w[1]),
+            "boundaries must be ascending"
+        );
+
+        let mut slot_row = Vec::new();
+        let mut chunk_ptr = vec![0usize];
+        let mut chunk_len = Vec::new();
+        let mut slot_len = Vec::new();
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        let mut segment_chunk_ptr = vec![0usize];
+
+        let rowlen = |r: usize| mat.rowptr[r + 1] - mat.rowptr[r];
+        for seg in boundaries.windows(2) {
+            let mut rows: Vec<usize> = order[seg[0]..seg[1]].to_vec();
+            // σ-window sort: stable, by descending row length, window
+            // by window so locality survives.
+            for w in rows.chunks_mut(sigma) {
+                w.sort_by_key(|&r| std::cmp::Reverse(rowlen(r)));
+            }
+            // Chunk in groups of C, padding the segment's last chunk.
+            for chunk in rows.chunks(c) {
+                let width = chunk.iter().map(|&r| rowlen(r)).max().unwrap_or(0);
+                let base = *chunk_ptr.last().expect("non-empty");
+                cols.resize(base + width * c, 0);
+                vals.resize(base + width * c, 0.0);
+                for lane in 0..c {
+                    match chunk.get(lane) {
+                        Some(&r) => {
+                            slot_row.push(r);
+                            slot_len.push(rowlen(r));
+                            let (rcols, rvals) = mat.row(r);
+                            for (j, (&rc, &rv)) in rcols.iter().zip(rvals).enumerate() {
+                                cols[base + j * c + lane] = rc;
+                                vals[base + j * c + lane] = rv;
+                            }
+                        }
+                        None => {
+                            slot_row.push(PAD);
+                            slot_len.push(0);
+                        }
+                    }
+                }
+                chunk_ptr.push(base + width * c);
+                chunk_len.push(width);
+            }
+            segment_chunk_ptr.push(chunk_len.len());
+        }
+
+        Sell {
+            n,
+            c,
+            sigma,
+            nnz: mat.nnz(),
+            slot_row,
+            chunk_ptr,
+            chunk_len,
+            slot_len,
+            cols,
+            vals,
+            segment_chunk_ptr,
+        }
+    }
+
+    /// Number of chunks.
+    pub fn nchunks(&self) -> usize {
+        self.chunk_len.len()
+    }
+
+    /// Stored entries including padding (`β⁻¹ · nnz` in SELL papers).
+    pub fn padded_nnz(&self) -> usize {
+        *self.chunk_ptr.last().expect("chunk_ptr non-empty")
+    }
+
+    /// Padding overhead: stored entries (incl. padding) over true nnz
+    /// (1.0 = no fill; the acceptance bar for class S is < 2.0).
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nnz == 0 {
+            1.0
+        } else {
+            self.padded_nnz() as f64 / self.nnz as f64
+        }
+    }
+
+    /// `⟨a_row, x⟩` for the row in `(chunk, lane)`, accumulated in
+    /// stored order and guarded by the true row length (bitwise equal
+    /// to [`Csr::row_dot`] on the same row).
+    #[inline]
+    pub fn slot_dot(&self, chunk: usize, lane: usize, x: &[f64]) -> f64 {
+        let base = self.chunk_ptr[chunk];
+        let len = self.slot_len[chunk * self.c + lane];
+        let mut acc = 0.0;
+        for j in 0..len {
+            let idx = base + j * self.c + lane;
+            acc += self.vals[idx] * x[self.cols[idx]];
+        }
+        acc
+    }
+
+    /// Rows in slot order skipping padding: the sweep order a
+    /// sequential Kaczmarz reference must use to match the SELL
+    /// kernels bitwise.
+    pub fn sweep_order(&self) -> Vec<usize> {
+        self.slot_row
+            .iter()
+            .copied()
+            .filter(|&r| r != PAD)
+            .collect()
+    }
+
+    /// Sequential `y = A·x` (y indexed by original row numbers).
+    pub fn spmv_serial(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for ch in 0..self.nchunks() {
+            for lane in 0..self.c {
+                let row = self.slot_row[ch * self.c + lane];
+                if row != PAD {
+                    y[row] = self.slot_dot(ch, lane, x);
+                }
+            }
+        }
+    }
+
+    /// Parallel `y = A·x` over `threads`, one chunk tile per
+    /// worksharing iteration. The σ-sort scatters each chunk's rows, so
+    /// the writes go through a [`SharedSlice`]; the permutation map
+    /// guarantees each `y[row]` has exactly one writer.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64], threads: usize, sched: Schedule) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let view = SharedSlice::new(y);
+        par_for(0..self.nchunks())
+            .num_threads(threads)
+            .schedule(sched)
+            .run(|ch| {
+                for lane in 0..self.c {
+                    let row = self.slot_row[ch * self.c + lane];
+                    if row != PAD {
+                        // SAFETY: slot_row is a permutation of rows
+                        // (plus PAD), so no other iteration writes row.
+                        unsafe { view.write(row, self.slot_dot(ch, lane, x)) };
+                    }
+                }
+            });
+    }
+}
+
+/// Format-adaptive `y = A·x`: the kernel-variant registry
+/// (`romp::variants`, name `"sparse-spmv"`, keyed by the nnz bucket)
+/// measures the CSR row kernel against the SELL chunk kernel and locks
+/// to the faster — the GHOST dispatch table, learned at run time.
+/// Returns the variant index it ran (0 = CSR, 1 = SELL).
+pub fn spmv_adaptive(
+    csr: &Csr,
+    sell: &Sell,
+    x: &[f64],
+    y: &mut [f64],
+    threads: usize,
+    sched: Schedule,
+) -> usize {
+    debug_assert_eq!(csr.nnz(), sell.nnz);
+    romp_core::variants::run("sparse-spmv", csr.nnz() as u64, 2, |which| {
+        match which {
+            0 => csr.spmv(x, y, threads, sched),
+            _ => sell.spmv(x, y, threads, sched),
+        }
+        which
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ragged(n: usize) -> Csr {
+        // Row i has 1 + i % 5 nonzeros spread around the diagonal.
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0 + i as f64));
+            for k in 1..=(i % 5) {
+                t.push((i, (i + 3 * k) % n, 1.0 / k as f64));
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn layout_roundtrips_every_row() {
+        let m = ragged(37);
+        let s = Sell::from_csr(&m, 4, 8);
+        assert_eq!(s.sweep_order().len(), m.n);
+        let mut seen = vec![false; m.n];
+        for &r in &s.sweep_order() {
+            assert!(!seen[r]);
+            seen[r] = true;
+        }
+        // Chunk count covers padded rows; padded nnz ≥ nnz.
+        assert_eq!(s.nchunks(), m.n.div_ceil(4));
+        assert!(s.padded_nnz() >= m.nnz());
+        assert!(s.fill_ratio() >= 1.0);
+    }
+
+    #[test]
+    fn spmv_matches_csr_bitwise() {
+        let m = ragged(53);
+        let x: Vec<f64> = (0..m.n).map(|i| 0.1 + (i as f64).sin()).collect();
+        let want = m.mul(&x);
+        for (c, sigma) in [(1, 1), (4, 1), (4, 16), (8, 53), (16, 8)] {
+            let s = Sell::from_csr(&m, c, sigma);
+            let mut y = vec![0.0; m.n];
+            s.spmv_serial(&x, &mut y);
+            assert_eq!(y, want, "serial C={c} sigma={sigma}");
+            let mut y2 = vec![0.0; m.n];
+            s.spmv(&x, &mut y2, 4, Schedule::dynamic_chunk(2));
+            assert_eq!(y2, want, "parallel C={c} sigma={sigma}");
+        }
+    }
+
+    #[test]
+    fn segments_never_share_chunks() {
+        let m = ragged(20);
+        let order: Vec<usize> = (0..20).collect();
+        let s = Sell::from_csr_ordered(&m, 4, 4, &order, &[0, 7, 13, 20]);
+        // Segment sizes 7, 6, 7 each pad to a multiple of C=4.
+        assert_eq!(s.segment_chunk_ptr, vec![0, 2, 4, 6]);
+        for (seg, w) in s.segment_chunk_ptr.windows(2).enumerate() {
+            let rows: Vec<usize> = (w[0] * 4..w[1] * 4)
+                .map(|slot| s.slot_row[slot])
+                .filter(|&r| r != PAD)
+                .collect();
+            let want: std::collections::BTreeSet<usize> = order[[0, 7, 13][seg]..[7, 13, 20][seg]]
+                .iter()
+                .copied()
+                .collect();
+            assert_eq!(
+                rows.iter()
+                    .copied()
+                    .collect::<std::collections::BTreeSet<_>>(),
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_sorting_reduces_fill() {
+        let m = ragged(200);
+        let plain = Sell::from_csr(&m, 8, 1);
+        let sorted = Sell::from_csr(&m, 8, 64);
+        assert!(sorted.fill_ratio() <= plain.fill_ratio());
+    }
+}

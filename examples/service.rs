@@ -4,7 +4,8 @@
 //! This is the deployment shape the sharded worker pool exists for —
 //! not one long-lived data-parallel program, but a service whose
 //! request handlers each open small parallel regions: M masters pull
-//! kernel jobs (EP / CG / IS / Mandelbrot, class S, mixed round-robin)
+//! kernel jobs (EP / CG / IS / Mandelbrot / sparse CARP-CG, class S,
+//! mixed round-robin)
 //! off a bounded queue and run them to completion, verification
 //! included, while the pool circulates the same few workers between
 //! them. The soak fails loudly if any kernel misverifies, if the pool
@@ -19,7 +20,7 @@
 //! Raise `--jobs` (e.g. 10000) for a long-running soak; the defaults
 //! finish in seconds so the example doubles as a CI smoke.
 
-use romp::npb::{cg, ep, is, mandelbrot, Class, KernelResult};
+use romp::npb::{carp, cg, ep, is, mandelbrot, Class, KernelResult};
 use romp::runtime::stats::{display_stats, stats};
 use romp::runtime::{icv, pool};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -27,14 +28,19 @@ use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-const KERNELS: [&str; 4] = ["EP", "CG", "IS", "Mandelbrot"];
+const KERNELS: [&str; 5] = ["EP", "CG", "IS", "Mandelbrot", "CARP"];
 
 fn run_kernel(which: usize, threads: usize) -> KernelResult {
     match which % KERNELS.len() {
         0 => ep::romp::run(Class::S, threads),
         1 => cg::romp::run(Class::S, threads),
         2 => is::romp::run(Class::S, threads),
-        _ => mandelbrot::romp::run(Class::S, threads),
+        3 => mandelbrot::romp::run(Class::S, threads),
+        // The sparse job: its parallel structure (coloring, zone
+        // partition, SELL layout, CSR-vs-SELL variant choice) is
+        // computed at run time, so the many-master path exercises
+        // runtime-computed parallelism, not just fixed loop nests.
+        _ => carp::romp::run(Class::S, threads),
     }
 }
 
@@ -68,6 +74,7 @@ fn main() {
     let rx = Arc::new(Mutex::new(rx));
     let failures = Arc::new(AtomicUsize::new(0));
     let per_kernel = Arc::new([
+        AtomicUsize::new(0),
         AtomicUsize::new(0),
         AtomicUsize::new(0),
         AtomicUsize::new(0),

@@ -46,6 +46,7 @@ pub use romp_fortran as fortran;
 pub use romp_npb as npb;
 pub use romp_pragma as pragma;
 pub use romp_runtime as runtime;
+pub use romp_sparse as sparse;
 
 /// Everything a typical romp program needs in scope.
 pub mod prelude {

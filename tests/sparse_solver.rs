@@ -1,0 +1,215 @@
+//! Acceptance suite for the sparse solver layer: the multi-colored
+//! KACZ sweep and the CARP-CG solver verify against the sequential
+//! reference at 1/2/4/oversubscribed threads **across all three
+//! directive front ends** (macro, builder, `//#omp` translator), the
+//! sweeps bitwise and the solver residual-bounded; the convergence
+//! early-exit goes through `omp_cancel!` and is observable in the
+//! runtime stats when `cancel-var` is armed, and degrades to a plain
+//! SPMD break when it is not.
+
+// `rustfmt::skip`: the golden file must stay byte-identical to rompcc
+// output; formatting it would break `kacz_translation_matches_golden`.
+#[rustfmt::skip]
+#[path = "fixtures/kacz_translated.rs"]
+mod translated;
+
+use romp::prelude::*;
+use romp_core::slice::SharedSlice;
+use romp_npb::search::ArmCancellation;
+use romp_sparse::prelude::*;
+
+const ANNOTATED: &str = include_str!("fixtures/kacz_annotated.rs");
+const GOLDEN: &str = include_str!("fixtures/kacz_translated.rs");
+
+#[test]
+fn kacz_translation_matches_golden() {
+    let out = romp_pragma::translate(ANNOTATED).expect("kacz fixture translates cleanly");
+    assert_eq!(
+        out, GOLDEN,
+        "rompcc output drifted from tests/fixtures/kacz_translated.rs; \
+         regenerate with `cargo run -p romp-pragma --bin rompcc -- \
+         tests/fixtures/kacz_annotated.rs -o tests/fixtures/kacz_translated.rs`"
+    );
+}
+
+fn team_ladder() -> [usize; 4] {
+    let oversubscribed = 2 * romp::runtime::omp_get_num_procs().max(2);
+    [1, 2, 4, oversubscribed]
+}
+
+/// The sweep acceptance bar: macro, builder and translator front ends
+/// produce **bitwise** the sequential Kaczmarz sweep in multicolor
+/// order, at every team shape, forward and backward (the translated
+/// fixture is forward-only, as written in the annotated source).
+#[test]
+fn kacz_front_ends_agree_at_every_team_shape() {
+    let n = 160;
+    let mat = matgen::random_sparse(n, 4, 20_240_808);
+    let coloring = greedy_multicolor(&mat);
+    let norms = mat.row_norms_sq();
+    let b = matgen::consistent_rhs(&mat);
+    let bounds = coloring.phase_boundaries();
+    let x0: Vec<f64> = (0..n).map(|i| (i % 11) as f64 * 0.125 - 0.5).collect();
+    for dir in [Direction::Forward, Direction::Backward] {
+        let mut want = x0.clone();
+        sweep_seq(&mat, &norms, &coloring.order, &mut want, &b, 1.0, dir);
+        for threads in team_ladder() {
+            let mut got = x0.clone();
+            sweep_csr_macro(&mat, &norms, &coloring, &mut got, &b, 1.0, dir, threads);
+            assert_eq!(got, want, "macro front end diverged at {threads} threads");
+            let mut got = x0.clone();
+            sweep_csr_builder(
+                &mat,
+                &norms,
+                &coloring,
+                &mut got,
+                &b,
+                1.0,
+                dir,
+                threads,
+                Schedule::Runtime,
+            );
+            assert_eq!(got, want, "builder front end diverged at {threads} threads");
+            if dir == Direction::Forward {
+                let mut got = x0.clone();
+                {
+                    let view = SharedSlice::new(&mut got);
+                    translated::kacz_sweep_colored(
+                        &mat.rowptr,
+                        &mat.cols,
+                        &mat.vals,
+                        &norms,
+                        &coloring.order,
+                        &bounds,
+                        &view,
+                        &b,
+                        1.0,
+                        threads,
+                    );
+                }
+                assert_eq!(
+                    got, want,
+                    "translated front end diverged at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+/// The SELL-C-σ tiles inherit the same bar: the colored tile sweep is
+/// bitwise the sequential sweep on the layout's own permuted order at
+/// every team shape.
+#[test]
+fn sell_sweep_agrees_at_every_team_shape() {
+    let n = 192;
+    let mat = matgen::banded(n, 4);
+    let coloring = color::auto(&mat, 4);
+    let cs = ColoredSell::build(&mat, &coloring, 8, 32);
+    let norms = mat.row_norms_sq();
+    let b = matgen::consistent_rhs(&mat);
+    let order = cs.sweep_order();
+    let x0: Vec<f64> = (0..n).map(|i| (i % 7) as f64 * 0.25).collect();
+    for dir in [Direction::Forward, Direction::Backward] {
+        let mut want = x0.clone();
+        sweep_seq(&mat, &norms, &order, &mut want, &b, 1.0, dir);
+        for threads in team_ladder() {
+            let mut got = x0.clone();
+            cs.sweep_builder(&norms, &mut got, &b, 1.0, dir, threads, Schedule::Runtime);
+            assert_eq!(got, want, "SELL sweep diverged at {threads} threads");
+        }
+    }
+}
+
+/// The solver acceptance bar: parallel CARP-CG converges and stays
+/// within tolerance of the sequential reference at every team shape,
+/// over both operator formats (sweeps are bitwise; the solver iterates
+/// differ only by reduction combine order, so the bound is tight).
+#[test]
+fn carp_cg_verifies_at_every_team_shape() {
+    let n = 400;
+    let mat = matgen::banded(n, 4);
+    let coloring = color::auto(&mat, 4);
+    let cs = ColoredSell::build(&mat, &coloring, 8, 32);
+    let norms = mat.row_norms_sq();
+    let b = matgen::consistent_rhs(&mat);
+    let seq = carp_cg_seq(&mat, &norms, &coloring.order, &b, &CarpOptions::default());
+    assert!(seq.converged, "reference failed to converge: {seq:?}");
+    assert!(seq.rel_residual < 1e-7);
+    let csr_op = SweepMat::Csr {
+        mat: &mat,
+        coloring: &coloring,
+    };
+    let sell_op = SweepMat::Sell(&cs);
+    for threads in team_ladder() {
+        for (fmt, op) in [("csr", &csr_op), ("sell", &sell_op)] {
+            let opts = CarpOptions {
+                threads,
+                ..Default::default()
+            };
+            let out = carp_cg(op, &norms, &b, &opts);
+            assert!(
+                out.converged,
+                "{fmt} solver did not converge at {threads} threads ({} iters)",
+                out.iters
+            );
+            assert!(
+                out.rel_residual < 1e-7,
+                "{fmt} residual {} at {threads} threads",
+                out.rel_residual
+            );
+            let dx = out
+                .x
+                .iter()
+                .zip(&seq.x)
+                .map(|(a, c)| (a - c).abs())
+                .fold(0.0, f64::max);
+            assert!(
+                dx < 1e-6,
+                "{fmt} solution drifted {dx} from reference at {threads} threads"
+            );
+        }
+    }
+}
+
+/// With `cancel-var` armed, the convergence exit raises a real
+/// `cancel parallel` (reported in the outcome and the runtime stats);
+/// disarmed (the `OMP_CANCELLATION` default), the same exit is a plain
+/// SPMD break and the solver still converges.
+#[test]
+fn convergence_exit_cancels_when_armed_breaks_when_not() {
+    let n = 240;
+    let mat = matgen::banded(n, 3);
+    let coloring = color::auto(&mat, 4);
+    let norms = mat.row_norms_sq();
+    let b = matgen::consistent_rhs(&mat);
+    let op = SweepMat::Csr {
+        mat: &mat,
+        coloring: &coloring,
+    };
+    let opts = CarpOptions {
+        threads: 4,
+        ..Default::default()
+    };
+
+    {
+        let _arm = ArmCancellation::new();
+        let before = romp::runtime::stats::stats().snapshot();
+        let out = carp_cg(&op, &norms, &b, &opts);
+        assert!(out.converged && out.rel_residual < 1e-7, "{out:?}");
+        assert!(
+            out.cancelled,
+            "armed convergence exit must go through omp_cancel!"
+        );
+        let d = before.delta(&romp::runtime::stats::stats().snapshot());
+        assert!(d.cancels_activated >= 1, "{d:?}");
+    }
+
+    let prev = romp::runtime::icv::set_cancellation_override(Some(false));
+    let out = carp_cg(&op, &norms, &b, &opts);
+    romp::runtime::icv::set_cancellation_override(prev);
+    assert!(out.converged && out.rel_residual < 1e-7, "{out:?}");
+    assert!(
+        !out.cancelled,
+        "disarmed cancel must report false and fall back to the break"
+    );
+}
