@@ -128,6 +128,10 @@ impl TeamBarrier {
         cancel: &AtomicBool,
     ) -> bool {
         crate::stats::bump(&crate::stats::stats().barriers);
+        // Chaos: delay-only site (a panic here could fire outside a
+        // region body's catch scope) — staggered arrival is the
+        // schedule that exposes release/reset races between episodes.
+        let _ = crate::chaos::chaos_point!(crate::chaos::Site::BarrierEntry);
         if self.size <= 1 {
             return !abort.load(Ordering::Relaxed);
         }

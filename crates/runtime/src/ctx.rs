@@ -133,6 +133,11 @@ pub fn cancel_taskgroup() -> bool {
     if !current_cancellable() {
         return false;
     }
+    // Deliberate user-facing panic, not a runtime-path hazard: reaching
+    // this with no enclosing taskgroup is a constraint violation in the
+    // *caller's* program (documented above), thrown on the caller's own
+    // thread inside its region body — the catch_unwind in `run_region`
+    // contains it and the master rethrows it like any user panic.
     let group = innermost_group()
         .unwrap_or_else(|| panic!("cancel(taskgroup) must be nested inside a taskgroup region"));
     if !group.cancelled.swap(true, Ordering::Release) {
@@ -447,6 +452,16 @@ impl<'scope> ThreadCtx<'scope> {
     /// cancellation points, so a blocked thread must be released to
     /// proceed to the region end.
     pub(crate) fn team_barrier(&self) -> bool {
+        // Chaos: a spurious-but-legal cancellation request at a barrier
+        // — exactly what a user's `omp_cancel!(parallel)` on a sibling
+        // thread looks like. Self-gating: `cancel` is a no-op when the
+        // region's cancel-var snapshot is off.
+        if matches!(
+            crate::chaos::chaos_point!(crate::chaos::Site::CancelCheck),
+            Some(crate::chaos::Injected::Cancel)
+        ) {
+            self.cancel(CancelKind::Parallel);
+        }
         let ok = self.team.barrier.wait(
             self.thread_num,
             &mut self.barrier_local.borrow_mut(),
@@ -671,6 +686,15 @@ impl<'scope> ThreadCtx<'scope> {
     pub fn cancellation_point(&self, kind: CancelKind) -> bool {
         if kind == CancelKind::Taskgroup {
             return cancellation_point_taskgroup();
+        }
+        // Chaos: turn this check into a spurious (self-gating) cancel
+        // request — a legal schedule, since any sibling could have
+        // issued the same `cancel` a moment before we checked.
+        if matches!(
+            crate::chaos::chaos_point!(crate::chaos::Site::CancelCheck),
+            Some(crate::chaos::Injected::Cancel)
+        ) {
+            self.cancel(kind);
         }
         if !self.team.cancellable() {
             return false;
@@ -1078,6 +1102,13 @@ impl<'scope> ThreadCtx<'scope> {
             .cloned();
         let out = match out {
             Some(v) => v,
+            // Unreachable expect, by construction: `cancelled()` can
+            // only return true when `watch` is true, and `fallback` is
+            // `Some` exactly when `watch` is true (set above, before
+            // any early return). Kept as an expect (not a warn) because
+            // reaching it would mean the *closure environment* itself
+            // was torn, which no graceful path can repair; the chaos
+            // soak drives cancel-at-reduction schedules through here.
             None if cancelled() => fallback.expect("cancellation implies cancel-var armed"),
             None => panic!("reduce_value: combined value present after barrier"),
         };

@@ -69,6 +69,10 @@ pub fn parse_stacksize(s: &str) -> Option<usize> {
     if s.is_empty() {
         return None;
     }
+    // Slicing `..s.len() - 1` below cannot split a UTF-8 character:
+    // it only happens when the last *byte* matched B/K/M/G (ASCII, so
+    // a one-byte character — continuation bytes are 0x80..=0xBF and
+    // never match). The index itself is guarded by the is_empty check.
     let (num, mult) = match s.as_bytes()[s.len() - 1].to_ascii_uppercase() {
         b'B' => (&s[..s.len() - 1], 1usize),
         b'K' => (&s[..s.len() - 1], 1024),

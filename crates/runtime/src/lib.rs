@@ -72,6 +72,7 @@ pub mod affinity;
 pub mod api;
 pub mod atomic;
 pub mod barrier;
+pub mod chaos;
 pub mod critical;
 pub mod ctx;
 pub mod env;

@@ -255,6 +255,22 @@ impl<'scope> ThreadCtx<'scope> {
         self.ws_for_normalized_at(site, trip, sched, nowait, chunk_body);
     }
 
+    /// Chaos hook at the chunk-grab edge. Panics and delays fire inside
+    /// `chaos::poke` (a chunk-grab panic is legal: it unwinds the
+    /// region body under `run_region`'s catch); an injected `Cancel` is
+    /// routed through the legal self-gating request path, exactly as a
+    /// sibling's `omp_cancel!(for)` would arrive. Compiles to nothing
+    /// without the `chaos` feature.
+    #[inline]
+    fn chaos_chunk_grab(&self) {
+        if matches!(
+            crate::chaos::chaos_point!(crate::chaos::Site::ChunkGrab),
+            Some(crate::chaos::Injected::Cancel)
+        ) {
+            self.cancel(crate::ctx::CancelKind::For);
+        }
+    }
+
     /// [`ws_for_normalized`](Self::ws_for_normalized) with an explicit
     /// tuner site instead of the `#[track_caller]` stamp.
     ///
@@ -294,6 +310,7 @@ impl<'scope> ThreadCtx<'scope> {
         match sched {
             Schedule::Static { chunk } => {
                 for r in StaticChunks::new(trip, self.num_threads(), self.thread_num(), chunk) {
+                    self.chaos_chunk_grab();
                     if watch && self.ws_cancelled(cgen) {
                         break;
                     }
@@ -325,6 +342,7 @@ impl<'scope> ThreadCtx<'scope> {
                     return;
                 }
                 loop {
+                    self.chaos_chunk_grab();
                     if watch && self.ws_cancelled(cgen) {
                         break;
                     }

@@ -420,16 +420,41 @@ impl Pool {
     }
 }
 
-/// Test hook: make the next `n` worker spawns fail with an injected
-/// error, exercising the reservation-rollback / short-team degradation
-/// path in [`Pool::acquire`] without needing to exhaust real OS thread
+/// Test hook: make the next `n` worker spawns *from this thread's
+/// forks* fail with an injected error, exercising the
+/// reservation-rollback / short-team degradation path in
+/// [`Pool::acquire`] without needing to exhaust real OS thread
 /// resources.
+///
+/// The count is thread-local (spawns happen on the forking master's
+/// thread, inside `acquire`), so an armed count can never leak into
+/// unrelated tests running concurrently in the same process — the
+/// process-global counter this replaced poisoned whichever suite
+/// forked next. Randomized spawn-failure injection across threads goes
+/// through the `chaos` feature's [`crate::chaos::Site::WorkerSpawn`]
+/// site instead.
 #[doc(hidden)]
 pub fn inject_spawn_failures(n: usize) {
-    FAIL_SPAWNS.store(n, Ordering::SeqCst);
+    FAIL_SPAWNS.with(|c| c.set(n));
 }
 
-static FAIL_SPAWNS: AtomicUsize = AtomicUsize::new(0);
+thread_local! {
+    /// Pending injected spawn failures for forks from this thread.
+    static FAIL_SPAWNS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Consume one injected spawn failure, if armed on this thread.
+fn take_injected_spawn_failure() -> bool {
+    FAIL_SPAWNS.with(|c| {
+        let n = c.get();
+        if n > 0 {
+            c.set(n - 1);
+            true
+        } else {
+            false
+        }
+    })
+}
 
 /// Monotonic worker-id allocator for thread naming. Deliberately *not*
 /// the `workers_spawned` stats counter: concurrent spawns from
@@ -438,9 +463,11 @@ static FAIL_SPAWNS: AtomicUsize = AtomicUsize::new(0);
 static NEXT_WORKER_ID: AtomicU64 = AtomicU64::new(0);
 
 fn spawn_worker(stacksize: Option<usize>, shard: usize) -> std::io::Result<Arc<WorkerSlot>> {
-    if FAIL_SPAWNS
-        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
-        .is_ok()
+    if take_injected_spawn_failure()
+        || matches!(
+            crate::chaos::chaos_point!(crate::chaos::Site::WorkerSpawn),
+            Some(crate::chaos::Injected::SpawnFail)
+        )
     {
         return Err(std::io::Error::other("injected romp worker spawn failure"));
     }
@@ -662,10 +689,16 @@ impl IdleWait {
             std::hint::spin_loop();
         } else if idle - self.spin < self.yields {
             std::thread::yield_now();
-        } else if timed_park {
-            std::thread::park_timeout(std::time::Duration::from_millis(1));
         } else {
-            std::thread::park();
+            // Chaos: a delay here stretches the window between the
+            // caller's last condition check and the park — the exact
+            // schedule in which a forgotten wake token strands a waiter.
+            let _ = crate::chaos::chaos_point!(crate::chaos::Site::Park);
+            if timed_park {
+                std::thread::park_timeout(std::time::Duration::from_millis(1));
+            } else {
+                std::thread::park();
+            }
         }
     }
 }
@@ -731,6 +764,10 @@ unsafe impl Sync for HotChannel {}
 /// Publish the next region's job on a doorbell **without** waking the
 /// worker (the wake arrives via the chain, or from [`ring`]).
 fn prime(ch: &HotChannel, job: Option<Job>) {
+    // Chaos: delay between the previous channel's publication and this
+    // one — the hit path's reverse-order priming is only sound if no
+    // interleaving can let a forwarded wake outrun an unprimed channel.
+    let _ = crate::chaos::chaos_point!(crate::chaos::Site::DoorbellPrime);
     // SAFETY: see `HotChannel::job` — the worker finished the previous
     // region (the master joined) and has not yet observed the bump below,
     // so no concurrent access to the cell exists.
@@ -745,6 +782,9 @@ fn prime(ch: &HotChannel, job: Option<Job>) {
 /// and let the wake chain propagate from the first worker).
 fn ring(ch: &HotChannel, job: Option<Job>) {
     prime(ch, job);
+    // Chaos: delay between publication and wake — a worker that can
+    // only make progress through this wake must still get it.
+    let _ = crate::chaos::chaos_point!(crate::chaos::Site::DoorbellRing);
     ch.wake();
 }
 
@@ -779,7 +819,21 @@ fn hot_worker_loop(ch: &HotChannel) {
         // SAFETY: the master published the job before the epoch bump we
         // just observed and will not touch the cell again until we
         // signal completion below.
-        let job = unsafe { (*ch.job.get()).expect("doorbell rang without a job") };
+        let Some(job) = (unsafe { *ch.job.get() }) else {
+            // Unreachable by the doorbell protocol: the job write
+            // happens-before the epoch bump we just observed (release
+            // store, acquire load). But a panic *here* — runtime-
+            // internal code, outside any region's catch_unwind — would
+            // kill the worker without signalling completion and hang
+            // the master's join forever. An empty ring degrades to a
+            // spurious wake instead: warn and re-wait at the doorbell.
+            eprintln!(
+                "ROMP WARNING: doorbell epoch {seen} rang without a job \
+                 (thread {}); treating as a spurious wake",
+                ch.thread_num
+            );
+            continue;
+        };
         icv::tls_clear_overrides();
         run_region(&ch.team, ch.thread_num, job);
         signal_completion(&ch.team);
@@ -988,6 +1042,10 @@ fn hot_fork(
                 prime(ch, Some(job));
             }
             if let Some(first) = ht.channels.first() {
+                // Chaos: delay between the last prime and the chain-head
+                // wake — the lost-wakeup-critical edge this path's
+                // reverse-order priming exists to protect.
+                let _ = crate::chaos::chaos_point!(crate::chaos::Site::DoorbellRing);
                 first.wake();
             }
             return ht.team.clone();

@@ -77,6 +77,11 @@ pub struct Stats {
     /// Explicit tasks discarded without running their body (their
     /// taskgroup or parallel region was cancelled before they started).
     pub tasks_discarded: AtomicU64,
+    /// Explicit tasks dropped by `TaskSystem::purge`
+    /// after an aborted (panicked) region, without running their body.
+    /// Together with executed + discarded this closes the task ledger:
+    /// every spawned task is accounted by exactly one of the three.
+    pub tasks_purged: AtomicU64,
     /// Tuned constructs measured while their site was still probing
     /// (schedule sites and variant-registry entries alike).
     pub tune_probes: AtomicU64,
@@ -112,6 +117,7 @@ static STATS: Stats = Stats {
     affinity_bind_failures: AtomicU64::new(0),
     cancels_activated: AtomicU64::new(0),
     tasks_discarded: AtomicU64::new(0),
+    tasks_purged: AtomicU64::new(0),
     tune_probes: AtomicU64::new(0),
     tune_converged: AtomicU64::new(0),
     tune_evictions: AtomicU64::new(0),
@@ -173,6 +179,8 @@ pub struct Snapshot {
     pub cancels_activated: u64,
     /// See [`Stats::tasks_discarded`].
     pub tasks_discarded: u64,
+    /// See [`Stats::tasks_purged`].
+    pub tasks_purged: u64,
     /// See [`Stats::tune_probes`].
     pub tune_probes: u64,
     /// See [`Stats::tune_converged`].
@@ -209,6 +217,7 @@ impl Stats {
             affinity_bind_failures: self.affinity_bind_failures.load(Ordering::Relaxed),
             cancels_activated: self.cancels_activated.load(Ordering::Relaxed),
             tasks_discarded: self.tasks_discarded.load(Ordering::Relaxed),
+            tasks_purged: self.tasks_purged.load(Ordering::Relaxed),
             tune_probes: self.tune_probes.load(Ordering::Relaxed),
             tune_converged: self.tune_converged.load(Ordering::Relaxed),
             tune_evictions: self.tune_evictions.load(Ordering::Relaxed),
@@ -244,6 +253,7 @@ impl Snapshot {
             affinity_bind_failures: later.affinity_bind_failures - self.affinity_bind_failures,
             cancels_activated: later.cancels_activated - self.cancels_activated,
             tasks_discarded: later.tasks_discarded - self.tasks_discarded,
+            tasks_purged: later.tasks_purged - self.tasks_purged,
             tune_probes: later.tune_probes - self.tune_probes,
             tune_converged: later.tune_converged - self.tune_converged,
             tune_evictions: later.tune_evictions - self.tune_evictions,
@@ -281,6 +291,7 @@ pub fn display_stats_snapshot(s: &Snapshot) -> String {
     );
     let _ = writeln!(out, "  cancels_activated = '{}'", s.cancels_activated);
     let _ = writeln!(out, "  tasks_discarded = '{}'", s.tasks_discarded);
+    let _ = writeln!(out, "  tasks_purged = '{}'", s.tasks_purged);
     let _ = writeln!(out, "  workers_spawned = '{}'", s.workers_spawned);
     let _ = writeln!(
         out,
@@ -373,6 +384,7 @@ mod tests {
             "affinity_bind_failures",
             "cancels_activated",
             "tasks_discarded",
+            "tasks_purged",
             "workers_spawned",
             "worker_spawn_failures",
             "pool_acquires_local",

@@ -396,6 +396,10 @@ impl TaskSystem {
     /// unconditionally (a relaxed length read can be stale), keeping
     /// the old no-task-left-behind guarantee.
     pub(crate) fn pop_or_steal(&self, thread_num: usize, seed: &mut u64) -> Option<RawTask> {
+        // Chaos: delay-only site (panicking here would escape the
+        // joining master's catch scope) — a stall between a victim scan
+        // and the sweep shifts who executes what.
+        let _ = crate::chaos::chaos_point!(crate::chaos::Site::TaskSteal);
         let own = &self.queues[thread_num];
         // Pushes to queue i come only from thread i itself (spawns and
         // dependence releases both target the acting thread's deque), so
@@ -520,6 +524,12 @@ impl TaskSystem {
             drop(task.func);
         } else {
             crate::stats::bump(&crate::stats::stats().tasks_executed);
+            // Chaos: panic/delay in place of the body. Legal here —
+            // every execute() caller runs under a catch_unwind (workers
+            // inside run_region, the joining master through
+            // execute_joining_task), and the Finish guard above keeps
+            // the completion ledger consistent through an unwind.
+            let _ = crate::chaos::chaos_point!(crate::chaos::Site::TaskExecute);
             (task.func)();
         }
     }
@@ -530,10 +540,21 @@ impl TaskSystem {
         let mut released = Vec::new();
         {
             let mut g = self.deps.lock();
-            let node = g
-                .nodes
-                .remove(&id)
-                .expect("dependence node of a finishing task is live");
+            // A finishing task's node is live by construction (only
+            // this completion removes it). But this runs inside the
+            // `Finish` guard's Drop — possibly *during an unwind* — and
+            // a panic in Drop-during-unwind aborts the whole process,
+            // so a torn graph degrades to a warning instead: successors
+            // stay unreleased, and the abort/purge path (the only way a
+            // graph gets torn) discards them anyway.
+            let Some(node) = g.nodes.remove(&id) else {
+                drop(g);
+                eprintln!(
+                    "ROMP WARNING: dependence node {id} of a finishing task \
+                     was already removed; successors not released"
+                );
+                return;
+            };
             for s in node.succs {
                 if let Some(sn) = g.nodes.get_mut(&s) {
                     sn.unmet -= 1;
@@ -580,16 +601,25 @@ impl TaskSystem {
     /// Contract: caller is the master after the join (every worker has
     /// signalled completion — no concurrent task activity).
     pub(crate) fn purge(&self) {
+        let mut dropped = 0u64;
         for q in &self.queues {
             let mut d = q.deque.lock();
+            dropped += d.len() as u64;
             d.clear();
             q.approx_len.store(0, Ordering::Relaxed);
         }
         let mut g = self.deps.lock();
+        dropped += g.stalled.len() as u64;
         g.stalled.clear();
         g.table.clear();
         g.nodes.clear();
         drop(g);
+        // Close the task ledger: spawned == executed + discarded +
+        // purged must hold once a region fully settles (the chaos soak
+        // asserts it), so every never-run closure is counted here.
+        crate::stats::stats()
+            .tasks_purged
+            .fetch_add(dropped, Ordering::Relaxed);
         // The dropped tasks never decrement `pending` through the
         // execute path; zero it so nothing spins on the count.
         self.pending.store(0, Ordering::Release);

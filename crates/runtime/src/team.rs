@@ -137,6 +137,13 @@ impl WsSlot {
                             .is_ok()
                         {
                             self.done.store(0, Ordering::Relaxed);
+                            // Unreachable panic: `init` is `Some` on
+                            // entry and every `take()` path returns
+                            // from `enter` immediately after running
+                            // it, so the installer can be consumed at
+                            // most once per call. (Covered by the
+                            // chaos soak's fork/join churn, which
+                            // drives this CAS race continuously.)
                             (init.take().expect("installer runs once"))(self);
                             self.state.store(STATE_READY, Ordering::Release);
                             return true;
@@ -164,6 +171,9 @@ impl WsSlot {
                         .is_ok()
                 {
                     self.done.store(0, Ordering::Relaxed);
+                    // Same single-consumption proof as the FREE arm
+                    // above: winning the READY→INSTALLING CAS is the
+                    // only way here, and this arm returns right after.
                     (init.take().expect("installer runs once"))(self);
                     self.gen.store(gen, Ordering::Relaxed);
                     self.state.store(STATE_READY, Ordering::Release);

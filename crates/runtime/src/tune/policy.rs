@@ -174,7 +174,14 @@ impl SiteEntry {
         let cands = *s
             .candidates
             .get_or_insert_with(|| candidates(trip, threads));
-        let arm = s.learner.decide();
+        // `Learner::decide` returns `locked.unwrap_or(next)`, and
+        // `record` locks in the very call that advances `next` to
+        // `len`, so an unlocked learner always has `next < len` and
+        // the index below cannot overrun. Clamp anyway: this runs on
+        // the slot-installing thread mid-construct, where an index
+        // panic would abort the whole team's region — replaying the
+        // last probe arm is the strictly better failure mode.
+        let arm = s.learner.decide().min(cands.len() - 1);
         encode_decision(arm, cands[arm])
     }
 

@@ -96,6 +96,10 @@ impl VariantChoice {
 /// as it is proportional to the call's intrinsic cost).
 pub fn select(name: &'static str, work: u64, n_variants: usize) -> VariantChoice {
     let e = entry(name, trip_bucket(work), n_variants);
+    // `e.variants` is `n_variants.max(1)` at construction, so the `- 1`
+    // cannot underflow even for a (nonsensical) zero-variant call; the
+    // `min` also pins the index inside the *cached* entry's arm count
+    // when a kernel name is re-registered with a different n_variants.
     let index = e.state.lock().learner.decide().min(e.variants - 1);
     VariantChoice {
         entry: e,

@@ -9,13 +9,16 @@
 //! team**, which the spec explicitly permits (a team may be delivered
 //! with fewer threads than requested).
 //!
-//! These tests live in their own integration-test binary because the
-//! failure injection (`pool::inject_spawn_failures`) is process-global:
-//! a concurrently-running unrelated test would otherwise consume the
-//! injected failures and see mysterious short teams. Within this binary
-//! the tests serialize on `INJECT_LOCK` for the same reason. Every fork
-//! runs on a freshly-spawned master thread so no hot-team lease
-//! outlives a test on a harness thread.
+//! The failure injection (`pool::inject_spawn_failures`) is scoped to
+//! the *arming thread*: spawns happen on the forking master's thread
+//! inside `Pool::acquire`, so a counter armed here can never be
+//! consumed by an unrelated test running concurrently on another
+//! thread (that leak was a real bug — see
+//! `injection_is_scoped_to_the_arming_thread`). The tests still
+//! serialize on `INJECT_LOCK` because they mutate global ICVs
+//! (`hot_teams`, `thread_limit`) and compare process-wide stats
+//! deltas. Every fork runs on a freshly-spawned master thread so no
+//! hot-team lease outlives a test on a harness thread.
 
 use romp_runtime::stats::stats;
 use romp_runtime::{fork, icv, pool, ForkSpec};
@@ -49,8 +52,8 @@ fn spawn_failure_degrades_to_short_team_instead_of_panicking() {
         fork(ForkSpec::with_num_threads(4), |_| {
             ran.fetch_add(1, Ordering::SeqCst);
         });
-        // Drain any injections the fork did not consume (idle workers
-        // from other suites' leftovers may have satisfied part of it).
+        // Reset this thread's unconsumed injections (idle workers from
+        // earlier tests' pools may have satisfied part of the fork).
         pool::inject_spawn_failures(0);
         let d = before.delta(&stats().snapshot());
         let delivered = ran.load(Ordering::SeqCst);
@@ -119,6 +122,49 @@ fn spawn_failure_rolls_back_the_thread_limit_reservation() {
             i.hot_teams = true;
         });
     });
+}
+
+#[test]
+fn injection_is_scoped_to_the_arming_thread() {
+    let _g = INJECT_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // Thread A arms a huge failure budget and exits without forking.
+    // With the old process-global counter those 1000 pending failures
+    // would poison every later fork in the process; with the
+    // thread-local counter they die with A.
+    std::thread::Builder::new()
+        .name("spawn-failure-armer".into())
+        .spawn(|| pool::inject_spawn_failures(1000))
+        .unwrap()
+        .join()
+        .unwrap();
+    // Thread B, a different master, must be unaffected: a fork wide
+    // enough to need fresh spawns records zero spawn failures and
+    // delivers its full team.
+    std::thread::Builder::new()
+        .name("spawn-failure-bystander".into())
+        .spawn(|| {
+            icv::with_global_mut(|i| i.hot_teams = false);
+            let before = stats().snapshot();
+            let geometry = std::sync::Arc::new(AtomicUsize::new(0));
+            let g = geometry.clone();
+            fork(ForkSpec::with_num_threads(16), move |ctx| {
+                g.fetch_max(ctx.num_threads(), Ordering::SeqCst);
+            });
+            let d = before.delta(&stats().snapshot());
+            assert_eq!(
+                d.worker_spawn_failures, 0,
+                "another thread's armed injections must not fire here"
+            );
+            assert_eq!(
+                geometry.load(Ordering::SeqCst),
+                16,
+                "the bystander's fork must deliver its full team"
+            );
+            icv::with_global_mut(|i| i.hot_teams = true);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
 }
 
 #[test]

@@ -334,6 +334,60 @@ fn panic_storm_never_wedges_the_runtime() {
     });
 }
 
+/// One per spawned task closure; `Drop` bumps the shared counter
+/// whether the closure ran to completion, unwound, or was purged
+/// without ever running.
+struct DropToken(Arc<AtomicUsize>);
+impl Drop for DropToken {
+    fn drop(&mut self) {
+        self.0.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+#[test]
+fn panicked_hot_join_drops_every_env_borrowing_task_closure() {
+    // A worker-side panic aborts the hot join while deferred tasks that
+    // borrow the master's stack (`'env`) are still queued. The fork
+    // must not return (unwind) to the master until every one of those
+    // closures has been destroyed — executed, unwound, or purged — or
+    // the borrow it holds would dangle the moment `data` drops below.
+    on_fresh_thread(|| {
+        for round in 0..6 {
+            let dropped = Arc::new(AtomicUsize::new(0));
+            let created = AtomicUsize::new(0);
+            let data = vec![round; 64]; // the 'env borrow target
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                fork(ForkSpec::with_num_threads(4), |ctx| {
+                    for _ in 0..8 {
+                        let token = DropToken(dropped.clone());
+                        created.fetch_add(1, Ordering::SeqCst);
+                        let d = &data;
+                        ctx.task(move || {
+                            assert_eq!(d[0], round);
+                            let _keep = &token;
+                        });
+                    }
+                    // A *worker* (never thread 0) panics: the master is
+                    // parked in the hot join when the abort lands.
+                    if ctx.thread_num() == 1 + (round % 3) {
+                        panic!("injected worker-side abort");
+                    }
+                });
+            }));
+            assert!(r.is_err(), "round {round}: the panic must propagate");
+            assert_eq!(
+                dropped.load(Ordering::SeqCst),
+                created.load(Ordering::SeqCst),
+                "round {round}: every task closure must be dropped before \
+                 fork returns (leaked closures still borrow the dead frame)"
+            );
+            drop(data); // the borrow has provably ended
+                        // The same master's next fork delivers a clean team.
+            assert_geometry(4);
+        }
+    });
+}
+
 #[test]
 fn cancelled_hot_region_is_recycled_not_evicted() {
     // A cancelled region completes normally (cancellation is
